@@ -1,0 +1,308 @@
+(* Command-line driver for the 3V reproduction.
+
+   threev_sim list                         list the experiments
+   threev_sim experiment e1 [--quick]      run one experiment (or "all")
+   threev_sim table1                       replay the paper's Table 1
+   threev_sim run --engine 3v --workload hospital --nodes 4 ...
+                                           free-form simulation run *)
+
+module Sim = Simul.Sim
+module Latency = Netsim.Latency
+module Engine = Threev.Engine
+module Policy = Threev.Policy
+module Histogram = Stats.Histogram
+open Cmdliner
+
+(* ------------------------------------------------------------ list *)
+
+let list_cmd =
+  let doc = "List the experiments reproduced from the paper." in
+  let run () =
+    List.iter
+      (fun (e : Harness.Experiments.t) ->
+        Printf.printf "%-4s %-45s [%s]\n" e.id e.title e.paper_ref)
+      Harness.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------ experiment *)
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps and durations.")
+
+let experiment_cmd =
+  let doc = "Run one experiment by id (t1, f1, f2, e1..e8), or $(b,all)." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id quick =
+    let run_one (e : Harness.Experiments.t) =
+      Printf.printf "== %s: %s (%s) ==\n%!" e.id e.title e.paper_ref;
+      print_string (e.run ~quick);
+      print_newline ()
+    in
+    match String.lowercase_ascii id with
+    | "all" ->
+        List.iter run_one Harness.Experiments.all;
+        `Ok ()
+    | id -> (
+        match Harness.Experiments.find id with
+        | Some e ->
+            run_one e;
+            `Ok ()
+        | None ->
+            `Error
+              (false, Printf.sprintf "unknown experiment %S (try `list`)" id))
+  in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(ret (const run $ id_arg $ quick_flag))
+
+(* --------------------------------------------------------- table1 *)
+
+let table1_cmd =
+  let doc = "Replay the paper's Table 1 execution and print the trace." in
+  let run () =
+    let replay = Harness.Table1.run () in
+    print_string (Harness.Table1.render_trace replay);
+    print_newline ();
+    print_string (Harness.Table1.render_snapshots replay)
+  in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+
+(* ---------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let doc =
+    "Run a small 3V workload with protocol tracing and print the events — \
+     watch versions being assigned, dual writes, notices, counters and \
+     advancement phases live."
+  in
+  let events_arg =
+    Arg.(value & opt int 80 & info [ "events" ] ~doc:"Events to print.")
+  in
+  let seed_arg = Arg.(value & opt int 3 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run events seed =
+    let sim = Sim.create ~seed () in
+    let trace = Threev.Trace.create () in
+    let cfg =
+      {
+        (Engine.default_config ~nodes:3) with
+        Engine.latency = Latency.Exponential 0.01;
+        think_time = 0.002;
+        policy = Policy.Periodic 0.2;
+      }
+    in
+    let engine = Engine.create sim cfg ~trace () in
+    let gen =
+      Workload.Hospital.generator
+        {
+          (Workload.Hospital.default ~nodes:3) with
+          Workload.Hospital.arrival_rate = 60.;
+          patients = 5;
+        }
+    in
+    let rng = Random.State.make [| seed |] in
+    Sim.spawn sim ~name:"trace-client" (fun () ->
+        for i = 1 to 12 do
+          ignore (Engine.submit engine (gen.Workload.Generator.make rng ~id:i));
+          Sim.sleep sim 0.04
+        done);
+    ignore (Sim.run sim ~until:1.0 ());
+    let shown = ref 0 in
+    List.iter
+      (fun (e : Threev.Trace.event) ->
+        if !shown < events then begin
+          incr shown;
+          Printf.printf "%8.4f  %-6s %s\n" e.Threev.Trace.time
+            e.Threev.Trace.site e.Threev.Trace.what
+        end)
+      (Threev.Trace.events trace);
+    Printf.printf "... (%d events total; --events N to see more)\n"
+      (Threev.Trace.length trace)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ events_arg $ seed_arg)
+
+(* ------------------------------------------------------------ run *)
+
+type engine_choice = E_3v | E_2pc | E_nocoord | E_manual
+
+let engine_conv =
+  Arg.enum
+    [ ("3v", E_3v); ("2pc", E_2pc); ("nocoord", E_nocoord); ("manual", E_manual) ]
+
+type workload_choice = W_hospital | W_calls | W_pos | W_synthetic
+
+let workload_conv =
+  Arg.enum
+    [
+      ("hospital", W_hospital); ("calls", W_calls); ("pos", W_pos);
+      ("synthetic", W_synthetic);
+    ]
+
+let run_cmd =
+  let doc = "Run a single engine × workload simulation and print a report." in
+  let engine_arg =
+    Arg.(
+      value & opt engine_conv E_3v
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"3v, 2pc, nocoord or manual.")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt workload_conv W_hospital
+      & info [ "workload" ] ~docv:"W" ~doc:"hospital, calls, pos or synthetic.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Number of database nodes.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 400.
+      & info [ "rate" ] ~doc:"Transaction arrival rate per virtual second.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~doc:"Submission window in virtual seconds.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let period_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "advancement-period" ]
+          ~doc:"3V advancement / manual versioning period (virtual seconds).")
+  in
+  let nc_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "nc-ratio" ]
+          ~doc:"Fraction of non-commuting updates (pos/synthetic workloads).")
+  in
+  let read_arg =
+    Arg.(
+      value & opt float 0.25 & info [ "read-ratio" ] ~doc:"Read-only fraction.")
+  in
+  let run engine workload nodes rate duration seed period nc_ratio read_ratio =
+    let gen =
+      match workload with
+      | W_hospital ->
+          Workload.Hospital.generator
+            {
+              (Workload.Hospital.default ~nodes) with
+              Workload.Hospital.arrival_rate = rate;
+              read_ratio;
+            }
+      | W_calls ->
+          Workload.Call_recording.generator
+            {
+              (Workload.Call_recording.default ~nodes) with
+              Workload.Call_recording.arrival_rate = rate;
+              read_ratio;
+            }
+      | W_pos ->
+          Workload.Point_of_sale.generator
+            {
+              (Workload.Point_of_sale.default ~nodes) with
+              Workload.Point_of_sale.arrival_rate = rate;
+              read_ratio;
+              nc_ratio;
+            }
+      | W_synthetic ->
+          Workload.Synthetic.generator
+            {
+              (Workload.Synthetic.default ~nodes) with
+              Workload.Synthetic.arrival_rate = rate;
+              read_ratio;
+              nc_ratio;
+            }
+    in
+    let setup =
+      { Harness.Runner.default_setup with Harness.Runner.seed; duration; settle = 5.0 }
+    in
+    let sim = Sim.create ~seed () in
+    let packed, extras =
+      match engine with
+      | E_3v ->
+          let cfg =
+            {
+              (Engine.default_config ~nodes) with
+              Engine.latency = Latency.Exponential 0.003;
+              policy = Policy.Periodic period;
+              nc_mode = nc_ratio > 0.;
+              think_time = 0.0005;
+            }
+          in
+          let eng = Engine.create sim cfg () in
+          ( Engine.packed eng,
+            fun () ->
+              Printf.printf "advancements: %d\nmax versions: %d\n"
+                (Engine.advancements_completed eng)
+                (Engine.max_versions_ever eng) )
+      | E_2pc ->
+          let cfg =
+            {
+              (Baselines.Global_2pc.default_config ~nodes) with
+              Baselines.Global_2pc.latency = Latency.Exponential 0.003;
+              think_time = 0.0005;
+              deadlock_timeout = 0.05;
+            }
+          in
+          (Baselines.Global_2pc.packed (Baselines.Global_2pc.create sim cfg),
+           fun () -> ())
+      | E_nocoord ->
+          let cfg =
+            {
+              (Baselines.No_coord.default_config ~nodes) with
+              Baselines.No_coord.latency = Latency.Exponential 0.003;
+              think_time = 0.0005;
+            }
+          in
+          (Baselines.No_coord.packed (Baselines.No_coord.create sim cfg),
+           fun () -> ())
+      | E_manual ->
+          let cfg =
+            {
+              (Baselines.Manual_versioning.default_config ~nodes) with
+              Baselines.Manual_versioning.latency = Latency.Exponential 0.003;
+              think_time = 0.0005;
+              period;
+            }
+          in
+          ( Baselines.Manual_versioning.packed
+              (Baselines.Manual_versioning.create sim cfg),
+            fun () -> () )
+    in
+    let outcome = Harness.Runner.drive sim packed gen setup in
+    let atom = Harness.Runner.atomicity outcome in
+    let stale = Harness.Runner.staleness outcome in
+    Printf.printf "engine: %s  workload: %s  nodes: %d  rate: %g/s\n"
+      outcome.Harness.Runner.engine_name
+      (Workload.Generator.name gen)
+      nodes rate;
+    Printf.printf
+      "submitted: %d  committed: %d  aborted: %d  unfinished: %d  \
+       throughput: %.0f/s\n"
+      outcome.Harness.Runner.submitted outcome.Harness.Runner.committed outcome.Harness.Runner.aborted
+      outcome.Harness.Runner.unfinished outcome.Harness.Runner.throughput;
+    Format.printf "read latency:   %a@." Histogram.pp outcome.Harness.Runner.read_latency;
+    Format.printf "update latency: %a@." Histogram.pp
+      outcome.Harness.Runner.update_latency;
+    Format.printf "atomicity: %a@." Checker.Atomicity.pp atom;
+    Format.printf "staleness: %a@." Checker.Staleness.pp stale;
+    extras ();
+    Format.printf "engine counters: %a@." Stats.Counter_set.pp
+      outcome.Harness.Runner.stats
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ engine_arg $ workload_arg $ nodes_arg $ rate_arg
+      $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Scalable Versioning in Distributed Databases with \
+     Commuting Updates' (ICDE 1997)."
+  in
+  let info = Cmd.info "threev_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; experiment_cmd; table1_cmd; trace_cmd; run_cmd ]))

@@ -1,0 +1,62 @@
+(* Call recording (paper §6): a data recording system at high rate.
+
+   Calls append detail records and bump summaries in two regions; billing
+   and audit queries read summaries. We drive a sustained load, advance
+   versions with the count-based policy ("once a certain number of update
+   transactions have accumulated" — §1), and report what recording systems
+   care about: throughput, how stale audits run, and what the versioning
+   machinery cost in copies and messages.
+
+   Run with:  dune exec examples/call_recording.exe *)
+
+module Sim = Simul.Sim
+module Engine = Threev.Engine
+
+let regions = 6
+
+let () =
+  let sim = Sim.create ~seed:3 () in
+  let engine =
+    Engine.create sim
+      {
+        (Engine.default_config ~nodes:regions) with
+        Engine.policy = Threev.Policy.Every_n_updates 500;
+        latency = Netsim.Latency.Exponential 0.004;
+        think_time = 0.0003;
+      }
+      ()
+  in
+  let workload =
+    Workload.Call_recording.generator
+      {
+        (Workload.Call_recording.default ~nodes:regions) with
+        Workload.Call_recording.arrival_rate = 2000. (* busy hour *);
+        read_ratio = 0.15;
+        audit_ratio = 0.4;
+        customers = 500;
+      }
+  in
+  let setup =
+    { Harness.Runner.default_setup with Harness.Runner.duration = 3.0; settle = 3.0 }
+  in
+  let outcome = Harness.Runner.drive sim (Engine.packed engine) workload setup in
+  let atom = Harness.Runner.atomicity outcome in
+  let stale = Harness.Runner.staleness outcome in
+  let stats = outcome.Harness.Runner.stats in
+  Printf.printf "recorded %d transactions at %.0f committed/s across %d regions\n"
+    outcome.Harness.Runner.committed outcome.Harness.Runner.throughput regions;
+  Format.printf "atomic visibility: %a@." Checker.Atomicity.pp atom;
+  Printf.printf "audit staleness: mean %.0f ms, worst %.0f ms\n"
+    (1000. *. stale.Checker.Staleness.mean_lag)
+    (1000. *. stale.Checker.Staleness.max_lag);
+  Printf.printf
+    "versioning cost: %d advancements, %d copy-on-writes, %d dual writes,\n\
+     %d protocol+data messages; max %d versions of any record\n"
+    (Engine.advancements_completed engine)
+    (Stats.Counter_set.get stats "store.copies_created")
+    (Stats.Counter_set.get stats "store.dual_writes_total")
+    (Stats.Counter_set.get stats "net.messages")
+    (Engine.max_versions_ever engine);
+  (* The whole point: all of the above happened without a single read or
+     update transaction waiting on another node. *)
+  assert (Checker.Atomicity.clean atom)

@@ -1,0 +1,72 @@
+(* Point of sale with non-commuting price changes (paper §5, NC3V).
+
+   Sales commute (inventory decrements, receipts, HQ summaries) and run
+   coordination-free. Price changes are blind overwrites — they do NOT
+   commute — so they take non-commute locks, respect the vu = vr + 1
+   admission rule, and two-phase commit; some abort when overtaken by a
+   newer version. The commuting majority keeps flowing, and every stock
+   report stays atomic.
+
+   Run with:  dune exec examples/point_of_sale.exe *)
+
+module Sim = Simul.Sim
+module Engine = Threev.Engine
+module Spec = Txn.Spec
+module Result = Txn.Result
+
+let stores = 5
+
+let () =
+  let sim = Sim.create ~seed:12 () in
+  let engine =
+    Engine.create sim
+      {
+        (Engine.default_config ~nodes:stores) with
+        Engine.nc_mode = true (* commute locks on, §5 *);
+        policy = Threev.Policy.Periodic 0.25;
+        latency = Netsim.Latency.Exponential 0.003;
+        deadlock_timeout = 0.05;
+      }
+      ()
+  in
+  let workload =
+    Workload.Point_of_sale.generator
+      {
+        (Workload.Point_of_sale.default ~nodes:stores) with
+        Workload.Point_of_sale.nc_ratio = 0.15;
+        price_fanout = 3;
+        arrival_rate = 600.;
+        read_ratio = 0.2;
+      }
+  in
+  let setup =
+    { Harness.Runner.default_setup with Harness.Runner.seed = 12; duration = 2.0; settle = 3.0 }
+  in
+  let outcome = Harness.Runner.drive sim (Engine.packed engine) workload setup in
+  let by_kind kind pred =
+    List.length
+      (List.filter
+         (fun ((spec : Spec.t), res) -> spec.Spec.kind = kind && pred res)
+         outcome.Harness.Runner.history)
+  in
+  let committed = Result.committed and aborted r = not (Result.committed r) in
+  Printf.printf "sales (commuting):      %4d committed, %d aborted\n"
+    (by_kind Spec.Commuting committed)
+    (by_kind Spec.Commuting aborted);
+  Printf.printf "price changes (NC3V):   %4d committed, %d aborted\n"
+    (by_kind Spec.Non_commuting committed)
+    (by_kind Spec.Non_commuting aborted);
+  Printf.printf "stock reports:          %4d committed, %d aborted\n"
+    (by_kind Spec.Read_only committed)
+    (by_kind Spec.Read_only aborted);
+  let atom = Harness.Runner.atomicity outcome in
+  Format.printf "atomic visibility: %a@." Checker.Atomicity.pp atom;
+  (* Commuting transactions and reads never abort under 3V; only the
+     non-commuting minority can (deadlock timeout or version overtake). *)
+  assert (by_kind Spec.Commuting aborted = 0);
+  assert (by_kind Spec.Read_only aborted = 0);
+  assert (Checker.Atomicity.clean atom);
+  Printf.printf
+    "\nonly the non-commuting minority ever pays: %d lock failures recorded,\n\
+     while sales and reports were never delayed by a remote node.\n"
+    (Stats.Counter_set.get outcome.Harness.Runner.stats "txn.lock_failure")

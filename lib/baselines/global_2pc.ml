@@ -1,0 +1,374 @@
+module Sim = Simul.Sim
+module Ivar = Simul.Ivar
+module Semaphore = Simul.Semaphore
+module Network = Netsim.Network
+module Latency = Netsim.Latency
+module Mvstore = Store.Mvstore
+module Spec = Txn.Spec
+module Op = Txn.Op
+module Value = Txn.Value
+module Result = Txn.Result
+module Lockmgr = Txn.Lockmgr
+module Counter_set = Stats.Counter_set
+
+type config = {
+  nodes : int;
+  latency : Latency.t;
+  think_time : float;
+  deadlock_timeout : float;
+}
+
+let default_config ~nodes =
+  {
+    nodes;
+    latency = Latency.Constant 0.005;
+    think_time = 0.0001;
+    deadlock_timeout = 1.0;
+  }
+
+type vote = Vote_commit | Vote_abort of string
+
+type root_submit = {
+  rs_submit_time : float;
+  rs_result : Result.t Ivar.t;
+  mutable rs_root_commit : float;
+}
+
+type msg =
+  | Subtxn of {
+      txn_id : int;
+      label : string;
+      kind : Spec.kind;
+      source : int;
+      parent : (int * int) option;
+      tree : Spec.subtxn;
+      root : root_submit option;
+    }
+  | Vote of {
+      pending_id : int;
+      reads : (string * Value.t) list;
+      vote : vote;
+      nodes : int list;
+    }
+  | Decision of { txn_id : int; commit : bool }
+
+type pending = {
+  p_id : int;
+  p_txn : int;
+  p_label : string;
+  p_source : int;
+  p_parent : (int * int) option;
+  mutable p_outstanding : int;
+  mutable p_local_done : bool;
+  mutable p_reads : (string * Value.t) list;
+  mutable p_vote : vote;
+  mutable p_nodes : int list;
+  mutable p_buffered : (string * Op.t) list;  (* reversed *)
+  p_root : root_submit option;
+}
+
+type node = {
+  id : int;
+  store : Value.t Mvstore.t;
+  locks : Lockmgr.t;
+  local_cc : Semaphore.t;
+  pendings : (int, pending) Hashtbl.t;
+  mutable next_pending : int;
+  awaiting : (int, int list ref) Hashtbl.t;  (* txn -> pending ids *)
+  mutable paused_until : float;  (* fault injection: inbox frozen until then *)
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : config;
+  net : msg Network.t;
+  nodes : node array;
+  counters : Counter_set.t;
+}
+
+let cstat t name = Counter_set.incr t.counters name ()
+let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+
+let combine_vote a b =
+  match (a, b) with Vote_abort r, _ -> Vote_abort r | _, v -> v
+
+(* Apply the 2PC decision at a node: materialize or discard buffered writes
+   and release all the transaction's locks. *)
+let apply_decision t node ~txn_id ~commit =
+  ignore t;
+  match Hashtbl.find_opt node.awaiting txn_id with
+  | None -> ()
+  | Some ids ->
+      Hashtbl.remove node.awaiting txn_id;
+      List.iter
+        (fun pid ->
+          match Hashtbl.find_opt node.pendings pid with
+          | None -> ()
+          | Some p ->
+              Hashtbl.remove node.pendings pid;
+              if commit then
+                List.iter
+                  (fun (key, op) ->
+                    ignore
+                      (Mvstore.write_upward node.store ~key ~version:0
+                         ~init:Value.empty ~f:(Op.apply op ~txn:p.p_txn)))
+                  (List.rev p.p_buffered))
+        (List.rev !ids);
+      Lockmgr.release_all node.locks ~owner:txn_id
+
+let register_awaiting node txn_id pid =
+  let ids =
+    match Hashtbl.find_opt node.awaiting txn_id with
+    | Some ids -> ids
+    | None ->
+        let ids = ref [] in
+        Hashtbl.replace node.awaiting txn_id ids;
+        ids
+  in
+  ids := pid :: !ids
+
+let maybe_finish t node p =
+  if p.p_local_done && p.p_outstanding = 0 then begin
+    match p.p_parent with
+    | Some (parent_node, parent_pid) ->
+        (* Participant: register for the decision and vote. *)
+        register_awaiting node p.p_txn p.p_id;
+        send t ~src:node.id ~dst:parent_node
+          (Vote
+             {
+               pending_id = parent_pid;
+               reads = p.p_reads;
+               vote = p.p_vote;
+               nodes = p.p_nodes;
+             })
+    | None ->
+        (* Root: decide and broadcast phase 2. *)
+        let rs = match p.p_root with Some rs -> rs | None -> assert false in
+        let commit = p.p_vote = Vote_commit in
+        register_awaiting node p.p_txn p.p_id;
+        apply_decision t node ~txn_id:p.p_txn ~commit;
+        List.iter
+          (fun n ->
+            if n <> node.id then
+              send t ~src:node.id ~dst:n (Decision { txn_id = p.p_txn; commit }))
+          p.p_nodes;
+        cstat t (if commit then "txn.committed" else "txn.aborted");
+        let outcome =
+          if commit then Result.Committed
+          else
+            Result.Aborted
+              (match p.p_vote with
+              | Vote_abort r -> r
+              | Vote_commit -> "unknown")
+        in
+        let now = Sim.now t.sim in
+        rs.rs_root_commit <- now;
+        Ivar.fill rs.rs_result
+          {
+            Result.txn_id = p.p_txn;
+            outcome;
+            version = 0;
+            reads = p.p_reads;
+            submit_time = rs.rs_submit_time;
+            root_commit_time = now;
+            complete_time = now;
+          }
+  end
+
+(* Strongest S/X lock needed per key, sorted to avoid trivial local cycles. *)
+let lock_plan ops =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let key = Op.key op in
+      let mode = if Op.is_write op then Lockmgr.Exclusive else Lockmgr.Shared in
+      Hashtbl.replace tbl key
+        (match (Hashtbl.find_opt tbl key, mode) with
+        | Some Lockmgr.Exclusive, _ | _, Lockmgr.Exclusive -> Lockmgr.Exclusive
+        | _ -> Lockmgr.Shared))
+    ops;
+  Hashtbl.fold (fun k m acc -> (k, m) :: acc) tbl [] |> List.sort compare
+
+let exec_subtxn t node p (tree : Spec.subtxn) =
+  if tree.Spec.think > 0. then Sim.sleep t.sim tree.Spec.think;
+  let failure = ref None in
+  List.iter
+    (fun (key, mode) ->
+      if !failure = None then
+        match Lockmgr.acquire node.locks ~owner:p.p_txn ~key ~mode () with
+        | Lockmgr.Granted -> ()
+        | Lockmgr.Deadlock -> failure := Some "deadlock"
+        | Lockmgr.Timeout -> failure := Some "lock-timeout")
+    (lock_plan tree.Spec.ops);
+  (match !failure with
+  | Some reason ->
+      p.p_vote <- Vote_abort reason;
+      cstat t "txn.lock_failure"
+  | None ->
+      Semaphore.with_permit t.sim node.local_cc (fun () ->
+          if t.cfg.think_time > 0. then Sim.sleep t.sim t.cfg.think_time;
+          List.iter
+            (fun op ->
+              match op with
+              | Op.Read key ->
+                  let value =
+                    (* A buffered write by this same transaction must be
+                       visible to its own later reads. *)
+                    let base =
+                      match
+                        Mvstore.read_visible node.store ~key ~version:0
+                      with
+                      | Some (_, v) -> v
+                      | None -> Value.empty
+                    in
+                    List.fold_left
+                      (fun acc (k, op) ->
+                        if k = key then Op.apply op ~txn:p.p_txn acc else acc)
+                      base
+                      (List.rev p.p_buffered)
+                  in
+                  p.p_reads <- p.p_reads @ [ (key, value) ]
+              | Op.Incr _ | Op.Append _ | Op.Overwrite _ ->
+                  p.p_buffered <- (Op.key op, op) :: p.p_buffered)
+            tree.Spec.ops);
+      cstat t "subtxn.executed";
+      List.iter
+        (fun (child : Spec.subtxn) ->
+          p.p_outstanding <- p.p_outstanding + 1;
+          send t ~src:node.id ~dst:child.Spec.node
+            (Subtxn
+               {
+                 txn_id = p.p_txn;
+                 label = p.p_label;
+                 kind = Spec.Commuting;
+                 source = node.id;
+                 parent = Some (node.id, p.p_id);
+                 tree = child;
+                 root = None;
+               }))
+        tree.Spec.children);
+  p.p_local_done <- true;
+  maybe_finish t node p
+
+let handle_msg t node = function
+  | Subtxn { txn_id; label; source; parent; tree; root; kind = _ } ->
+      node.next_pending <- node.next_pending + 1;
+      let p =
+        {
+          p_id = node.next_pending;
+          p_txn = txn_id;
+          p_label = label;
+          p_source = source;
+          p_parent = parent;
+          p_outstanding = 0;
+          p_local_done = false;
+          p_reads = [];
+          p_vote = Vote_commit;
+          p_nodes = [ node.id ];
+          p_buffered = [];
+          p_root = root;
+        }
+      in
+      Hashtbl.replace node.pendings p.p_id p;
+      Sim.spawn t.sim
+        ~name:(Printf.sprintf "2pc-n%d/%s#%d" node.id label p.p_id)
+        (fun () -> exec_subtxn t node p tree)
+  | Vote { pending_id; reads; vote; nodes } -> (
+      match Hashtbl.find_opt node.pendings pending_id with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Global_2pc: vote for unknown pending %d"
+               pending_id)
+      | Some p ->
+          p.p_reads <- p.p_reads @ reads;
+          p.p_vote <- combine_vote p.p_vote vote;
+          p.p_nodes <- List.sort_uniq compare (p.p_nodes @ nodes);
+          p.p_outstanding <- p.p_outstanding - 1;
+          maybe_finish t node p)
+  | Decision { txn_id; commit } -> apply_decision t node ~txn_id ~commit
+
+let create sim (cfg : config) =
+  if cfg.nodes <= 0 then invalid_arg "Global_2pc.create: nodes must be positive";
+  let net = Network.create sim ~size:cfg.nodes ~latency:cfg.latency () in
+  let nodes =
+    Array.init cfg.nodes (fun i ->
+        {
+          id = i;
+          store = Mvstore.create ();
+          locks = Lockmgr.create sim ~deadlock_timeout:cfg.deadlock_timeout ();
+          local_cc = Semaphore.create 1;
+          pendings = Hashtbl.create 64;
+          next_pending = 0;
+          awaiting = Hashtbl.create 16;
+          paused_until = 0.;
+        })
+  in
+  let t = { sim; cfg; net; nodes; counters = Counter_set.create () } in
+  Array.iter
+    (fun node ->
+      Sim.spawn sim ~daemon:true ~name:(Printf.sprintf "2pc-node-%d" node.id)
+        (fun () ->
+          let rec loop () =
+            let msg = Network.recv t.net ~node:node.id in
+            if Sim.now sim < node.paused_until then
+              Sim.sleep sim (node.paused_until -. Sim.now sim);
+            handle_msg t node msg;
+            loop ()
+          in
+          loop ()))
+    nodes;
+  t
+
+let name _ = "global-2pc"
+
+let submit t (spec : Spec.t) =
+  let result = Ivar.create () in
+  let now = Sim.now t.sim in
+  let rs = { rs_submit_time = now; rs_result = result; rs_root_commit = now } in
+  cstat t "txn.submitted";
+  let root_node = spec.Spec.root.Spec.node in
+  send t ~src:root_node ~dst:root_node
+    (Subtxn
+       {
+         txn_id = spec.Spec.id;
+         label = spec.Spec.label;
+         kind = spec.Spec.kind;
+         source = root_node;
+         parent = None;
+         tree = spec.Spec.root;
+         root = Some rs;
+       });
+  result
+
+let stats t =
+  let out = Counter_set.merge t.counters (Counter_set.create ()) in
+  Counter_set.incr out "net.messages" ~by:(Network.messages_sent t.net) ();
+  Counter_set.incr out "net.remote_messages"
+    ~by:(Network.remote_messages_sent t.net) ();
+  out
+
+let packed t =
+  Txn.Engine_intf.Packed
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let submit = submit
+        let stats = stats
+      end),
+      t )
+
+let store t ~node =
+  if node < 0 || node >= t.cfg.nodes then
+    invalid_arg "Global_2pc.store: node out of range";
+  t.nodes.(node).store
+
+let inject_pause t ~node ~at ~duration =
+  if node < 0 || node >= t.cfg.nodes then
+    invalid_arg "Global_2pc.inject_pause: node out of range";
+  let target = t.nodes.(node) in
+  Sim.schedule t.sim ~delay:(Float.max 0. (at -. Sim.now t.sim)) (fun () ->
+      target.paused_until <-
+        Float.max target.paused_until (Sim.now t.sim +. duration))
+
+let messages_sent t = Network.messages_sent t.net

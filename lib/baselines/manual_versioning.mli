@@ -1,0 +1,39 @@
+(** Baseline 3 of paper §1: manual (calendar) versioning.
+
+    Updates accumulate in a per-period batch version: a transaction
+    submitted during period [π] (periods are [period] seconds long) writes
+    version [π + 1] of the data. Reads use the latest {e closed} period that
+    has also aged past the safety delay: period [σ] becomes readable at time
+    [(σ+1) · period + safety_delay]. The safety delay stands in for the
+    "conservatively high" administrative waiting the paper describes; if it
+    is set too low, update subtransactions still in flight past the
+    switchover produce exactly the partial-read incorrectness of §1 —
+    measurably, via the atomic-visibility checker (experiment E8).
+
+    There is no coordination between nodes and no version-advancement
+    protocol; the trade-off is staleness of at least [safety_delay] and up
+    to [period + safety_delay], plus the possibility of incorrectness. *)
+
+type config = {
+  nodes : int;
+  latency : Netsim.Latency.t;
+  think_time : float;
+  period : float;  (** batch length in virtual seconds (the "month") *)
+  safety_delay : float;  (** wait after period close before reads switch *)
+}
+
+val default_config : nodes:int -> config
+
+type t
+
+val create : Simul.Sim.t -> config -> t
+
+include Txn.Engine_intf.S with type t := t
+
+val packed : t -> Txn.Engine_intf.packed
+
+(** The version a read submitted at virtual time [now] uses. *)
+val read_version_at : t -> now:float -> int
+
+val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
+val messages_sent : t -> int

@@ -1,0 +1,226 @@
+module Sim = Simul.Sim
+module Ivar = Simul.Ivar
+module Semaphore = Simul.Semaphore
+module Network = Netsim.Network
+module Latency = Netsim.Latency
+module Mvstore = Store.Mvstore
+module Spec = Txn.Spec
+module Op = Txn.Op
+module Value = Txn.Value
+module Result = Txn.Result
+module Counter_set = Stats.Counter_set
+
+type config = { nodes : int; latency : Latency.t; think_time : float }
+
+let default_config ~nodes =
+  { nodes; latency = Latency.Constant 0.005; think_time = 0.0001 }
+
+type root_submit = {
+  rs_submit_time : float;
+  rs_result : Result.t Ivar.t;
+  mutable rs_root_commit : float;
+}
+
+type msg =
+  | Subtxn of {
+      txn_id : int;
+      label : string;
+      source : int;
+      parent : (int * int) option;
+      tree : Spec.subtxn;
+      root : root_submit option;
+    }
+  | Completion of { pending_id : int; reads : (string * Value.t) list }
+
+type pending = {
+  p_id : int;
+  p_txn : int;
+  p_label : string;
+  p_parent : (int * int) option;
+  mutable p_outstanding : int;
+  mutable p_local_done : bool;
+  mutable p_reads : (string * Value.t) list;
+  p_root : root_submit option;
+}
+
+type node = {
+  id : int;
+  store : Value.t Mvstore.t;
+  local_cc : Semaphore.t;
+  pendings : (int, pending) Hashtbl.t;
+  mutable next_pending : int;
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : config;
+  net : msg Network.t;
+  nodes : node array;
+  counters : Counter_set.t;
+}
+
+let cstat t name = Counter_set.incr t.counters name ()
+let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+
+let maybe_finish t node p =
+  if p.p_local_done && p.p_outstanding = 0 then begin
+    Hashtbl.remove node.pendings p.p_id;
+    match p.p_parent with
+    | Some (parent_node, parent_pid) ->
+        send t ~src:node.id ~dst:parent_node
+          (Completion { pending_id = parent_pid; reads = p.p_reads })
+    | None ->
+        let rs = match p.p_root with Some rs -> rs | None -> assert false in
+        cstat t "txn.committed";
+        Ivar.fill rs.rs_result
+          {
+            Result.txn_id = p.p_txn;
+            outcome = Result.Committed;
+            version = 0;
+            reads = p.p_reads;
+            submit_time = rs.rs_submit_time;
+            root_commit_time = rs.rs_root_commit;
+            complete_time = Sim.now t.sim;
+          }
+  end
+
+let exec_subtxn t node p (tree : Spec.subtxn) =
+  if tree.Spec.think > 0. then Sim.sleep t.sim tree.Spec.think;
+  Semaphore.with_permit t.sim node.local_cc (fun () ->
+      if t.cfg.think_time > 0. then Sim.sleep t.sim t.cfg.think_time;
+      List.iter
+        (fun op ->
+          match op with
+          | Op.Read key ->
+              let value =
+                match Mvstore.read_visible node.store ~key ~version:0 with
+                | Some (_, v) -> v
+                | None -> Value.empty
+              in
+              p.p_reads <- p.p_reads @ [ (key, value) ]
+          | Op.Incr _ | Op.Append _ | Op.Overwrite _ ->
+              ignore
+                (Mvstore.write_upward node.store ~key:(Op.key op) ~version:0
+                   ~init:Value.empty ~f:(Op.apply op ~txn:p.p_txn)))
+        tree.Spec.ops);
+  cstat t "subtxn.executed";
+  List.iter
+    (fun (child : Spec.subtxn) ->
+      p.p_outstanding <- p.p_outstanding + 1;
+      send t ~src:node.id ~dst:child.Spec.node
+        (Subtxn
+           {
+             txn_id = p.p_txn;
+             label = p.p_label;
+             source = node.id;
+             parent = Some (node.id, p.p_id);
+             tree = child;
+             root = None;
+           }))
+    tree.Spec.children;
+  (match p.p_root with
+  | Some rs -> rs.rs_root_commit <- Sim.now t.sim
+  | None -> ());
+  p.p_local_done <- true;
+  maybe_finish t node p
+
+let handle_msg t node = function
+  | Subtxn { txn_id; label; source = _; parent; tree; root } ->
+      node.next_pending <- node.next_pending + 1;
+      let p =
+        {
+          p_id = node.next_pending;
+          p_txn = txn_id;
+          p_label = label;
+          p_parent = parent;
+          p_outstanding = 0;
+          p_local_done = false;
+          p_reads = [];
+          p_root = root;
+        }
+      in
+      Hashtbl.replace node.pendings p.p_id p;
+      Sim.spawn t.sim
+        ~name:(Printf.sprintf "nocoord-n%d/%s#%d" node.id label p.p_id)
+        (fun () -> exec_subtxn t node p tree)
+  | Completion { pending_id; reads } -> (
+      match Hashtbl.find_opt node.pendings pending_id with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "No_coord: completion for unknown pending %d"
+               pending_id)
+      | Some p ->
+          p.p_reads <- p.p_reads @ reads;
+          p.p_outstanding <- p.p_outstanding - 1;
+          maybe_finish t node p)
+
+let create sim (cfg : config) =
+  if cfg.nodes <= 0 then invalid_arg "No_coord.create: nodes must be positive";
+  let net = Network.create sim ~size:cfg.nodes ~latency:cfg.latency () in
+  let nodes =
+    Array.init cfg.nodes (fun i ->
+        {
+          id = i;
+          store = Mvstore.create ();
+          local_cc = Semaphore.create 1;
+          pendings = Hashtbl.create 64;
+          next_pending = 0;
+        })
+  in
+  let t = { sim; cfg; net; nodes; counters = Counter_set.create () } in
+  Array.iter
+    (fun node ->
+      Sim.spawn sim ~daemon:true
+        ~name:(Printf.sprintf "nocoord-node-%d" node.id) (fun () ->
+          let rec loop () =
+            handle_msg t node (Network.recv t.net ~node:node.id);
+            loop ()
+          in
+          loop ()))
+    nodes;
+  t
+
+let name _ = "no-coordination"
+
+let submit t (spec : Spec.t) =
+  let result = Ivar.create () in
+  let now = Sim.now t.sim in
+  let rs = { rs_submit_time = now; rs_result = result; rs_root_commit = now } in
+  cstat t "txn.submitted";
+  let root_node = spec.Spec.root.Spec.node in
+  send t ~src:root_node ~dst:root_node
+    (Subtxn
+       {
+         txn_id = spec.Spec.id;
+         label = spec.Spec.label;
+         source = root_node;
+         parent = None;
+         tree = spec.Spec.root;
+         root = Some rs;
+       });
+  result
+
+let stats t =
+  let out = Counter_set.merge t.counters (Counter_set.create ()) in
+  Counter_set.incr out "net.messages" ~by:(Network.messages_sent t.net) ();
+  Counter_set.incr out "net.remote_messages"
+    ~by:(Network.remote_messages_sent t.net) ();
+  out
+
+let packed t =
+  Txn.Engine_intf.Packed
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let submit = submit
+        let stats = stats
+      end),
+      t )
+
+let store t ~node =
+  if node < 0 || node >= t.cfg.nodes then
+    invalid_arg "No_coord.store: node out of range";
+  t.nodes.(node).store
+
+let messages_sent t = Network.messages_sent t.net

@@ -1,0 +1,23 @@
+(** Baseline 2 of paper §1: no coordination at all.
+
+    Subtransactions execute immediately and independently at each node —
+    writes apply in place, reads see whatever state the node happens to be
+    in. There is no blocking and no versioning, so performance is the upper
+    bound, but global serializability is sacrificed: a read that overlaps a
+    multi-node update can observe some of its writes and miss others (the
+    "partial charges on the bill" anomaly of §1), which the atomic-visibility
+    checker counts. *)
+
+type config = { nodes : int; latency : Netsim.Latency.t; think_time : float }
+
+val default_config : nodes:int -> config
+
+type t
+
+val create : Simul.Sim.t -> config -> t
+
+include Txn.Engine_intf.S with type t := t
+
+val packed : t -> Txn.Engine_intf.packed
+val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
+val messages_sent : t -> int

@@ -1,0 +1,135 @@
+module Spec = Txn.Spec
+module Result = Txn.Result
+module Value = Txn.Value
+
+type report = {
+  reads_checked : int;
+  pairs_checked : int;
+  partial_reads : int;
+  dirty_reads : int;
+  examples : (int * int) list;
+}
+
+(* An update transaction "has effect" if it committed, or aborted through
+   compensation (compensation leaves its writer tags on every key it
+   touched, with a net-zero amount — still atomic from a reader's view). *)
+let has_effect (res : Result.t) =
+  match res.Result.outcome with
+  | Result.Committed -> true
+  | Result.Aborted "compensated" -> true
+  | Result.Aborted _ -> false
+
+module Int_set = Set.Make (Int)
+module Str_map = Map.Make (String)
+
+let check history =
+  (* Index effect-ful updates: txn id -> written key set; key -> writer ids. *)
+  let update_keys = Hashtbl.create 256 in
+  let writers_by_key = Hashtbl.create 256 in
+  let effectless = Hashtbl.create 64 in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind <> Spec.Read_only then begin
+        if has_effect res then begin
+          let keys = Spec.keys_written spec in
+          Hashtbl.replace update_keys spec.Spec.id keys;
+          List.iter
+            (fun k ->
+              let cur =
+                match Hashtbl.find_opt writers_by_key k with
+                | Some ids -> ids
+                | None -> []
+              in
+              Hashtbl.replace writers_by_key k (spec.Spec.id :: cur))
+            keys
+        end
+        else Hashtbl.replace effectless spec.Spec.id ()
+      end)
+    history;
+  let reads_checked = ref 0 in
+  let pairs_checked = ref 0 in
+  let partial_reads = ref 0 in
+  let dirty_reads = ref 0 in
+  let examples = ref [] in
+  let note_example r u =
+    if List.length !examples < 10 then examples := (r, u) :: !examples
+  in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind = Spec.Read_only && Result.committed res then begin
+        incr reads_checked;
+        (* Writer tags this read observed, unioned per key. *)
+        let observed =
+          List.fold_left
+            (fun acc (key, value) ->
+              let prev =
+                match Str_map.find_opt key acc with
+                | Some s -> s
+                | None -> Int_set.empty
+              in
+              let tags =
+                Value.Writers.fold Int_set.add value.Value.writers prev
+              in
+              Str_map.add key tags acc)
+            Str_map.empty res.Result.reads
+        in
+        (* Dirty reads: any observed tag belonging to an effect-less abort. *)
+        Str_map.iter
+          (fun _key tags ->
+            Int_set.iter
+              (fun id ->
+                if Hashtbl.mem effectless id then begin
+                  incr dirty_reads;
+                  note_example spec.Spec.id id
+                end)
+              tags)
+          observed;
+        (* Candidate updates: those writing any key this read looked at. *)
+        let candidates =
+          Str_map.fold
+            (fun key _ acc ->
+              match Hashtbl.find_opt writers_by_key key with
+              | None -> acc
+              | Some ids -> List.fold_left (fun a i -> Int_set.add i a) acc ids)
+            observed Int_set.empty
+        in
+        Int_set.iter
+          (fun u ->
+            match Hashtbl.find_opt update_keys u with
+            | None -> ()
+            | Some written ->
+                let overlap =
+                  List.filter (fun k -> Str_map.mem k observed) written
+                in
+                if List.length overlap >= 2 then begin
+                  incr pairs_checked;
+                  let seen =
+                    List.filter
+                      (fun k ->
+                        Int_set.mem u (Str_map.find k observed))
+                      overlap
+                  in
+                  let n_seen = List.length seen in
+                  if n_seen > 0 && n_seen < List.length overlap then begin
+                    incr partial_reads;
+                    note_example spec.Spec.id u
+                  end
+                end)
+          candidates
+      end)
+    history;
+  {
+    reads_checked = !reads_checked;
+    pairs_checked = !pairs_checked;
+    partial_reads = !partial_reads;
+    dirty_reads = !dirty_reads;
+    examples = List.rev !examples;
+  }
+
+let clean r = r.partial_reads = 0 && r.dirty_reads = 0
+
+let pp ppf r =
+  Format.fprintf ppf
+    "reads=%d pairs=%d partial=%d dirty=%d%s" r.reads_checked r.pairs_checked
+    r.partial_reads r.dirty_reads
+    (if clean r then " (clean)" else " (VIOLATIONS)")

@@ -1,0 +1,111 @@
+module Spec = Txn.Spec
+module Result = Txn.Result
+module Value = Txn.Value
+
+type report = {
+  reads : int;
+  reads_with_misses : int;
+  missed_total : int;
+  mean_missed : float;
+  mean_lag : float;
+  max_lag : float;
+}
+
+module Int_set = Set.Make (Int)
+module Str_map = Map.Make (String)
+
+let measure history =
+  (* Committed updates indexed by key, with settlement times. *)
+  let settle_time = Hashtbl.create 256 in
+  let writers_by_key = Hashtbl.create 256 in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind <> Spec.Read_only && Result.committed res then begin
+        Hashtbl.replace settle_time spec.Spec.id res.Result.complete_time;
+        List.iter
+          (fun k ->
+            let cur =
+              match Hashtbl.find_opt writers_by_key k with
+              | Some ids -> ids
+              | None -> []
+            in
+            Hashtbl.replace writers_by_key k (spec.Spec.id :: cur))
+          (Spec.keys_written spec)
+      end)
+    history;
+  let reads = ref 0 in
+  let reads_with_misses = ref 0 in
+  let missed_total = ref 0 in
+  let lag_sum = ref 0. in
+  let max_lag = ref 0. in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind = Spec.Read_only && Result.committed res then begin
+        incr reads;
+        let observed =
+          List.fold_left
+            (fun acc (key, value) ->
+              let prev =
+                match Str_map.find_opt key acc with
+                | Some s -> s
+                | None -> Int_set.empty
+              in
+              Str_map.add key
+                (Value.Writers.fold Int_set.add value.Value.writers prev)
+                acc)
+            Str_map.empty res.Result.reads
+        in
+        let candidates =
+          Str_map.fold
+            (fun key _ acc ->
+              match Hashtbl.find_opt writers_by_key key with
+              | None -> acc
+              | Some ids -> List.fold_left (fun a i -> Int_set.add i a) acc ids)
+            observed Int_set.empty
+        in
+        let oldest_miss = ref None in
+        let misses = ref 0 in
+        Int_set.iter
+          (fun u ->
+            match Hashtbl.find_opt settle_time u with
+            | Some settled when settled <= res.Result.submit_time ->
+                let seen =
+                  Str_map.exists (fun _ tags -> Int_set.mem u tags) observed
+                in
+                if not seen then begin
+                  incr misses;
+                  oldest_miss :=
+                    Some
+                      (match !oldest_miss with
+                      | None -> settled
+                      | Some prev -> Float.min prev settled)
+                end
+            | _ -> ())
+          candidates;
+        if !misses > 0 then begin
+          incr reads_with_misses;
+          missed_total := !missed_total + !misses;
+          match !oldest_miss with
+          | Some settled ->
+              let lag = res.Result.submit_time -. settled in
+              lag_sum := !lag_sum +. lag;
+              if lag > !max_lag then max_lag := lag
+          | None -> ()
+        end
+      end)
+    history;
+  {
+    reads = !reads;
+    reads_with_misses = !reads_with_misses;
+    missed_total = !missed_total;
+    mean_missed =
+      (if !reads = 0 then 0. else float_of_int !missed_total /. float_of_int !reads);
+    mean_lag =
+      (if !reads_with_misses = 0 then 0.
+       else !lag_sum /. float_of_int !reads_with_misses);
+    max_lag = !max_lag;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "reads=%d missed/read=%.2f mean_lag=%.4fs max_lag=%.4fs"
+    r.reads r.mean_missed r.mean_lag r.max_lag

@@ -1,0 +1,133 @@
+module Spec = Txn.Spec
+module Result = Txn.Result
+module Value = Txn.Value
+
+type violation = {
+  read_txn : int;
+  key : string;
+  version : int;
+  missing : int list;
+  leaked : int list;
+}
+
+type report = {
+  reads_checked : int;
+  observations : int;
+  violations : violation list;
+  violation_count : int;
+}
+
+module Int_set = Set.Make (Int)
+
+let has_effect (res : Result.t) =
+  match res.Result.outcome with
+  | Result.Committed -> true
+  | Result.Aborted "compensated" -> true
+  | Result.Aborted _ -> false
+
+let check history =
+  (* For each key: the effect-ful updates that wrote it, with their
+     versions. *)
+  let writers_of_key : (string, (int * int) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind <> Spec.Read_only && has_effect res then
+        List.iter
+          (fun key ->
+            let cur =
+              match Hashtbl.find_opt writers_of_key key with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace writers_of_key key
+              ((spec.Spec.id, res.Result.version) :: cur))
+          (Spec.keys_written spec))
+    history;
+  let reads_checked = ref 0 in
+  let observations = ref 0 in
+  let violations = ref [] in
+  let violation_count = ref 0 in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind = Spec.Read_only && Result.committed res then begin
+        incr reads_checked;
+        let v = res.Result.version in
+        (* Union observed writers per key (a key may be read at several
+           subtransactions; under 3V they all resolve the same version). *)
+        let observed = Hashtbl.create 8 in
+        List.iter
+          (fun (key, (value : Value.t)) ->
+            let cur =
+              match Hashtbl.find_opt observed key with
+              | Some s -> s
+              | None -> Int_set.empty
+            in
+            Hashtbl.replace observed key
+              (Value.Writers.fold Int_set.add value.Value.writers cur))
+          res.Result.reads;
+        Hashtbl.iter
+          (fun key seen ->
+            incr observations;
+            let writers =
+              match Hashtbl.find_opt writers_of_key key with
+              | Some l -> l
+              | None -> []
+            in
+            let expected =
+              List.filter_map
+                (fun (id, wv) -> if wv <= v then Some id else None)
+                writers
+              |> Int_set.of_list
+            in
+            let known_later =
+              List.filter_map
+                (fun (id, wv) -> if wv > v then Some id else None)
+                writers
+              |> Int_set.of_list
+            in
+            let missing = Int_set.diff expected seen in
+            (* Anything seen that is not expected: either a higher-version
+               writer that leaked, or a writer the history can't account
+               for. *)
+            let leaked = Int_set.diff seen expected in
+            ignore known_later;
+            if not (Int_set.is_empty missing && Int_set.is_empty leaked)
+            then begin
+              incr violation_count;
+              if List.length !violations < 20 then
+                violations :=
+                  {
+                    read_txn = spec.Spec.id;
+                    key;
+                    version = v;
+                    missing = Int_set.elements missing;
+                    leaked = Int_set.elements leaked;
+                  }
+                  :: !violations
+            end)
+          observed
+      end)
+    history;
+  {
+    reads_checked = !reads_checked;
+    observations = !observations;
+    violations = List.rev !violations;
+    violation_count = !violation_count;
+  }
+
+let clean r = r.violation_count = 0
+
+let pp ppf r =
+  Format.fprintf ppf "reads=%d observations=%d violations=%d%s" r.reads_checked
+    r.observations r.violation_count
+    (if clean r then " (exact)" else " (VIOLATIONS)");
+  List.iteri
+    (fun i v ->
+      if i < 3 then
+        Format.fprintf ppf "@ [txn %d key %s v%d missing={%s} leaked={%s}]"
+          v.read_txn v.key v.version
+          (String.concat "," (List.map string_of_int v.missing))
+          (String.concat "," (List.map string_of_int v.leaked)))
+    r.violations

@@ -1,0 +1,38 @@
+(** Exact version-read checker — Theorem 4.1 made executable.
+
+    The 3V serialization order places transactions by version number, with
+    updates of a version preceding the reads of that version. Because
+    commuting updates accumulate (a write of version w updates every copy
+    with version ≥ w), the value a read transaction of version [v] observes
+    for key [k] must carry {e exactly} the writer set
+
+    {[ { u | u is an effect-ful update, version(u) <= v, u wrote k } ]}
+
+    — no update of version ≤ v may be missing (phase 3 only switches reads
+    to a version whose updates have all terminated) and no update of
+    version > v may have leaked in (reads never see the current update
+    version). This is strictly stronger than atomic visibility: it pins
+    down {e which} serial prefix every read observed.
+
+    Only meaningful for the 3V engine (baselines don't stamp versions the
+    same way). Requires the history to be complete (every submitted
+    transaction resolved). *)
+
+type violation = {
+  read_txn : int;
+  key : string;
+  version : int;  (** the read transaction's version *)
+  missing : int list;  (** writers ≤ version not observed *)
+  leaked : int list;  (** writers observed but of version > v or unknown *)
+}
+
+type report = {
+  reads_checked : int;
+  observations : int;  (** (read, key) pairs compared *)
+  violations : violation list;  (** capped at 20 *)
+  violation_count : int;
+}
+
+val check : (Txn.Spec.t * Txn.Result.t) list -> report
+val clean : report -> bool
+val pp : Format.formatter -> report -> unit

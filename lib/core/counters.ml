@@ -1,0 +1,50 @@
+type row = { req : int array; comp : int array }
+type t = { nodes : int; table : (int, row) Hashtbl.t }
+
+let create ~nodes =
+  if nodes <= 0 then invalid_arg "Counters.create: nodes must be positive";
+  { nodes; table = Hashtbl.create 8 }
+
+let ensure_version t v =
+  if not (Hashtbl.mem t.table v) then
+    Hashtbl.replace t.table v
+      { req = Array.make t.nodes 0; comp = Array.make t.nodes 0 }
+
+let get_row t v =
+  ensure_version t v;
+  Hashtbl.find t.table v
+
+let incr_r t ~version ~dst =
+  let row = get_row t version in
+  row.req.(dst) <- row.req.(dst) + 1
+
+let incr_c t ~version ~src =
+  let row = get_row t version in
+  row.comp.(src) <- row.comp.(src) + 1
+
+let r t ~version ~dst =
+  match Hashtbl.find_opt t.table version with
+  | None -> 0
+  | Some row -> row.req.(dst)
+
+let c t ~version ~src =
+  match Hashtbl.find_opt t.table version with
+  | None -> 0
+  | Some row -> row.comp.(src)
+
+let snapshot_r t ~version =
+  match Hashtbl.find_opt t.table version with
+  | None -> Array.make t.nodes 0
+  | Some row -> Array.copy row.req
+
+let snapshot_c t ~version =
+  match Hashtbl.find_opt t.table version with
+  | None -> Array.make t.nodes 0
+  | Some row -> Array.copy row.comp
+
+let versions t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.table [] |> List.sort compare
+
+let gc_below t v =
+  let dead = List.filter (fun v0 -> v0 < v) (versions t) in
+  List.iter (Hashtbl.remove t.table) dead

@@ -1,0 +1,53 @@
+(** Per-node request/completion counter tables (paper §2.2, §4).
+
+    A node [p] keeps, for every active version [v]:
+
+    - [R(v)pq] — requests: subtransactions (on version [v]) that node [p]
+      sent to node [q]; located at the {e sender} [p];
+    - [C(v)op] — completions: subtransactions (on version [v]) submitted
+      from node [o] that {e terminated} at node [p]; located at the
+      {e executor} [p].
+
+    All transactions against version [v] have terminated exactly when
+    [R(v)pq = C(v)pq] for all pairs — with [R(v)pq] read at [p] and
+    [C(v)pq] read at [q]. Counters are monotone, which is what makes the
+    coordinator's asynchronous polling sound.
+
+    All operations are plain (non-suspending) OCaml: the paper's only
+    concurrency assumption for counters is that individual reads and writes
+    are atomic, which single-threaded simulation gives for free. *)
+
+type t
+
+(** [create ~nodes] is a counter table for a node in an [nodes]-node system,
+    with no versions allocated yet. *)
+val create : nodes:int -> t
+
+(** [ensure_version t v] allocates zeroed R/C rows for version [v] if absent
+    (paper §4.1 step 2 / §4.3 phase 1). *)
+val ensure_version : t -> int -> unit
+
+(** [incr_r t ~version ~dst] bumps [R(version) self→dst]. Allocates the
+    version if needed. *)
+val incr_r : t -> version:int -> dst:int -> unit
+
+(** [incr_c t ~version ~src] bumps [C(version) src→self]. *)
+val incr_c : t -> version:int -> src:int -> unit
+
+val r : t -> version:int -> dst:int -> int
+val c : t -> version:int -> src:int -> int
+
+(** [snapshot_r t ~version] is the R row for this node: index [q] holds
+    [R(version) self→q]. Zeroes when the version was never allocated. *)
+val snapshot_r : t -> version:int -> int array
+
+(** [snapshot_c t ~version] is the C column for this node: index [o] holds
+    [C(version) o→self]. *)
+val snapshot_c : t -> version:int -> int array
+
+(** Versions currently allocated, ascending. *)
+val versions : t -> int list
+
+(** [gc_below t v] drops counter storage for all versions < [v]
+    (§4.3 phase 4). *)
+val gc_below : t -> int -> unit

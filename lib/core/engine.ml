@@ -1,0 +1,1115 @@
+module Sim = Simul.Sim
+module Ivar = Simul.Ivar
+module Mailbox = Simul.Mailbox
+module Semaphore = Simul.Semaphore
+module Network = Netsim.Network
+module Latency = Netsim.Latency
+module Mvstore = Store.Mvstore
+module Spec = Txn.Spec
+module Op = Txn.Op
+module Value = Txn.Value
+module Result = Txn.Result
+module Lockmgr = Txn.Lockmgr
+module Counter_set = Stats.Counter_set
+
+type config = {
+  nodes : int;
+  latency : Latency.t;
+  think_time : float;
+  poll_interval : float;
+  policy : Policy.t;
+  nc_mode : bool;
+  deadlock_timeout : float;
+  abort_probability : float;
+  debug_checks : bool;
+  (* Ablation switches — all default to the sound protocol; turning one off
+     demonstrates why the corresponding mechanism exists (experiments
+     A1-A3). *)
+  two_wave_quiescence : bool;
+      (** require two identical matching polls before declaring a version
+          consistent; [false] trusts a single matching poll *)
+  await_gc_acks : bool;
+      (** finish an advancement only after every node acknowledged garbage
+          collection; [false] lets the next advancement overlap in-flight
+          GC notices *)
+  dual_writes : bool;
+      (** straggler writes update every version ≥ theirs (§4.1 step 4);
+          [false] writes only the transaction's own version *)
+}
+
+let default_config ~nodes =
+  {
+    nodes;
+    latency = Latency.Constant 0.005;
+    think_time = 0.0001;
+    poll_interval = 0.01;
+    policy = Policy.Manual;
+    nc_mode = false;
+    deadlock_timeout = 1.0;
+    abort_probability = 0.;
+    debug_checks = true;
+    two_wave_quiescence = true;
+    await_gc_acks = true;
+    dual_writes = true;
+  }
+
+type vote = Vote_commit | Vote_abort of string
+
+type root_submit = {
+  rs_spec : Spec.t;
+  rs_submit_time : float;
+  rs_result : Result.t Ivar.t;
+  mutable rs_root_commit : float;
+  mutable rs_compensated : bool;
+}
+
+type msg =
+  | Subtxn of {
+      txn_id : int;
+      label : string;
+      kind : Spec.kind;
+      version : int;  (** -1 on root messages; assigned on arrival *)
+      source : int;
+      parent : (int * int) option;  (** (parent node, parent pending id) *)
+      tree : Spec.subtxn;
+      root : root_submit option;
+      compensating : bool;
+    }
+  | Completion of {
+      pending_id : int;
+      child_label : string;
+      reads : (string * Value.t) list;
+      vote : vote;
+      nodes : int list;
+    }
+  | Cleanup of { txn_id : int }
+  | Decision of { txn_id : int; commit : bool }
+  | Start_advancement of { vu_new : int }
+  | Adv_ack of { from_node : int; vu : int }
+  | Advance_read of { vr_new : int }
+  | Read_ack of { from_node : int; vr : int }
+  | Counter_query of { version : int; round : int }
+  | Counter_reply of {
+      from_node : int;
+      version : int;
+      round : int;
+      r_row : int array;
+      c_col : int array;
+    }
+  | Do_gc of { keep : int }
+  | Gc_ack of { from_node : int; keep : int }
+
+type pending = {
+  p_id : int;
+  p_txn : int;
+  p_label : string;
+  p_kind : Spec.kind;
+  p_version : int;
+  p_source : int;
+  p_parent : (int * int) option;
+  p_compensating : bool;
+  mutable p_outstanding : int;
+  mutable p_local_done : bool;
+  mutable p_reads : (string * Value.t) list;  (** accumulated, in order *)
+  mutable p_vote : vote;
+  mutable p_nodes : int list;
+  mutable p_buffered : (string * Op.t) list;  (** NC write intentions, reversed *)
+  p_root : root_submit option;
+}
+
+type node = {
+  id : int;
+  name : string;
+  mutable vu : int;
+  mutable vr : int;
+  store : Value.t Mvstore.t;
+  cnt : Counters.t;
+  locks : Lockmgr.t;
+  local_cc : Semaphore.t;
+  pendings : (int, pending) Hashtbl.t;
+  mutable next_pending : int;
+  mutable vr_waiters : (unit -> unit) list;
+  nc_awaiting : (int, int list ref) Hashtbl.t;
+      (** txn id -> pending ids at this node awaiting a 2PC decision *)
+  mutable paused_until : float;
+      (** fault injection: the node processes no messages before this time *)
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : config;
+  net : msg Network.t;
+  nodes : node array;
+  coord_id : int;
+  trigger_box : unit Ivar.t option Mailbox.t;
+  trace : Trace.t option;
+  live : (int, int) Hashtbl.t;  (** version -> requested-but-unterminated *)
+  counters_live : Counter_set.t;
+  mutable coord_vu : int;
+  mutable coord_vr : int;
+  mutable poll_round : int;
+  mutable advancements : int;
+  mutable updates_since_trigger : int;
+  mutable divergence_since_trigger : float;
+      (** accumulated |write delta| since the last advancement trigger
+          (drives the Divergence policy) *)
+}
+
+(* -------------------------------------------------------------- tracing *)
+
+let tr t site fmt =
+  match t.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some trace ->
+      Format.kasprintf
+        (fun what -> Trace.emit trace ~time:(Sim.now t.sim) ~site what)
+        fmt
+
+let node_name t i = if i = t.cfg.nodes then "coord" else t.nodes.(i).name
+
+(* ------------------------------------------------- oracle & counters *)
+
+let live_bump t version delta =
+  let cur = match Hashtbl.find_opt t.live version with Some v -> v | None -> 0 in
+  Hashtbl.replace t.live version (cur + delta)
+
+let live_subtxns t ~version =
+  match Hashtbl.find_opt t.live version with Some v -> v | None -> 0
+
+(* R(v) node->dst : incremented before a request is issued. *)
+let bump_r t node ~version ~dst =
+  Counters.incr_r node.cnt ~version ~dst;
+  live_bump t version 1
+
+(* C(v) src->node : incremented when a subtransaction terminates here. *)
+let bump_c t node ~version ~src =
+  Counters.incr_c node.cnt ~version ~src;
+  live_bump t version (-1)
+
+let cstat t name = Counter_set.incr t.counters_live name ()
+
+(* Distinct version numbers with live counter state anywhere — the paper's
+   "three distinct numbers suffice" observation (§4). *)
+let version_window t =
+  Array.fold_left (fun acc node -> acc @ Counters.versions node.cnt) [] t.nodes
+  |> List.sort_uniq compare
+
+let check_version_window t =
+  if t.cfg.debug_checks then begin
+    let window = version_window t in
+    if List.length window > 3 then
+      failwith
+        (Printf.sprintf
+           "3V invariant violation: %d distinct versions live (%s); version \
+            numbers could not be re-used mod 3"
+           (List.length window)
+           (String.concat "," (List.map string_of_int window)))
+  end
+
+(* ------------------------------------------------------------ helpers *)
+
+let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+
+let combine_vote a b =
+  match (a, b) with Vote_abort r, _ -> Vote_abort r | _, v -> v
+
+let merge_nodes a b = List.sort_uniq compare (a @ b)
+
+(* Inverse of a commuting subtransaction tree, for compensation (§3.2).
+   Reads are dropped; Incr is negated; Append appends an undo marker. *)
+let rec invert_tree (st : Spec.subtxn) : Spec.subtxn =
+  let invert_op = function
+    | Op.Read _ -> None
+    | Op.Incr (k, d) -> Some (Op.Incr (k, -.d))
+    | Op.Append (k, e) -> Some (Op.Append (k, "undo:" ^ e))
+    | Op.Overwrite _ ->
+        invalid_arg "Engine: cannot compensate a non-commuting write"
+  in
+  {
+    st with
+    Spec.ops = List.filter_map invert_op st.Spec.ops;
+    Spec.children = List.map invert_tree st.Spec.children;
+  }
+
+let pp_int_list versions =
+  String.concat "," (List.map string_of_int versions)
+
+(* §1's value-divergence advancement policy: accumulate the magnitude of
+   applied write deltas and trigger once it crosses the threshold. *)
+let op_magnitude = function
+  | Op.Read _ | Op.Append _ -> 0.
+  | Op.Incr (_, d) -> Float.abs d
+  | Op.Overwrite (_, a) -> Float.abs a
+
+let note_divergence t op =
+  match t.cfg.policy with
+  | Policy.Divergence threshold ->
+      t.divergence_since_trigger <-
+        t.divergence_since_trigger +. op_magnitude op;
+      if t.divergence_since_trigger >= threshold then begin
+        t.divergence_since_trigger <- 0.;
+        Mailbox.send t.trigger_box None
+      end
+  | Policy.Manual | Policy.Periodic _ | Policy.Every_n_updates _ -> ()
+
+(* ----------------------------------------------------- NC 2PC decision *)
+
+(* Apply a 2PC decision for [txn_id] at [node]: materialize or discard the
+   buffered writes of every awaiting subtransaction, bump their completion
+   counters atomically with the outcome, and release the locks. *)
+let apply_decision t node ~txn_id ~commit =
+  match Hashtbl.find_opt node.nc_awaiting txn_id with
+  | None -> ()
+  | Some ids ->
+      Hashtbl.remove node.nc_awaiting txn_id;
+      List.iter
+        (fun pid ->
+          match Hashtbl.find_opt node.pendings pid with
+          | None -> ()
+          | Some p ->
+              Hashtbl.remove node.pendings pid;
+              if commit then
+                List.iter
+                  (fun (key, op) ->
+                    ignore
+                      (Mvstore.write_exact node.store ~key ~version:p.p_version
+                         ~init:Value.empty ~f:(Op.apply op ~txn:p.p_txn));
+                    note_divergence t op)
+                  (List.rev p.p_buffered);
+              bump_c t node ~version:p.p_version ~src:p.p_source;
+              tr t node.name "nc subtx %s %s; C%d[%s->%s]=%d" p.p_label
+                (if commit then "commits" else "aborts")
+                p.p_version (node_name t p.p_source) node.name
+                (Counters.c node.cnt ~version:p.p_version ~src:p.p_source))
+        (List.rev !ids);
+      Lockmgr.release_all node.locks ~owner:txn_id
+
+(* ------------------------------------------------ subtxn execution *)
+
+(* NC3V root admission (§5 step 2): wait until vu = vr + 1 locally, i.e.
+   until no version advancement is in progress for the assigned version. *)
+let rec wait_nc_admission t node version =
+  if version = node.vr + 1 then ()
+  else begin
+    Sim.suspend t.sim (fun waker ->
+        node.vr_waiters <- (fun () -> waker ()) :: node.vr_waiters);
+    wait_nc_admission t node version
+  end
+
+let wake_vr_waiters node =
+  let ws = List.rev node.vr_waiters in
+  node.vr_waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+(* Strongest lock mode needed per key by the given ops, for [kind]. *)
+let lock_plan ~kind ops =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let key = Op.key op in
+      let mode =
+        match (kind, Op.is_write op) with
+        | Spec.Non_commuting, _ -> Lockmgr.Non_commute
+        | Spec.Commuting, true -> Lockmgr.Commute_update
+        | Spec.Commuting, false -> Lockmgr.Commute_read
+        | Spec.Read_only, _ -> Lockmgr.Commute_read
+      in
+      let stronger a b =
+        match (a, b) with
+        | Lockmgr.Non_commute, _ | _, Lockmgr.Non_commute -> Lockmgr.Non_commute
+        | Lockmgr.Commute_update, _ | _, Lockmgr.Commute_update ->
+            Lockmgr.Commute_update
+        | _ -> Lockmgr.Commute_read
+      in
+      let cur = Hashtbl.find_opt tbl key in
+      Hashtbl.replace tbl key
+        (match cur with None -> mode | Some m -> stronger m mode))
+    ops;
+  Hashtbl.fold (fun k m acc -> (k, m) :: acc) tbl []
+  |> List.sort compare
+
+(* Execute the local operations of a commuting / read-only subtransaction
+   against the versioned store, collecting reads. *)
+let run_ops_commuting t node p ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Read key ->
+          let found = Mvstore.read_visible node.store ~key ~version:p.p_version in
+          let version_seen, value =
+            match found with
+            | Some (v, value) -> (v, value)
+            | None -> (-1, Value.empty)
+          in
+          tr t node.name "tx %s reads %s version %d" p.p_label key version_seen;
+          p.p_reads <- p.p_reads @ [ (key, value) ]
+      | Op.Incr _ | Op.Append _ | Op.Overwrite _ ->
+          let info =
+            if t.cfg.dual_writes then
+              Mvstore.write_upward node.store ~key:(Op.key op)
+                ~version:p.p_version ~init:Value.empty
+                ~f:(Op.apply op ~txn:p.p_txn)
+            else
+              Mvstore.write_exact node.store ~key:(Op.key op)
+                ~version:p.p_version ~init:Value.empty
+                ~f:(Op.apply op ~txn:p.p_txn)
+          in
+          if info.Mvstore.versions_updated >= 2 then cstat t "store.dual_write";
+          note_divergence t op;
+          let versions =
+            List.filter
+              (fun v -> v >= p.p_version)
+              (Mvstore.versions_of node.store ~key:(Op.key op))
+          in
+          tr t node.name "tx %s updates %s version%s %s" p.p_label (Op.key op)
+            (if List.length versions > 1 then "s" else "")
+            (pp_int_list (List.sort compare versions)))
+    ops
+
+(* NC3V local operations: reads go through; writes check the overtake rule
+   and are buffered until the 2PC decision. Returns [false] on abort. *)
+let run_ops_nc t node p ops =
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      if !ok then
+        match op with
+        | Op.Read key ->
+            let value =
+              match Mvstore.read_visible node.store ~key ~version:p.p_version with
+              | Some (_, value) -> value
+              | None -> Value.empty
+            in
+            p.p_reads <- p.p_reads @ [ (key, value) ]
+        | Op.Incr _ | Op.Append _ | Op.Overwrite _ ->
+            let key = Op.key op in
+            if Mvstore.exists_above node.store ~key ~version:p.p_version then begin
+              (* §5 step 4: a higher version exists — K must abort. *)
+              p.p_vote <- Vote_abort "version-overtaken";
+              tr t node.name "nc tx %s overtaken on %s; votes abort" p.p_label
+                key;
+              ok := false
+            end
+            else p.p_buffered <- (key, op) :: p.p_buffered)
+    ops;
+  !ok
+
+(* Spawn all child subtransactions of [p], bumping request counters before
+   each send (§4.1 step 5). *)
+let spawn_children t node p (children : Spec.subtxn list) ~compensating =
+  List.iter
+    (fun (child : Spec.subtxn) ->
+      bump_r t node ~version:p.p_version ~dst:child.Spec.node;
+      tr t node.name "subtx of %s issued to %s; R%d[%s->%s]=%d" p.p_label
+        (node_name t child.Spec.node) p.p_version node.name
+        (node_name t child.Spec.node)
+        (Counters.r node.cnt ~version:p.p_version ~dst:child.Spec.node);
+      p.p_outstanding <- p.p_outstanding + 1;
+      send t ~src:node.id ~dst:child.Spec.node
+        (Subtxn
+           {
+             txn_id = p.p_txn;
+             label = p.p_label;
+             kind = p.p_kind;
+             version = p.p_version;
+             source = node.id;
+             parent = Some (node.id, p.p_id);
+             tree = child;
+             root = None;
+             compensating;
+           }))
+    children
+
+(* Full execution of one subtransaction at [node], as a simulated process. *)
+(* --------------------------------------------------------- completion *)
+
+(* A subtransaction "terminates" (paper §4.1 step 6 / Table 1 semantics)
+   once its local work is done and all its children have terminated. *)
+let rec maybe_finish t node p =
+  if p.p_local_done && p.p_outstanding = 0 then begin
+    match (p.p_kind, p.p_root) with
+    | Spec.Non_commuting, None ->
+        (* Participant: send the vote up; await the root's decision. *)
+        let ids =
+          match Hashtbl.find_opt node.nc_awaiting p.p_txn with
+          | Some ids -> ids
+          | None ->
+              let ids = ref [] in
+              Hashtbl.replace node.nc_awaiting p.p_txn ids;
+              ids
+        in
+        ids := p.p_id :: !ids;
+        let parent_node, parent_pid =
+          match p.p_parent with
+          | Some pp -> pp
+          | None -> assert false
+        in
+        send t ~src:node.id ~dst:parent_node
+          (Completion
+             {
+               pending_id = parent_pid;
+               child_label = p.p_label;
+               reads = p.p_reads;
+               vote = p.p_vote;
+               nodes = p.p_nodes;
+             })
+    | Spec.Non_commuting, Some rs ->
+        (* Root: decide, apply locally, broadcast the decision. *)
+        Hashtbl.remove node.pendings p.p_id;
+        let commit = p.p_vote = Vote_commit in
+        let ids =
+          match Hashtbl.find_opt node.nc_awaiting p.p_txn with
+          | Some ids -> ids
+          | None ->
+              let ids = ref [] in
+              Hashtbl.replace node.nc_awaiting p.p_txn ids;
+              ids
+        in
+        ids := p.p_id :: !ids;
+        (* Re-register the root itself so apply_decision handles it too. *)
+        Hashtbl.replace node.pendings p.p_id p;
+        apply_decision t node ~txn_id:p.p_txn ~commit;
+        List.iter
+          (fun n ->
+            if n <> node.id then
+              send t ~src:node.id ~dst:n (Decision { txn_id = p.p_txn; commit }))
+          p.p_nodes;
+        tr t node.name "nc tx %s decision: %s" p.p_label
+          (if commit then "commit" else "abort");
+        cstat t (if commit then "txn.committed" else "txn.aborted");
+        let outcome =
+          if commit then Result.Committed
+          else
+            Result.Aborted
+              (match p.p_vote with
+              | Vote_abort reason -> reason
+              | Vote_commit -> "unknown")
+        in
+        Ivar.fill rs.rs_result
+          {
+            Result.txn_id = p.p_txn;
+            outcome;
+            version = p.p_version;
+            reads = p.p_reads;
+            submit_time = rs.rs_submit_time;
+            root_commit_time = rs.rs_root_commit;
+            complete_time = Sim.now t.sim;
+          }
+    | Spec.Commuting, Some rs
+      when p.p_vote <> Vote_commit && not rs.rs_compensated ->
+        (* §3.2: some subtransaction of this commuting tree aborted. The
+           whole tree's effects are undone by one compensation wave of
+           ordinary subtransactions: the root applies its own inverse and
+           sends the inverse of each child subtree. Guarded by
+           [rs_compensated] so the wave runs at most once (the paper's
+           footnote: never more than one compensating subtransaction per
+           node). Counters account the wave like any other subtransactions,
+           so termination detection keeps working. *)
+        rs.rs_compensated <- true;
+        p.p_outstanding <- p.p_outstanding + 1 (* hold the root open *);
+        let tree = rs.rs_spec.Spec.root in
+        Sim.spawn t.sim ~daemon:false
+          ~name:(Printf.sprintf "%s/%s-compensation" node.name p.p_label)
+          (fun () ->
+            let inverse = invert_tree tree in
+            Semaphore.with_permit t.sim node.local_cc (fun () ->
+                if t.cfg.think_time > 0. then Sim.sleep t.sim t.cfg.think_time;
+                run_ops_commuting t node p inverse.Spec.ops);
+            tr t node.name "tx %s compensates (wave starts)" p.p_label;
+            spawn_children t node p inverse.Spec.children ~compensating:true;
+            p.p_outstanding <- p.p_outstanding - 1;
+            maybe_finish t node p)
+    | (Spec.Read_only | Spec.Commuting), _ ->
+        Hashtbl.remove node.pendings p.p_id;
+        bump_c t node ~version:p.p_version ~src:p.p_source;
+        (match p.p_parent with
+        | Some (parent_node, parent_pid) ->
+            tr t node.name "subtx %s terminates; C%d[%s->%s]=%d" p.p_label
+              p.p_version (node_name t p.p_source) node.name
+              (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
+            send t ~src:node.id ~dst:parent_node
+              (Completion
+                 {
+                   pending_id = parent_pid;
+                   child_label = p.p_label;
+                   reads = p.p_reads;
+                   vote = p.p_vote;
+                   nodes = p.p_nodes;
+                 })
+        | None ->
+            let rs = match p.p_root with Some rs -> rs | None -> assert false in
+            tr t node.name "tx %s is complete; C%d[%s->%s]=%d" p.p_label
+              p.p_version node.name node.name
+              (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
+            (* Asynchronous clean-up of commute locks (§5). *)
+            if t.cfg.nc_mode && p.p_kind = Spec.Commuting then
+              List.iter
+                (fun n ->
+                  send t ~src:node.id ~dst:n (Cleanup { txn_id = p.p_txn }))
+                p.p_nodes;
+            let outcome =
+              if rs.rs_compensated then Result.Aborted "compensated"
+              else Result.Committed
+            in
+            cstat t
+              (if rs.rs_compensated then "txn.compensated" else "txn.committed");
+            Ivar.fill rs.rs_result
+              {
+                Result.txn_id = p.p_txn;
+                outcome;
+                version = p.p_version;
+                reads = p.p_reads;
+                submit_time = rs.rs_submit_time;
+                root_commit_time = rs.rs_root_commit;
+                complete_time = Sim.now t.sim;
+              })
+  end
+
+and handle_completion t node ~pending_id ~child_label ~reads ~vote ~nodes =
+  match Hashtbl.find_opt node.pendings pending_id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Engine: completion for unknown pending %d at node %d"
+           pending_id node.id)
+  | Some p ->
+      tr t node.name "completion notice for subtx %s arrives" child_label;
+      p.p_reads <- p.p_reads @ reads;
+      p.p_vote <- combine_vote p.p_vote vote;
+      p.p_nodes <- merge_nodes p.p_nodes nodes;
+      p.p_outstanding <- p.p_outstanding - 1;
+      maybe_finish t node p
+
+let exec_subtxn t node p (tree : Spec.subtxn) ~compensating =
+  (* Application-level lateness (e.g. a charge being finalized) happens
+     before any locks or local serialization. *)
+  if tree.Spec.think > 0. then Sim.sleep t.sim tree.Spec.think;
+  (* NC3V admission wait applies to non-commuting roots only. *)
+  (if p.p_kind = Spec.Non_commuting && p.p_parent = None then begin
+     if p.p_version <> node.vr + 1 then
+       tr t node.name "nc tx %s waits for vu = vr + 1" p.p_label;
+     wait_nc_admission t node p.p_version
+   end);
+  (* Lock acquisition happens outside the local critical section so a
+     blocked transaction never stalls the whole node. *)
+  let lock_failure = ref None in
+  if t.cfg.nc_mode && p.p_kind <> Spec.Read_only then begin
+    let timeout =
+      if p.p_kind = Spec.Non_commuting then t.cfg.deadlock_timeout else infinity
+    in
+    List.iter
+      (fun (key, mode) ->
+        if !lock_failure = None then
+          match
+            Lockmgr.acquire node.locks ~timeout ~owner:p.p_txn ~key ~mode ()
+          with
+          | Lockmgr.Granted -> ()
+          | Lockmgr.Deadlock -> lock_failure := Some "deadlock"
+          | Lockmgr.Timeout -> lock_failure := Some "lock-timeout")
+      (lock_plan ~kind:p.p_kind tree.Spec.ops)
+  end;
+  (match !lock_failure with
+  | Some reason ->
+      (* Only NC transactions can fail here (commuting waits are unbounded);
+         vote abort without executing or spawning children. *)
+      p.p_vote <- Vote_abort reason;
+      cstat t "txn.lock_failure";
+      tr t node.name "nc tx %s lock failure (%s); votes abort" p.p_label reason
+  | None ->
+      (* Local critical section: the node's local concurrency control
+         serializes subtransaction bodies (paper §3.1 assumption). *)
+      Semaphore.with_permit t.sim node.local_cc (fun () ->
+          if t.cfg.think_time > 0. then Sim.sleep t.sim t.cfg.think_time;
+          match p.p_kind with
+          | Spec.Read_only | Spec.Commuting -> run_ops_commuting t node p tree.Spec.ops
+          | Spec.Non_commuting -> ignore (run_ops_nc t node p tree.Spec.ops));
+      cstat t "subtxn.executed";
+      (* Fault injection for §3.2: any commuting subtransaction may abort at
+         its commit point (its local effects already applied). The abort
+         vote propagates to the root, which runs the single compensation
+         wave. Compensating subtransactions themselves never re-abort. *)
+      if
+        p.p_kind = Spec.Commuting
+        && (not compensating)
+        && t.cfg.abort_probability > 0.
+        && Random.State.float (Sim.rng t.sim) 1. < t.cfg.abort_probability
+      then begin
+        p.p_vote <- Vote_abort "application-abort";
+        tr t node.name "subtx of %s aborts; compensation required" p.p_label
+      end;
+      if p.p_vote = Vote_commit || p.p_kind = Spec.Commuting then
+        spawn_children t node p tree.Spec.children ~compensating);
+  (match p.p_root with
+  | Some rs -> rs.rs_root_commit <- Sim.now t.sim
+  | None -> ());
+  p.p_local_done <- true;
+  maybe_finish t node p
+
+(* ------------------------------------------------- message handling *)
+
+let alloc_pending node =
+  node.next_pending <- node.next_pending + 1;
+  node.next_pending
+
+let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
+    ~root ~compensating =
+  (* Steps 1-2 of §4.1: version assignment for roots; implicit advancement
+     notification for higher-versioned arrivals. These counter/version
+     accesses are atomic and outside local concurrency control. *)
+  let version =
+    match (parent, kind) with
+    | None, Spec.Read_only ->
+        let v = node.vr in
+        bump_r t node ~version:v ~dst:node.id;
+        tr t node.name "read tx %s arrives; version %d; R%d[%s->%s]=%d" label v
+          v node.name node.name
+          (Counters.r node.cnt ~version:v ~dst:node.id);
+        v
+    | None, (Spec.Commuting | Spec.Non_commuting) ->
+        let v = node.vu in
+        bump_r t node ~version:v ~dst:node.id;
+        tr t node.name "update tx %s arrives; version %d; R%d[%s->%s]=%d" label
+          v v node.name node.name
+          (Counters.r node.cnt ~version:v ~dst:node.id);
+        v
+    | Some _, _ ->
+        tr t node.name "subtx of %s arrives from %s (version %d)" label
+          (node_name t source) version;
+        (* Version-codec precondition (paper §4's mod-3 reuse remark): every
+           arriving version is within distance 1 of the receiver's anchor —
+           [vr] on the read path, [vu] on the update path. *)
+        if t.cfg.debug_checks then begin
+          let anchor =
+            match kind with Spec.Read_only -> node.vr | _ -> node.vu
+          in
+          if abs (version - anchor) > 1 then
+            failwith
+              (Printf.sprintf
+                 "3V invariant violation: version %d arrived at %s with \
+                  anchor %d — mod-3 version reuse would misdecode"
+                 version node.name anchor)
+        end;
+        if version > node.vu then begin
+          tr t node.name
+            "implicit notification: advancing update version to %d" version;
+          node.vu <- version;
+          Counters.ensure_version node.cnt version
+        end;
+        version
+  in
+  let p =
+    {
+      p_id = alloc_pending node;
+      p_txn = txn_id;
+      p_label = label;
+      p_kind = kind;
+      p_version = version;
+      p_source = source;
+      p_parent = parent;
+      p_compensating = compensating;
+      p_outstanding = 0;
+      p_local_done = false;
+      p_reads = [];
+      p_vote = Vote_commit;
+      p_nodes = [ node.id ];
+      p_buffered = [];
+      p_root = root;
+    }
+  in
+  Hashtbl.replace node.pendings p.p_id p;
+  Sim.spawn t.sim ~daemon:false
+    ~name:(Printf.sprintf "%s/%s#%d" node.name label p.p_id)
+    (fun () -> exec_subtxn t node p tree ~compensating)
+
+let handle_node_msg t node = function
+  | Subtxn { txn_id; label; kind; version; source; parent; tree; root;
+             compensating } ->
+      handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
+        ~root ~compensating
+  | Completion { pending_id; child_label; reads; vote; nodes } ->
+      handle_completion t node ~pending_id ~child_label ~reads ~vote ~nodes
+  | Cleanup { txn_id } -> Lockmgr.release_all node.locks ~owner:txn_id
+  | Decision { txn_id; commit } -> apply_decision t node ~txn_id ~commit
+  | Start_advancement { vu_new } ->
+      if node.vu < vu_new then begin
+        node.vu <- vu_new;
+        Counters.ensure_version node.cnt vu_new;
+        check_version_window t;
+        tr t node.name "start-advancement arrives; update version now %d"
+          vu_new
+      end
+      else
+        tr t node.name
+          "start-advancement arrives; update version already %d" node.vu;
+      send t ~src:node.id ~dst:t.coord_id
+        (Adv_ack { from_node = node.id; vu = vu_new })
+  | Advance_read { vr_new } ->
+      if node.vr < vr_new then begin
+        node.vr <- vr_new;
+        tr t node.name "read version advanced to %d" vr_new;
+        wake_vr_waiters node
+      end;
+      send t ~src:node.id ~dst:t.coord_id
+        (Read_ack { from_node = node.id; vr = vr_new })
+  | Counter_query { version; round } ->
+      send t ~src:node.id ~dst:t.coord_id
+        (Counter_reply
+           {
+             from_node = node.id;
+             version;
+             round;
+             r_row = Counters.snapshot_r node.cnt ~version;
+             c_col = Counters.snapshot_c node.cnt ~version;
+           })
+  | Do_gc { keep } ->
+      Mvstore.gc node.store ~new_read_version:keep;
+      Counters.gc_below node.cnt keep;
+      check_version_window t;
+      tr t node.name "garbage-collects below version %d" keep;
+      send t ~src:node.id ~dst:t.coord_id (Gc_ack { from_node = node.id; keep })
+  | Adv_ack _ | Read_ack _ | Counter_reply _ | Gc_ack _ ->
+      invalid_arg "Engine: coordinator message delivered to a node"
+
+(* ------------------------------------------------------- coordinator *)
+
+let broadcast t msg =
+  Array.iter (fun node -> send t ~src:t.coord_id ~dst:node.id msg) t.nodes
+
+(* Await [n] acknowledgements matching [matches]; other coordinator inbox
+   traffic (stale counter replies) is discarded. *)
+let await_acks t ~matches =
+  let needed = ref t.cfg.nodes in
+  while !needed > 0 do
+    let msg = Network.recv t.net ~node:t.coord_id in
+    if matches msg then decr needed
+  done
+
+(* One asynchronous poll of all R rows / C columns for [version]. Returns
+   (r, c) with r.(p).(q) = R(version)pq and c.(p).(q) = C(version)pq. *)
+let poll_counters t ~version =
+  t.poll_round <- t.poll_round + 1;
+  cstat t "proto.polls";
+  let round = t.poll_round in
+  broadcast t (Counter_query { version; round });
+  let n = t.cfg.nodes in
+  let r = Array.make_matrix n n 0 and c = Array.make_matrix n n 0 in
+  let needed = ref n in
+  while !needed > 0 do
+    match Network.recv t.net ~node:t.coord_id with
+    | Counter_reply { from_node; version = v; round = rd; r_row; c_col }
+      when v = version && rd = round ->
+        (* R(v)pq is stored at sender p; C(v)pq at executor q. *)
+        Array.iteri (fun q count -> r.(from_node).(q) <- count) r_row;
+        Array.iteri (fun p count -> c.(p).(from_node) <- count) c_col;
+        decr needed
+    | _ -> ()
+  done;
+  (r, c)
+
+let matrices_equal a b =
+  let n = Array.length a in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if a.(p).(q) <> b.(p).(q) then ok := false
+    done
+  done;
+  !ok
+
+(* Phase 2 / phase 4 core: poll until two consecutive polls are identical
+   and show R = C pairwise — the repeated-snapshot stable-property
+   detection the paper cites [8, 12, 9]. *)
+let await_quiescence t ~version =
+  let rec go prev =
+    let r, c = poll_counters t ~version in
+    let settled = matrices_equal r c in
+    let stable =
+      match prev with
+      | Some (pr, pc) -> matrices_equal pr r && matrices_equal pc c
+      | None -> false
+    in
+    if settled && (stable || not t.cfg.two_wave_quiescence) then begin
+      let active = live_subtxns t ~version in
+      if active <> 0 then begin
+        (* The protocol is about to act on a false quiescence claim. With
+           checks on this is fatal; the A1 ablation instead records it and
+           lets the resulting corruption surface downstream. *)
+        if t.cfg.debug_checks then
+          failwith
+            (Printf.sprintf
+               "3V unsoundness: coordinator declared version %d quiescent \
+                with %d live subtransactions"
+               version active)
+        else cstat t "proto.unsound_quiescence"
+      end
+    end
+    else begin
+      Sim.sleep t.sim t.cfg.poll_interval;
+      go (Some (r, c))
+    end
+  in
+  go None
+
+(* The four-phase version advancement of §4.3. *)
+let run_advancement t =
+  let vu_old = t.coord_vu and vr_old = t.coord_vr in
+  let vu_new = vu_old + 1 and vr_new = vr_old + 1 in
+  tr t "coord" "version advancement begins (vu %d -> %d)" vu_old vu_new;
+  (* Phase 1: switch to the new update version. *)
+  broadcast t (Start_advancement { vu_new });
+  await_acks t ~matches:(function
+    | Adv_ack { vu; _ } -> vu = vu_new
+    | _ -> false);
+  tr t "coord" "phase 1 complete: all nodes on update version %d" vu_new;
+  (* Phase 2: wait for version vu_old to become mutually consistent. *)
+  await_quiescence t ~version:vu_old;
+  tr t "coord" "phase 2 complete: version %d consistent across nodes" vu_old;
+  (* Phase 3: switch queries to the freshly consistent version. *)
+  broadcast t (Advance_read { vr_new });
+  await_acks t ~matches:(function
+    | Read_ack { vr; _ } -> vr = vr_new
+    | _ -> false);
+  tr t "coord" "phase 3 complete: read version is %d" vr_new;
+  (* Phase 4: wait for old readers, then garbage-collect. The advancement
+     instance only finishes once every node acknowledged collecting: letting
+     the next advancement overlap an in-flight GC notice would transiently
+     yield a fourth version, breaking the paper's ≤3 bound (§4.4, 2a). *)
+  await_quiescence t ~version:vr_old;
+  broadcast t (Do_gc { keep = vr_new });
+  if t.cfg.await_gc_acks then
+    await_acks t ~matches:(function
+      | Gc_ack { keep; _ } -> keep = vr_new
+      | _ -> false);
+  tr t "coord" "phase 4 complete: version %d garbage-collected" vr_old;
+  t.coord_vu <- vu_new;
+  t.coord_vr <- vr_new;
+  t.advancements <- t.advancements + 1
+
+let coordinator_loop t () =
+  let rec loop () =
+    let reply = Mailbox.recv t.sim t.trigger_box in
+    (* Coalesce triggers that queued up while a previous advancement ran: a
+       single advancement satisfies all of them (an advancement beginning
+       after a trigger arrived publishes data at least as fresh as the
+       trigger demanded). *)
+    let replies = ref [ reply ] in
+    let rec drain () =
+      match Mailbox.try_recv t.trigger_box with
+      | Some r ->
+          replies := r :: !replies;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    run_advancement t;
+    List.iter
+      (function Some ivar -> Ivar.fill ivar () | None -> ())
+      !replies;
+    loop ()
+  in
+  loop ()
+
+(* -------------------------------------------------------- public API *)
+
+let create sim (cfg : config) ?trace ?node_names ?link_latency () =
+  if cfg.nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
+  let net =
+    match link_latency with
+    | None -> Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency ()
+    | Some f ->
+        Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency
+          ~link_latency:f ()
+  in
+  let name_of i =
+    match node_names with
+    | Some names when i < Array.length names -> names.(i)
+    | _ -> Printf.sprintf "n%d" i
+  in
+  let nodes =
+    Array.init cfg.nodes (fun i ->
+        {
+          id = i;
+          name = name_of i;
+          vu = 1;
+          vr = 0;
+          store = Mvstore.create ();
+          cnt = Counters.create ~nodes:cfg.nodes;
+          locks = Lockmgr.create sim ~deadlock_timeout:cfg.deadlock_timeout ();
+          local_cc = Semaphore.create 1;
+          pendings = Hashtbl.create 64;
+          next_pending = 0;
+          vr_waiters = [];
+          nc_awaiting = Hashtbl.create 16;
+          paused_until = 0.;
+        })
+  in
+  Array.iter (fun node -> Counters.ensure_version node.cnt 1) nodes;
+  let t =
+    {
+      sim;
+      cfg;
+      net;
+      nodes;
+      coord_id = cfg.nodes;
+      trigger_box = Mailbox.create ();
+      trace;
+      live = Hashtbl.create 8;
+      counters_live = Counter_set.create ();
+      coord_vu = 1;
+      coord_vr = 0;
+      poll_round = 0;
+      advancements = 0;
+      updates_since_trigger = 0;
+      divergence_since_trigger = 0.;
+    }
+  in
+  (* Node server loops. *)
+  Array.iter
+    (fun node ->
+      Sim.spawn sim ~daemon:true ~name:(Printf.sprintf "node-%s" node.name)
+        (fun () ->
+          let rec loop () =
+            let msg = Network.recv t.net ~node:node.id in
+            (* Injected outage: a frozen node buffers its inbox. Everything
+               already running locally proceeds; no new message is handled
+               until the pause elapses. *)
+            if Sim.now sim < node.paused_until then
+              Sim.sleep sim (node.paused_until -. Sim.now sim);
+            handle_node_msg t node msg;
+            loop ()
+          in
+          loop ()))
+    nodes;
+  (* Coordinator. *)
+  Sim.spawn sim ~daemon:true ~name:"coordinator" (coordinator_loop t);
+  (* Advancement policy driver. *)
+  (match cfg.policy with
+  | Policy.Manual | Policy.Every_n_updates _ | Policy.Divergence _ -> ()
+  | Policy.Periodic d ->
+      Sim.spawn sim ~daemon:true ~name:"policy-periodic" (fun () ->
+          let rec loop () =
+            Sim.sleep sim d;
+            Mailbox.send t.trigger_box None;
+            loop ()
+          in
+          loop ()));
+  t
+
+let name _ = "3v"
+
+let submit t (spec : Spec.t) =
+  (* Reject malformed specs up front: a bad node id inside a running
+     subtransaction would otherwise kill a node's server loop. *)
+  List.iter
+    (fun n ->
+      if n < 0 || n >= t.cfg.nodes then
+        invalid_arg
+          (Printf.sprintf "Engine.submit: %s targets node %d outside 0..%d"
+             spec.Spec.label n (t.cfg.nodes - 1)))
+    (Spec.nodes spec);
+  let result = Ivar.create () in
+  let now = Sim.now t.sim in
+  let rs =
+    {
+      rs_spec = spec;
+      rs_submit_time = now;
+      rs_result = result;
+      rs_root_commit = now;
+      rs_compensated = false;
+    }
+  in
+  cstat t "txn.submitted";
+  (match spec.Spec.kind with
+  | Spec.Read_only -> cstat t "txn.read_only"
+  | Spec.Commuting -> cstat t "txn.commuting"
+  | Spec.Non_commuting -> cstat t "txn.non_commuting");
+  let root_node = spec.Spec.root.Spec.node in
+  send t ~src:root_node ~dst:root_node
+    (Subtxn
+       {
+         txn_id = spec.Spec.id;
+         label = spec.Spec.label;
+         kind = spec.Spec.kind;
+         version = -1;
+         source = root_node;
+         parent = None;
+         tree = spec.Spec.root;
+         root = Some rs;
+         compensating = false;
+       });
+  (* Count-based advancement policy. *)
+  (match (t.cfg.policy, spec.Spec.kind) with
+  | Policy.Every_n_updates n, (Spec.Commuting | Spec.Non_commuting) ->
+      t.updates_since_trigger <- t.updates_since_trigger + 1;
+      if t.updates_since_trigger >= n then begin
+        t.updates_since_trigger <- 0;
+        Mailbox.send t.trigger_box None
+      end
+  | _ -> ());
+  result
+
+let stats t =
+  let out = Counter_set.merge t.counters_live (Counter_set.create ()) in
+  let copies =
+    Array.fold_left (fun acc n -> acc + Mvstore.copies_created n.store) 0 t.nodes
+  in
+  let dual =
+    Array.fold_left (fun acc n -> acc + Mvstore.dual_writes n.store) 0 t.nodes
+  in
+  Counter_set.incr out "store.copies_created" ~by:copies ();
+  Counter_set.incr out "store.dual_writes_total" ~by:dual ();
+  Counter_set.incr out "net.messages" ~by:(Network.messages_sent t.net) ();
+  Counter_set.incr out "net.remote_messages"
+    ~by:(Network.remote_messages_sent t.net) ();
+  Counter_set.incr out "advancements" ~by:t.advancements ();
+  out
+
+let packed t =
+  Txn.Engine_intf.Packed
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let submit = submit
+        let stats = stats
+      end),
+      t )
+
+let advance t =
+  let ivar = Ivar.create () in
+  Mailbox.send t.trigger_box (Some ivar);
+  ivar
+
+let check_node t i ctx =
+  if i < 0 || i >= t.cfg.nodes then
+    invalid_arg (Printf.sprintf "Engine.%s: node %d out of range" ctx i)
+
+let update_version t ~node =
+  check_node t node "update_version";
+  t.nodes.(node).vu
+
+let read_version t ~node =
+  check_node t node "read_version";
+  t.nodes.(node).vr
+
+let store t ~node =
+  check_node t node "store";
+  t.nodes.(node).store
+
+let counters t ~node =
+  check_node t node "counters";
+  t.nodes.(node).cnt
+
+let inject_pause t ~node ~at ~duration =
+  check_node t node "inject_pause";
+  let target = t.nodes.(node) in
+  Sim.schedule t.sim ~delay:(Float.max 0. (at -. Sim.now t.sim)) (fun () ->
+      target.paused_until <- Float.max target.paused_until (Sim.now t.sim +. duration);
+      tr t target.name "pauses for %gs (fault injection)" duration)
+
+let advancements_completed t = t.advancements
+let messages_sent t = Network.messages_sent t.net
+let remote_messages_sent t = Network.remote_messages_sent t.net
+
+let max_versions_ever t =
+  Array.fold_left (fun acc n -> max acc (Mvstore.max_versions_ever n.store)) 1
+    t.nodes

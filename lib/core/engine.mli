@@ -1,0 +1,143 @@
+(** The 3V protocol engine (paper §4) with the NC3V extension (§5).
+
+    One engine instance models the whole distributed system: [config.nodes]
+    database nodes plus one coordinator endpoint, all communicating through
+    an asynchronous {!Netsim.Network}. Each node keeps
+
+    - its current update version [vu] and read version [vr],
+    - a multi-version store ({!Store.Mvstore}),
+    - request/completion counter tables ({!Counters}),
+    - a lock manager (only exercised when [nc_mode] is on).
+
+    {b Update transactions} (well-behaved, §4.1): the root subtransaction is
+    assigned the node's current [vu] on arrival and bumps [R(vu)pp]; writes
+    create missing versions by copy-on-update and update {e all} versions
+    ≥ the transaction's version (the dual write of §2.3); children carry the
+    version, late nodes treat an arriving higher-versioned subtransaction as
+    the advancement notification. A subtransaction terminates — bumping its
+    completion counter and notifying its parent — once its local work is
+    done and all its children have terminated, exactly as in the paper's
+    Table 1. Nothing in this path ever waits for a remote event.
+
+    {b Read-only transactions} (§4.2): same machinery with version [vr];
+    they take no locks and are never delayed or aborted.
+
+    {b Version advancement} (§4.3) runs as a coordinator process: phase 1
+    broadcasts the new update version and collects acks; phase 2 polls the
+    counters asynchronously until two consecutive polls agree and show
+    [R(v)pq = C(v)pq] everywhere; phase 3 advances the read version; phase 4
+    waits for old readers the same way and triggers garbage collection.
+
+    {b Non-commuting updates} (§5, enable with [nc_mode]): well-behaved
+    transactions take commute locks released by an asynchronous clean-up;
+    non-commuting transactions take non-commute locks, wait at the root for
+    [vu = vr + 1], abort when overtaken by a higher version, and commit via
+    two-phase commit.
+
+    {b Compensation} (§3.2): with [abort_probability] > 0, that fraction of
+    commuting update transactions "abort" after spawning their children by
+    issuing compensating subtransactions through the ordinary counters,
+    which exercises termination detection under in-flight compensation. *)
+
+type config = {
+  nodes : int;  (** number of database nodes (≥ 1) *)
+  latency : Netsim.Latency.t;  (** inter-node message latency model *)
+  think_time : float;  (** local processing time per subtransaction *)
+  poll_interval : float;  (** spacing of the coordinator's counter polls *)
+  policy : Policy.t;  (** when to trigger version advancement *)
+  nc_mode : bool;
+      (** take commute locks on well-behaved transactions so that
+          non-commuting transactions can be admitted (§5) *)
+  deadlock_timeout : float;  (** lock-wait bound for NC transactions *)
+  abort_probability : float;
+      (** fraction of commuting updates that compensate (§3.2) *)
+  debug_checks : bool;
+      (** assert the quiescence oracle when the coordinator declares a
+          version consistent — catches unsound termination detection *)
+  two_wave_quiescence : bool;
+      (** ablation A1: [true] (sound) requires two consecutive identical
+          matching polls; [false] declares on the first matching poll *)
+  await_gc_acks : bool;
+      (** ablation A2: [true] (sound) ends an advancement only after all
+          nodes acknowledged garbage collection, which is what bounds items
+          to three versions; [false] may transiently create a fourth *)
+  dual_writes : bool;
+      (** ablation A3: [true] (sound) makes straggler writes update every
+          version ≥ theirs (§4.1 step 4); [false] silently loses those
+          writes from the newer version *)
+}
+
+(** A sensible default: constant 5 ms links, 0.1 ms think time, 10 ms poll
+    interval, manual policy, NC mode off, no compensation, checks on. *)
+val default_config : nodes:int -> config
+
+type t
+
+(** [create sim config ?trace ?node_names ?link_latency ()] builds the
+    system and starts its node server processes and coordinator (as daemon
+    processes of [sim]). [node_names] labels nodes in traces (default
+    "n0", "n1", ...). *)
+val create :
+  Simul.Sim.t ->
+  config ->
+  ?trace:Trace.t ->
+  ?node_names:string array ->
+  ?link_latency:(src:int -> dst:int -> Netsim.Latency.t option) ->
+  unit ->
+  t
+
+(** Engine-interface instance (name, submit, stats). *)
+include Txn.Engine_intf.S with type t := t
+
+(** [packed t] wraps the engine for heterogeneous experiment tables. *)
+val packed : t -> Txn.Engine_intf.packed
+
+(** [advance t] triggers one full version advancement (all four phases,
+    including garbage collection); the IVar fills when it finishes. Safe to
+    call regardless of policy; concurrent triggers queue. *)
+val advance : t -> unit Simul.Ivar.t
+
+(** Current update version at a node. *)
+val update_version : t -> node:int -> int
+
+(** Current read version at a node. *)
+val read_version : t -> node:int -> int
+
+(** A node's store, for inspection by tests and experiments. *)
+val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
+
+(** A node's counter table. *)
+val counters : t -> node:int -> Counters.t
+
+(** Quiescence oracle: number of subtransactions of [version] that have been
+    requested but have not yet terminated, across the whole system. *)
+val live_subtxns : t -> version:int -> int
+
+(** Number of fully completed version advancements. *)
+val advancements_completed : t -> int
+
+(** [inject_pause t ~node ~at ~duration] freezes message processing at
+    [node] from virtual time [at] for [duration] seconds (fault injection:
+    an overloaded or GC-stalled peer). Subtransactions already executing
+    locally finish; everything else queues. Used to demonstrate the §8
+    claim that no user transaction on a node is delayed by activity —
+    or inactivity — on other nodes. *)
+val inject_pause : t -> node:int -> at:float -> duration:float -> unit
+
+(** Total messages sent on the underlying network so far. *)
+val messages_sent : t -> int
+
+(** Remote (inter-node) messages only. *)
+val remote_messages_sent : t -> int
+
+(** Largest number of simultaneous versions of any item on any node so far
+    (the paper bounds this by 3). *)
+val max_versions_ever : t -> int
+
+(** Distinct version numbers currently live anywhere in the system (with
+    allocated counters), ascending. The paper notes that "a real
+    implementation could re-use old version numbers, employing only three
+    distinct numbers": this window never exceeds three entries, so a mod-3
+    encoding of version ids would be sound. Checked on every advancement
+    step when [debug_checks] is on. *)
+val version_window : t -> int list

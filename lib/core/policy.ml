@@ -1,0 +1,7 @@
+type t = Manual | Periodic of float | Every_n_updates of int | Divergence of float
+
+let pp ppf = function
+  | Manual -> Format.pp_print_string ppf "manual"
+  | Periodic d -> Format.fprintf ppf "periodic(%gs)" d
+  | Every_n_updates n -> Format.fprintf ppf "every-%d-updates" n
+  | Divergence x -> Format.fprintf ppf "divergence(%g)" x

@@ -1,0 +1,21 @@
+(** Version-advancement trigger policies (paper §1, "Desired Solution").
+
+    The paper leaves {e when} to advance to the user: "every hour, or once a
+    certain number of update transactions have accumulated, or after a
+    particular update transaction commits". These policies drive the
+    engine's coordinator accordingly; [Manual] leaves triggering entirely to
+    explicit {!Engine.advance} calls. *)
+
+type t =
+  | Manual
+  | Periodic of float  (** trigger every given number of virtual seconds *)
+  | Every_n_updates of int
+      (** trigger whenever this many update transactions have been submitted
+          since the last trigger *)
+  | Divergence of float
+      (** trigger once the accumulated magnitude of committed write deltas
+          since the last trigger exceeds this threshold — the paper's "when
+          the difference in value of data items in different versions
+          exceeds some threshold" *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type event = { time : float; site : string; what : string }
+type t = { mutable events : event list; mutable n : int }
+
+let create () = { events = []; n = 0 }
+
+let emit t ~time ~site what =
+  t.events <- { time; site; what } :: t.events;
+  t.n <- t.n + 1
+
+let events t = List.rev t.events
+let length t = t.n
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    scan 0
+  end
+
+let find t pattern =
+  List.filter (fun e -> contains_substring e.what pattern) (events t)
+
+let render t ~sites =
+  let buf = Buffer.create 1024 in
+  let columns = sites in
+  let width = 34 in
+  let pad s =
+    if String.length s >= width then String.sub s 0 width
+    else s ^ String.make (width - String.length s) ' '
+  in
+  Buffer.add_string buf (pad "TIME");
+  List.iter (fun s -> Buffer.add_string buf (pad ("SITE " ^ s))) columns;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (pad (Printf.sprintf "%.2f" e.time));
+      let matched = ref false in
+      List.iter
+        (fun s ->
+          if s = e.site && not !matched then begin
+            matched := true;
+            Buffer.add_string buf (pad e.what)
+          end
+          else Buffer.add_string buf (pad ""))
+        columns;
+      if not !matched then Buffer.add_string buf (e.site ^ ": " ^ e.what);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Structured event trace, used to replay the paper's Table 1.
+
+    When an engine is created with a trace, it emits one event per
+    protocol-relevant action (transaction arrival, data update with version,
+    subtransaction issue/arrival, counter increments, advancement notices,
+    completions). The Table 1 experiment renders these as the paper does:
+    one row per event, columns TIME / SITE / description. *)
+
+type event = {
+  time : float;
+  site : string;  (** node name, or "coord" for the coordinator *)
+  what : string;
+}
+
+type t
+
+val create : unit -> t
+
+(** [emit t ~time ~site what] appends an event. *)
+val emit : t -> time:float -> site:string -> string -> unit
+
+(** Events in emission order. *)
+val events : t -> event list
+
+val length : t -> int
+
+(** [render t ~sites] formats the trace as a Table 1-style grid with one
+    column per site name in [sites] (events from other sites get their own
+    trailing column). *)
+val render : t -> sites:string list -> string
+
+(** [find t pattern] is all events whose description contains [pattern]. *)
+val find : t -> string -> event list

@@ -1,0 +1,44 @@
+(** Deterministic replay of the paper's Table 1 execution and Figure 2
+    version layouts.
+
+    The scenario: three sites p, q, s holding A,B / D,E / F. Update
+    transaction [i] (version 1) starts at p, spawning [iq] to q and [is] to
+    s; [iq] itself spawns [iqp] back to p. Version advancement begins while
+    [i] is in flight; the start-advancement notice reaches q quickly, p late
+    (p learns implicitly from [jp], a child of the version-2 transaction
+    [j]), and s only at "time 28". Reads [x] (at p) and [y] (at q) run
+    throughout against version 0.
+
+    Message latencies are scripted per link (consumed in send order) so the
+    simulated event sequence lands on the paper's timeline; the final
+    counter values, the dual write of [iq] on D, the single-version write on
+    E, and the post-GC layout all match the paper. *)
+
+type snapshot = {
+  snap_time : float;
+  (* per site: (site name, vu, vr, [(key, versions descending)]) *)
+  sites : (string * int * int * (string * int list) list) list;
+}
+
+type replay = {
+  trace : Threev.Trace.t;
+  snapshots : snapshot list;  (** at the paper's times 12, 20, 28, and final *)
+  final_counters : (string * int) list;
+      (** e.g. [("R1[p->q]", 1); ("C1[p->q]", 1); ...] — only nonzero ones *)
+  advancement_completed : bool;
+  read_version_after : int;
+  txn_i_committed : bool;
+  txn_j_committed : bool;
+  reads_saw_version0 : bool;
+      (** both read transactions observed only version-0 data *)
+}
+
+(** Run the scripted scenario and return everything the T1/F2 experiments
+    and tests assert on. *)
+val run : unit -> replay
+
+(** Render the replay as a Table 1-style textual table. *)
+val render_trace : replay -> string
+
+(** Render the Figure 2 version-layout snapshots. *)
+val render_snapshots : replay -> string

@@ -1,0 +1,75 @@
+type ctl = {
+  mutable forced : int list;  (** remaining forced prefix *)
+  mutable trail : (int * int) list;  (** (chosen, arity) in reverse order *)
+}
+
+let choose ctl n =
+  if n <= 0 then invalid_arg "Explorer.choose: need at least one option";
+  let pick =
+    match ctl.forced with
+    | c :: rest ->
+        ctl.forced <- rest;
+        if c >= n then
+          invalid_arg
+            "Explorer.choose: forced choice out of range (nondeterministic \
+             scenario changed shape)"
+        else c
+    | [] -> 0
+  in
+  ctl.trail <- (pick, n) :: ctl.trail;
+  pick
+
+let choose_among ctl options = List.nth options (choose ctl (List.length options))
+
+type outcome = {
+  runs : int;
+  exhausted : bool;
+  failure : (int list * exn) option;
+}
+
+let explore ?(max_runs = 100_000) scenario =
+  (* Depth-first over prefixes. Each run returns its full trail; every
+     position at or beyond the forced prefix length with untried options
+     becomes a new branch. Branches are pushed deepest-first so exploration
+     is a proper DFS and terminates on finite trees. *)
+  let stack = ref [ [] ] in
+  let runs = ref 0 in
+  let failure = ref None in
+  let exhausted = ref true in
+  while !failure = None && !stack <> [] && !runs < max_runs do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        incr runs;
+        let ctl = { forced = prefix; trail = [] } in
+        (match scenario ctl with
+        | () ->
+            let trail = List.rev ctl.trail (* (chosen, arity) in order *) in
+            let depth = List.length prefix in
+            (* Spawn siblings for positions >= depth, deepest first. *)
+            let rec spawn i acc_prefix_rev = function
+              | [] -> ()
+              | (chosen, arity) :: restpos ->
+                  if i >= depth then
+                    (* Every untried alternative at this position becomes a
+                       branch; positions below [depth] were enumerated by
+                       the run that created this prefix. *)
+                    for alt = arity - 1 downto chosen + 1 do
+                      stack := List.rev_append acc_prefix_rev [ alt ] :: !stack
+                    done;
+                  spawn (i + 1) (chosen :: acc_prefix_rev) restpos
+            in
+            (* Push shallower branches first so that deeper ones end up on
+               top of the stack (DFS). *)
+            spawn 0 [] trail
+        | exception exn ->
+            (* trail is in reverse order; rev_map restores choice order. *)
+            failure := Some (List.rev_map fst ctl.trail, exn))
+  done;
+  if !stack <> [] && !failure = None then exhausted := false;
+  { runs = !runs; exhausted = !exhausted && !failure = None; failure = !failure }
+
+let replay scenario choices =
+  let ctl = { forced = choices; trail = [] } in
+  scenario ctl

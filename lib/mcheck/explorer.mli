@@ -1,0 +1,46 @@
+(** Bounded exhaustive exploration of nondeterministic scenarios —
+    stateless model checking over the simulator.
+
+    A scenario is a function that rebuilds its whole world (simulation,
+    engine, transactions) from scratch and consults the controller at each
+    nondeterministic point — typically "which latency does this message
+    get?". The explorer enumerates {e every} sequence of choices
+    depth-first: each run follows a forced prefix and defaults to option 0
+    beyond it; after the run, each prefix position that still has untried
+    options spawns a new branch. Choice trees may be {e dynamic} (the
+    number and arity of later choices can depend on earlier ones), which is
+    exactly what message-dependent protocols need.
+
+    Used by the test suite to check the 3V protocol's invariants over all
+    interleavings of small scenarios: every schedule of delivery delays for
+    the first K messages of a Table-1-like run must commit the
+    transactions, keep reads atomic, respect the ≤3-version bound, and
+    terminate advancement. A scenario signals a violation by raising; the
+    explorer reports the offending choice sequence. *)
+
+type ctl
+
+(** [choose ctl n] picks one of [n] options (returned as [0 .. n-1]) at
+    this decision point, according to the exploration schedule.
+    @raise Invalid_argument if [n <= 0]. *)
+val choose : ctl -> int -> int
+
+(** [choose_among ctl options] is [List.nth options (choose ctl (length options))]. *)
+val choose_among : ctl -> 'a list -> 'a
+
+type outcome = {
+  runs : int;  (** scenarios executed *)
+  exhausted : bool;  (** the whole choice tree was covered *)
+  failure : (int list * exn) option;
+      (** first failing run: its choice sequence and the exception *)
+}
+
+(** [explore ?max_runs scenario] enumerates choice sequences until the tree
+    is exhausted, [max_runs] (default 100_000) is hit, or a run raises.
+    The scenario must be self-contained: it is re-executed from scratch for
+    every sequence. *)
+val explore : ?max_runs:int -> (ctl -> unit) -> outcome
+
+(** [replay scenario choices] re-runs one specific choice sequence (e.g. a
+    reported failure) for debugging. *)
+val replay : (ctl -> unit) -> int list -> unit

@@ -1,0 +1,63 @@
+module Sim = Simul.Sim
+module Mailbox = Simul.Mailbox
+
+type 'm t = {
+  simulation : Sim.t;
+  inboxes : 'm Mailbox.t array;
+  latency : Latency.t;
+  link_latency : src:int -> dst:int -> Latency.t option;
+  links : (int * int, int) Hashtbl.t;
+  mutable sent : int;
+  mutable remote_sent : int;
+}
+
+let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
+    () =
+  if size <= 0 then invalid_arg "Network.create: size must be positive";
+  {
+    simulation;
+    inboxes = Array.init size (fun _ -> Mailbox.create ());
+    latency;
+    link_latency;
+    links = Hashtbl.create 16;
+    sent = 0;
+    remote_sent = 0;
+  }
+
+let size t = Array.length t.inboxes
+let sim t = t.simulation
+
+let check_node t n ctx =
+  if n < 0 || n >= size t then
+    invalid_arg (Printf.sprintf "Network.%s: node %d out of range" ctx n)
+
+let send t ~src ~dst msg =
+  check_node t src "send";
+  check_node t dst "send";
+  t.sent <- t.sent + 1;
+  if src <> dst then t.remote_sent <- t.remote_sent + 1;
+  let cur =
+    match Hashtbl.find_opt t.links (src, dst) with Some c -> c | None -> 0
+  in
+  Hashtbl.replace t.links (src, dst) (cur + 1);
+  let delay =
+    if src = dst then 0.
+    else
+      let model =
+        match t.link_latency ~src ~dst with Some m -> m | None -> t.latency
+      in
+      Latency.sample model (Sim.rng t.simulation)
+  in
+  Sim.schedule t.simulation ~delay (fun () ->
+      Mailbox.send t.inboxes.(dst) msg)
+
+let recv t ~node =
+  check_node t node "recv";
+  Mailbox.recv t.simulation t.inboxes.(node)
+
+let messages_sent t = t.sent
+let remote_messages_sent t = t.remote_sent
+
+let link_counts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.links []
+  |> List.sort compare

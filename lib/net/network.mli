@@ -1,0 +1,40 @@
+(** Asynchronous point-to-point messaging between simulated nodes.
+
+    Each node owns one inbox. [send] never blocks the sender: delivery is
+    scheduled after a sampled latency, so all inter-node communication in the
+    engines is asynchronous by construction — matching the paper's model where
+    "messages are sent asynchronously with respect to the execution of user
+    transactions". Node ids are dense integers [0 .. size-1]. *)
+
+type 'm t
+
+(** [create sim ~size ~latency ()] builds a network of [size] nodes. Messages
+    from a node to itself are delivered with zero delay. [link_latency]
+    optionally overrides the model per directed link. *)
+val create :
+  Simul.Sim.t ->
+  size:int ->
+  latency:Latency.t ->
+  ?link_latency:(src:int -> dst:int -> Latency.t option) ->
+  unit ->
+  'm t
+
+val size : 'm t -> int
+val sim : 'm t -> Simul.Sim.t
+
+(** [send t ~src ~dst msg] schedules delivery of [msg] into [dst]'s inbox.
+    Returns immediately (never suspends). *)
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+
+(** [recv t ~node] takes the next message for [node], suspending the calling
+    process until one arrives. Intended for per-node server loops. *)
+val recv : 'm t -> node:int -> 'm
+
+(** Messages sent so far (including self-sends). *)
+val messages_sent : 'm t -> int
+
+(** Messages sent with [src <> dst]. *)
+val remote_messages_sent : 'm t -> int
+
+(** Per-link counters as [((src, dst), count)] pairs, sorted. *)
+val link_counts : 'm t -> ((int * int) * int) list

@@ -1,0 +1,73 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~leq = { leq; data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h x =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    (* [x] is only a seed value for the fresh slots; real contents are
+       blitted from the old array. *)
+    let ndata = Array.make ncap x in
+    Array.blit h.data 0 ndata 0 h.size;
+    h.data <- ndata
+  end
+
+let add h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if h.leq h.data.(i) h.data.(parent) && not (h.leq h.data.(parent) h.data.(i))
+      then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let min = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    (* Sift down. *)
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < h.size && not (h.leq h.data.(!smallest) h.data.(l)) then smallest := l;
+      if r < h.size && not (h.leq h.data.(!smallest) h.data.(r)) then smallest := r;
+      if !smallest <> i then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        down !smallest
+      end
+    in
+    down 0
+  end;
+  min
+
+let peek_min h = if h.size = 0 then None else Some h.data.(0)
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_list h =
+  let rec take i acc = if i < 0 then acc else take (i - 1) (h.data.(i) :: acc) in
+  take (h.size - 1) []

@@ -1,0 +1,30 @@
+(** Array-backed binary min-heap.
+
+    Used by the simulator's event queue. The ordering predicate [leq] is fixed
+    at creation; ties are broken by the caller embedding a sequence number in
+    the element, which keeps the whole simulation deterministic. *)
+
+type 'a t
+
+(** [create ~leq] is an empty heap ordered by [leq] (a total preorder:
+    [leq a b] means [a] sorts before or equal to [b]). *)
+val create : leq:('a -> 'a -> bool) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [add h x] inserts [x]. O(log n). *)
+val add : 'a t -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum element.
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> 'a
+
+(** [peek_min h] returns the minimum element without removing it. *)
+val peek_min : 'a t -> 'a option
+
+(** [clear h] removes every element. *)
+val clear : 'a t -> unit
+
+(** [to_list h] is all elements in unspecified order (snapshot). *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,24 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let fill v x =
+  match v.state with
+  | Full _ -> invalid_arg "Ivar.fill: already full"
+  | Empty waiters ->
+      v.state <- Full x;
+      (* Wake in registration order for determinism. *)
+      List.iter (fun waker -> waker x) (List.rev waiters)
+
+let read sim v =
+  match v.state with
+  | Full x -> x
+  | Empty _ ->
+      Sim.suspend sim (fun waker ->
+          match v.state with
+          | Full x -> waker x
+          | Empty waiters -> v.state <- Empty (waker :: waiters))
+
+let peek v = match v.state with Full x -> Some x | Empty _ -> None
+let is_full v = match v.state with Full _ -> true | Empty _ -> false

@@ -1,0 +1,22 @@
+(** Single-assignment synchronization variable ("future").
+
+    An {!t} starts empty; {!fill} writes it exactly once and wakes every
+    process blocked in {!read}. Used to hand transaction results back to
+    their submitters without any polling. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [fill v x] sets the value and wakes all readers.
+    @raise Invalid_argument if [v] is already full. *)
+val fill : 'a t -> 'a -> unit
+
+(** [read sim v] returns the value, suspending the calling process until
+    {!fill} happens. Returns immediately if already full. *)
+val read : Sim.t -> 'a t -> 'a
+
+(** [peek v] is the value if filled. *)
+val peek : 'a t -> 'a option
+
+val is_full : 'a t -> bool

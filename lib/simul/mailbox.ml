@@ -1,0 +1,16 @@
+type 'a t = { items : 'a Queue.t; waiters : ('a -> unit) Queue.t }
+
+let create () = { items = Queue.create (); waiters = Queue.create () }
+
+let send m x =
+  match Queue.take_opt m.waiters with
+  | Some waker -> waker x
+  | None -> Queue.add x m.items
+
+let recv sim m =
+  match Queue.take_opt m.items with
+  | Some x -> x
+  | None -> Sim.suspend sim (fun waker -> Queue.add waker m.waiters)
+
+let try_recv m = Queue.take_opt m.items
+let length m = Queue.length m.items

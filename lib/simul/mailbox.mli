@@ -1,0 +1,21 @@
+(** Unbounded FIFO channel between simulated processes.
+
+    Senders never block; receivers suspend while the mailbox is empty.
+    Messages are delivered in send order, and blocked receivers are woken in
+    arrival order, keeping runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [send m x] enqueues [x], waking the oldest blocked receiver if any. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv sim m] dequeues the next message, suspending until one exists. *)
+val recv : Sim.t -> 'a t -> 'a
+
+(** [try_recv m] dequeues without blocking. *)
+val try_recv : 'a t -> 'a option
+
+(** Number of queued (undelivered) messages. *)
+val length : 'a t -> int

@@ -1,0 +1,147 @@
+open Effect
+open Effect.Deep
+
+type proc = {
+  pid : int;
+  pname : string;
+  daemon : bool;
+  mutable blocked : bool;
+  mutable finished : bool;
+}
+
+type event = { at : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable next_pid : int;
+  mutable executed : int;
+  mutable current : proc option;
+  mutable failure : (string * exn) option;
+  queue : event Heap.t;
+  procs : (int, proc) Hashtbl.t;
+  random : Random.State.t;
+}
+
+type outcome = Completed | Stalled of string list | Hit_limit
+
+exception Process_failure of string * exn
+
+let leq_event a b = a.at < b.at || (a.at = b.at && a.seq <= b.seq)
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.;
+    seq = 0;
+    next_pid = 0;
+    executed = 0;
+    current = None;
+    failure = None;
+    queue = Heap.create ~leq:leq_event;
+    procs = Hashtbl.create 64;
+    random = Random.State.make [| seed |];
+  }
+
+let now t = t.clock
+let rng t = t.random
+let events_executed t = t.executed
+
+let push t ~at run =
+  t.seq <- t.seq + 1;
+  Heap.add t.queue { at; seq = t.seq; run }
+
+let schedule t ?(delay = 0.) f =
+  assert (delay >= 0.);
+  push t ~at:(t.clock +. delay) f
+
+(* A single effect suffices: suspend with a waker-registration function. *)
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend _t register = perform (Suspend register)
+
+let sleep t d =
+  assert (d >= 0.);
+  suspend t (fun waker -> push t ~at:(t.clock +. d) (fun () -> waker ()))
+
+let yield t = suspend t (fun waker -> push t ~at:t.clock (fun () -> waker ()))
+
+(* Run [body] as a coroutine attached to [proc]. Suspension registers a waker
+   that re-enters the event loop; resumption restores [t.current] so nested
+   suspensions keep the right process attribution. *)
+let start_process t proc body =
+  let fiber () =
+    match_with body ()
+      {
+        retc = (fun () -> proc.finished <- true);
+        exnc =
+          (fun exn ->
+            proc.finished <- true;
+            if t.failure = None then t.failure <- Some (proc.pname, exn));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    proc.blocked <- true;
+                    let fired = ref false in
+                    let waker v =
+                      if !fired then
+                        invalid_arg
+                          (Printf.sprintf "Sim: waker for process %S invoked twice"
+                             proc.pname);
+                      fired := true;
+                      push t ~at:t.clock (fun () ->
+                          proc.blocked <- false;
+                          let saved = t.current in
+                          t.current <- Some proc;
+                          continue k v;
+                          t.current <- saved)
+                    in
+                    register waker)
+            | _ -> None);
+      }
+  in
+  let saved = t.current in
+  t.current <- Some proc;
+  fiber ();
+  t.current <- saved
+
+let spawn t ?(daemon = false) ?name body =
+  t.next_pid <- t.next_pid + 1;
+  let pid = t.next_pid in
+  let pname =
+    match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid
+  in
+  let proc = { pid; pname; daemon; blocked = false; finished = false } in
+  Hashtbl.replace t.procs pid proc;
+  push t ~at:t.clock (fun () -> start_process t proc body)
+
+let stalled_names t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.blocked && (not p.finished) && not p.daemon then p.pname :: acc
+      else acc)
+    t.procs []
+  |> List.sort String.compare
+
+let run t ?until () =
+  let horizon = match until with None -> infinity | Some u -> u in
+  let rec loop () =
+    match Heap.peek_min t.queue with
+    | None -> (
+        match stalled_names t with [] -> Completed | names -> Stalled names)
+    | Some ev when ev.at > horizon -> Hit_limit
+    | Some _ ->
+        let ev = Heap.pop_min t.queue in
+        if ev.at < t.clock then
+          invalid_arg "Sim: event scheduled in the past";
+        t.clock <- ev.at;
+        t.executed <- t.executed + 1;
+        ev.run ();
+        (match t.failure with
+        | Some (name, exn) -> raise (Process_failure (name, exn))
+        | None -> ());
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,65 @@
+(** Deterministic discrete-event simulation kernel.
+
+    A simulation owns a virtual clock and an event queue. Green processes are
+    OCaml 5 effect-handler coroutines: a process suspends by registering a
+    {e waker}; invoking the waker schedules the continuation at the current
+    virtual time. Events with equal timestamps are ordered by insertion
+    sequence, so a run with a fixed seed is fully deterministic.
+
+    All of the distributed machinery in this repository (nodes, messages,
+    transactions, the version-advancement coordinator) runs as processes on
+    this kernel. Virtual time is in abstract seconds. *)
+
+type t
+
+(** Result of {!run}. *)
+type outcome =
+  | Completed  (** Event queue drained; no non-daemon process is blocked. *)
+  | Stalled of string list
+      (** Event queue drained but the named non-daemon processes are still
+          blocked — a deadlock or a lost wakeup in the model under test. *)
+  | Hit_limit  (** Stopped because the [until] horizon was reached. *)
+
+exception Process_failure of string * exn
+(** Raised by {!run} when a process terminated with an uncaught exception:
+    carries the process name and the original exception. *)
+
+(** [create ?seed ()] is a fresh simulation whose RNG is seeded with [seed]
+    (default 42). *)
+val create : ?seed:int -> unit -> t
+
+(** Current virtual time, in seconds. *)
+val now : t -> float
+
+(** The simulation's deterministic random state. *)
+val rng : t -> Random.State.t
+
+(** Number of events executed so far. *)
+val events_executed : t -> int
+
+(** [spawn t ?daemon ?name body] creates a process running [body]. Daemon
+    processes (e.g. server loops) may remain blocked forever without the run
+    being reported as {!Stalled}. Default [daemon] is [false]. *)
+val spawn : t -> ?daemon:bool -> ?name:string -> (unit -> unit) -> unit
+
+(** [schedule t ?delay f] enqueues plain callback [f] to run at
+    [now t +. delay] (default delay 0). The callback must not suspend. *)
+val schedule : t -> ?delay:float -> (unit -> unit) -> unit
+
+(** [suspend t register] suspends the calling process. [register] receives the
+    waker; calling the waker with a value resumes the process with that value
+    at the then-current virtual time. The waker must be invoked exactly
+    once. Must be called from within a process. *)
+val suspend : t -> (('a -> unit) -> unit) -> 'a
+
+(** [sleep t d] suspends the calling process for [d] virtual seconds. *)
+val sleep : t -> float -> unit
+
+(** [yield t] reschedules the calling process behind already-pending events at
+    the current time. *)
+val yield : t -> unit
+
+(** [run t ?until ()] executes events until the queue drains or virtual time
+    would exceed [until]. Re-raises the first process failure as
+    {!Process_failure}. Can be called again after [Hit_limit] to continue. *)
+val run : t -> ?until:float -> unit -> outcome

@@ -1,0 +1,27 @@
+type t = (string, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let incr t name ?(by = 1) () =
+  let cur = match Hashtbl.find_opt t name with Some v -> v | None -> 0 in
+  Hashtbl.replace t name (cur + by)
+
+let get t name = match Hashtbl.find_opt t name with Some v -> v | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge a b =
+  let out = create () in
+  List.iter (fun (k, v) -> incr out k ~by:v ()) (to_list a);
+  List.iter (fun (k, v) -> incr out k ~by:v ()) (to_list b);
+  out
+
+let reset = Hashtbl.reset
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v)
+    ppf (to_list t)

@@ -1,0 +1,23 @@
+(** Named monotone counters for instrumentation.
+
+    A lightweight string-keyed bag of integer counters used by engines to
+    report message counts, dual-writes, copies, aborts, etc. *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name ?by ()] adds [by] (default 1) to [name], creating it at 0. *)
+val incr : t -> string -> ?by:int -> unit -> unit
+
+(** [get t name] is the counter's value, 0 when absent. *)
+val get : t -> string -> int
+
+(** All (name, value) pairs sorted by name. *)
+val to_list : t -> (string * int) list
+
+(** [merge a b] sums counters pointwise into a fresh set. *)
+val merge : t -> t -> t
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type t = {
+  least : float;
+  growth : float;
+  log_growth : float;
+  (* counts.(0) is the zero/negative bucket; counts.(i) for i >= 1 covers
+     (least * growth^(i-2), least * growth^(i-1)]. *)
+  mutable counts : int array;
+  summary : Summary.t;
+}
+
+let create ?(least = 1e-6) ?(growth = 1.25) () =
+  if least <= 0. then invalid_arg "Histogram.create: least must be positive";
+  if growth <= 1. then invalid_arg "Histogram.create: growth must exceed 1";
+  {
+    least;
+    growth;
+    log_growth = log growth;
+    counts = Array.make 64 0;
+    summary = Summary.create ();
+  }
+
+let bucket_of h x =
+  if x <= 0. then 0
+  else if x <= h.least then 1
+  else 2 + int_of_float (Float.floor (log (x /. h.least) /. h.log_growth))
+
+(* Upper bound of bucket [i]. *)
+let bound_of h i =
+  if i = 0 then 0. else h.least *. (h.growth ** float_of_int (i - 1))
+
+let add h x =
+  Summary.add h.summary x;
+  let b = bucket_of h x in
+  if b >= Array.length h.counts then begin
+    let ncounts = Array.make (b * 2) 0 in
+    Array.blit h.counts 0 ncounts 0 (Array.length h.counts);
+    h.counts <- ncounts
+  end;
+  h.counts.(b) <- h.counts.(b) + 1
+
+let count h = Summary.count h.summary
+let mean h = Summary.mean h.summary
+let max h = if count h = 0 then 0. else Summary.max h.summary
+let min h = if count h = 0 then 0. else Summary.min h.summary
+
+let percentile h p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
+  let n = count h in
+  if n = 0 then 0.
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int n)))
+    in
+    let rec scan i seen =
+      if i >= Array.length h.counts then max h
+      else
+        let seen = seen + h.counts.(i) in
+        if seen >= rank then Float.min (bound_of h i) (max h) else scan (i + 1) seen
+    in
+    scan 0 0
+  end
+
+let merge a b =
+  if a.least <> b.least || a.growth <> b.growth then
+    invalid_arg "Histogram.merge: incompatible bucket layouts";
+  let len = Stdlib.max (Array.length a.counts) (Array.length b.counts) in
+  let counts = Array.make len 0 in
+  Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) a.counts;
+  Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) b.counts;
+  { a with counts; summary = Summary.merge a.summary b.summary }
+
+let pp ppf h =
+  if count h = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "n=%d p50=%.4g p90=%.4g p99=%.4g max=%.4g" (count h)
+      (percentile h 50.) (percentile h 90.) (percentile h 99.) (max h)

@@ -1,0 +1,33 @@
+(** Log-bucketed latency histogram with percentile queries.
+
+    Buckets grow geometrically from a configurable smallest resolution, HDR
+    style: cheap to record into, accurate to within the bucket growth factor
+    when reporting percentiles. Non-positive observations land in a dedicated
+    zero bucket. *)
+
+type t
+
+(** [create ?least ?growth ()] is an empty histogram. [least] is the upper
+    bound of the first positive bucket (default [1e-6]); [growth] the
+    geometric factor between bucket bounds (default [1.25]).
+    @raise Invalid_argument if [least <= 0.] or [growth <= 1.]. *)
+val create : ?least:float -> ?growth:float -> unit -> t
+
+(** [add h x] records one observation. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val max : t -> float
+val min : t -> float
+
+(** [percentile h p] with [0. <= p <= 100.] is an upper bound on the value at
+    the [p]-th percentile; 0. when empty. *)
+val percentile : t -> float -> float
+
+(** [merge a b] is a histogram over both observation streams.
+    @raise Invalid_argument if bucket layouts differ. *)
+val merge : t -> t -> t
+
+(** "p50=… p90=… p99=… max=…" one-liner. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+(** Per-node multi-version key-value store for the 3V protocol.
+
+    Implements exactly the data-layer rules of the paper (§4.1, §4.3):
+
+    - {e Reads} (step 3): a transaction with version [v] reads the maximum
+      existing version of the item that does not exceed [v].
+    - {e Writes} (step 4): if [x(v)] does not exist it is created by copying
+      the maximum existing version ≤ [v] ("copy on update"); then {e all}
+      versions ≥ [v] are updated — this is the dual write that keeps both the
+      old and the new update version consistent when a straggler
+      subtransaction arrives after a version switch (§2.3).
+    - {e Garbage collection} (§4.3 phase 4): given the new read version [vr],
+      if [x(vr)] exists all earlier versions are dropped; otherwise the
+      latest earlier version is relabelled [vr].
+
+    The store also instruments itself so the paper's ≤3-simultaneous-versions
+    property (§4.4, property 2a) is checkable: {!max_versions_ever}. *)
+
+type 'v t
+
+(** Outcome of one {!write_upward}, for the engine's statistics. *)
+type write_info = {
+  created_copy : bool;  (** a new version was materialized by copying *)
+  versions_updated : int;  (** ≥ 2 means a dual write happened *)
+  created_item : bool;  (** the key did not exist in any version before *)
+}
+
+val create : unit -> 'v t
+
+(** [read_visible t ~key ~version] is [Some (v0, value)] where [v0] is the
+    maximum existing version of [key] with [v0 <= version], or [None] if the
+    item has no version ≤ [version]. *)
+val read_visible : 'v t -> key:string -> version:int -> (int * 'v) option
+
+(** [read_exact t ~key ~version] is the value stored at exactly that version. *)
+val read_exact : 'v t -> key:string -> version:int -> 'v option
+
+(** [exists t ~key ~version] tests whether [key] exists at exactly [version]. *)
+val exists : 'v t -> key:string -> version:int -> bool
+
+(** [exists_above t ~key ~version] tests whether [key] exists in any version
+    strictly greater than [version] — the NC3V abort condition (§5 step 4). *)
+val exists_above : 'v t -> key:string -> version:int -> bool
+
+(** [write_upward t ~key ~version ~init ~f] performs the paper's update step:
+    ensure [x(version)] exists (copying from the max version ≤ [version], or
+    materializing [init] when the key is entirely new), then replace every
+    version ≥ [version] with [f old_value]. Atomic w.r.t. the simulation
+    (plain OCaml code, no suspension point). *)
+val write_upward :
+  'v t -> key:string -> version:int -> init:'v -> f:('v -> 'v) -> write_info
+
+(** [write_exact t ~key ~version ~init ~f] updates only [x(version)]
+    (creating it as in {!write_upward} if needed) and never touches higher
+    versions — the NC3V write rule (§5 step 4 updates only [x(V(K))]). *)
+val write_exact :
+  'v t -> key:string -> version:int -> init:'v -> f:('v -> 'v) -> write_info
+
+(** [gc t ~new_read_version] applies phase-4 garbage collection (see above). *)
+val gc : 'v t -> new_read_version:int -> unit
+
+(** Versions currently materialized for [key], descending. *)
+val versions_of : 'v t -> key:string -> int list
+
+(** All keys with at least one version, sorted. *)
+val keys : 'v t -> string list
+
+(** [fold t ~init ~f] folds over [(key, version, value)] triples. *)
+val fold : 'v t -> init:'a -> f:('a -> string -> int -> 'v -> 'a) -> 'a
+
+(** Largest number of simultaneous versions any single item ever had. *)
+val max_versions_ever : 'v t -> int
+
+(** Number of copy-on-write materializations performed. *)
+val copies_created : 'v t -> int
+
+(** Number of writes that updated ≥ 2 versions (the §2.3 dual-write case). *)
+val dual_writes : 'v t -> int

@@ -1,0 +1,30 @@
+(** Common interface implemented by every concurrency-control engine.
+
+    The 3V engine ([Threev.Engine]) and the three §1 baselines
+    ([Baselines.Global_2pc], [Baselines.No_coord],
+    [Baselines.Manual_versioning]) all satisfy {!S}, so workloads,
+    checkers and experiments run unchanged against any of them. An engine
+    receives fully-specified transactions ({!Spec.t}) and resolves each one
+    to a {!Result.t} through an IVar — the submitting process may await the
+    IVar or fire-and-forget. *)
+
+module type S = sig
+  type t
+
+  (** Engine name for reports (e.g. "3v", "global-2pc"). *)
+  val name : t -> string
+
+  (** [submit t spec] starts the transaction; the returned IVar is filled
+      when it commits or aborts. Never suspends the caller. *)
+  val submit : t -> Spec.t -> Result.t Simul.Ivar.t
+
+  (** Instrumentation counters (messages, dual writes, aborts, ...). *)
+  val stats : t -> Stats.Counter_set.t
+end
+
+(** An engine packed with its module, for heterogeneous experiment tables. *)
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let packed_name (Packed ((module E), e)) = E.name e
+let packed_submit (Packed ((module E), e)) spec = E.submit e spec
+let packed_stats (Packed ((module E), e)) = E.stats e

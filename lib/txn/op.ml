@@ -1,0 +1,29 @@
+type t =
+  | Read of string
+  | Incr of string * float
+  | Append of string * string
+  | Overwrite of string * float
+
+let key = function
+  | Read k | Incr (k, _) | Append (k, _) | Overwrite (k, _) -> k
+
+let is_write = function
+  | Read _ -> false
+  | Incr _ | Append _ | Overwrite _ -> true
+
+let commuting_write = function
+  | Incr _ | Append _ -> true
+  | Read _ | Overwrite _ -> false
+
+let apply op ~txn v =
+  match op with
+  | Read _ -> v
+  | Incr (_, delta) -> Value.incr ~txn ~delta v
+  | Append (_, entry) -> Value.append ~txn ~entry v
+  | Overwrite (_, amount) -> Value.overwrite ~txn ~amount v
+
+let pp ppf = function
+  | Read k -> Format.fprintf ppf "r(%s)" k
+  | Incr (k, d) -> Format.fprintf ppf "incr(%s,%g)" k d
+  | Append (k, e) -> Format.fprintf ppf "append(%s,%s)" k e
+  | Overwrite (k, a) -> Format.fprintf ppf "w(%s,%g)" k a

@@ -1,0 +1,26 @@
+(** Subtransaction operations and their commutativity classification.
+
+    The paper requires {e subtransactions} (not individual operations) to
+    commute. In these workloads, commuting subtransactions are built from
+    [Incr]/[Append] (record a charge, insert a detail row — paper §6), while
+    [Overwrite] marks a non-commuting update (NC3V territory, §5). *)
+
+type t =
+  | Read of string  (** read the value of a key *)
+  | Incr of string * float  (** add to the summary amount — commutes *)
+  | Append of string * string  (** insert a detail record — commutes *)
+  | Overwrite of string * float  (** blind write — does NOT commute *)
+
+(** The key the operation touches. *)
+val key : t -> string
+
+val is_write : t -> bool
+
+(** [commuting_write op] is true for writes in the commuting class
+    ([Incr], [Append]); false for [Overwrite]; false for [Read]. *)
+val commuting_write : t -> bool
+
+(** [apply op ~txn v] is the value after the write (identity for [Read]). *)
+val apply : t -> txn:int -> Value.t -> Value.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+module Writers = Set.Make (Int)
+
+type t = { amount : float; entries : string list; writers : Writers.t }
+
+let empty = { amount = 0.; entries = []; writers = Writers.empty }
+
+let incr ~txn ~delta v =
+  { v with amount = v.amount +. delta; writers = Writers.add txn v.writers }
+
+let append ~txn ~entry v =
+  {
+    v with
+    entries = entry :: v.entries;
+    writers = Writers.add txn v.writers;
+  }
+
+let overwrite ~txn ~amount v =
+  { v with amount; writers = Writers.add txn v.writers }
+
+let equal a b =
+  Float.abs (a.amount -. b.amount) <= 1e-9
+  && List.sort String.compare a.entries = List.sort String.compare b.entries
+  && Writers.equal a.writers b.writers
+
+let pp ppf v =
+  Format.fprintf ppf "{amount=%g; entries=%d; writers={%a}}" v.amount
+    (List.length v.entries)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Writers.elements v.writers)

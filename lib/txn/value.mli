@@ -1,0 +1,32 @@
+(** Database values for the data-recording workloads.
+
+    A value is a recording-system "summary plus detail" cell (paper §6): a
+    numeric [amount] (e.g. balance due, items sold), a list of appended
+    detail [entries], and the set of transaction ids that have written it.
+    The [writers] set exists purely for the offline correctness checker —
+    it lets a read transaction report exactly which update transactions it
+    observed on each key, from which atomic visibility is decided. *)
+
+module Writers : Set.S with type elt = int
+
+type t = { amount : float; entries : string list; writers : Writers.t }
+
+(** The zero value: amount 0, no entries, no writers. *)
+val empty : t
+
+(** [incr ~txn ~delta v] adds [delta] to the amount and records the writer.
+    Increments commute: applying two in either order yields the same value. *)
+val incr : txn:int -> delta:float -> t -> t
+
+(** [append ~txn ~entry v] prepends a detail record and records the writer.
+    Appends commute up to entry order; equality treats entries as a multiset. *)
+val append : txn:int -> entry:string -> t -> t
+
+(** [overwrite ~txn ~amount v] replaces the amount (non-commuting). *)
+val overwrite : txn:int -> amount:float -> t -> t
+
+(** Structural equality with entries compared as multisets, so states reached
+    by commuting updates in different orders compare equal. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** The paper's motivating hospital-billing workload (§1, Figure 1).
+
+    Departments are database nodes; each patient has one balance record per
+    department. A {e visit} transaction touches [visit_fanout] departments,
+    incrementing the patient's balance and appending a procedure record at
+    each — all commuting. An {e inquiry} transaction reads the patient's
+    balance at every department it was ever charged in (we read all
+    departments, which maximizes the checker's ability to observe partial
+    charges). When [front_end] is set, transactions fan out from an
+    empty root subtransaction, exactly like the front-end box of Figure 1. *)
+
+type params = {
+  departments : int;  (** = number of nodes *)
+  patients : int;
+  visit_fanout : int;  (** departments charged per visit (≥ 1) *)
+  read_ratio : float;  (** fraction of inquiries in the mix *)
+  arrival_rate : float;
+  zipf_s : float;  (** patient popularity skew; 0 = uniform *)
+  front_end : bool;
+  charge : float;  (** amount charged per department visit *)
+  post_delay : float;
+      (** maximum extra local processing time before a department posts its
+          charge (uniform in [0, post_delay]) — the paper's observation that
+          "the final charge amount ... is typically not known" at visit time;
+          larger values produce later stragglers *)
+}
+
+val default : nodes:int -> params
+val generator : params -> Generator.t
+
+(** [balance_key ~patient ~department] is the patient's balance record key
+    at one department. *)
+val balance_key : patient:int -> department:int -> string

@@ -1,0 +1,58 @@
+module Spec = Txn.Spec
+module Op = Txn.Op
+
+type params = {
+  nodes : int;
+  keys_per_node : int;
+  fanout : int;
+  read_ratio : float;
+  nc_ratio : float;
+  arrival_rate : float;
+  zipf_s : float;
+}
+
+let default ~nodes =
+  {
+    nodes;
+    keys_per_node = 50;
+    fanout = 2;
+    read_ratio = 0.25;
+    nc_ratio = 0.;
+    arrival_rate = 400.;
+    zipf_s = 0.5;
+  }
+
+let key ~slot ~node = Printf.sprintf "k%d@n%d" slot node
+
+let generator p =
+  if p.nodes <= 0 then invalid_arg "Synthetic: nodes must be > 0";
+  if p.fanout <= 0 then invalid_arg "Synthetic: fanout must be > 0";
+  let popularity = Zipf.create ~n:p.keys_per_node ~s:p.zipf_s in
+  {
+    Generator.gen_name = "synthetic";
+    arrival_rate = p.arrival_rate;
+    make =
+      (fun rng ~id ->
+        let slot = Zipf.sample popularity rng in
+        let nodes = Generator.pick_distinct rng ~n:p.fanout ~among:p.nodes in
+        let u = Random.State.float rng 1. in
+        if u < p.read_ratio then begin
+          let ops_of n = [ Op.Read (key ~slot ~node:n) ] in
+          Spec.make ~id
+            ~label:(Printf.sprintf "read%d" id)
+            (Generator.fanout_tree ~ops_of nodes)
+        end
+        else if Random.State.float rng 1. < p.nc_ratio then begin
+          let amount = Random.State.float rng 100. in
+          let ops_of n = [ Op.Overwrite (key ~slot ~node:n, amount) ] in
+          Spec.make ~id
+            ~label:(Printf.sprintf "ncupd%d" id)
+            (Generator.fanout_tree ~ops_of nodes)
+        end
+        else begin
+          let ops_of n = [ Op.Incr (key ~slot ~node:n, 1.) ] in
+          Spec.make ~id
+            ~label:(Printf.sprintf "upd%d" id)
+            (Generator.fanout_tree ~ops_of nodes)
+        end);
+  }

@@ -1,0 +1,21 @@
+(** Parameterized synthetic recording workload, for controlled sweeps.
+
+    Every parameter the experiments sweep is explicit: node count, keys per
+    node, update fan-out, read ratio, non-commuting ratio, key skew. Updates
+    increment [fanout] keys on distinct nodes; reads read the same key
+    shape; non-commuting updates overwrite instead of incrementing. *)
+
+type params = {
+  nodes : int;
+  keys_per_node : int;
+  fanout : int;  (** nodes touched per transaction *)
+  read_ratio : float;
+  nc_ratio : float;  (** fraction of updates that are non-commuting *)
+  arrival_rate : float;
+  zipf_s : float;
+}
+
+val default : nodes:int -> params
+val generator : params -> Generator.t
+
+val key : slot:int -> node:int -> string

@@ -1,0 +1,31 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be nonnegative";
+  let weights =
+    Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s))
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.;
+  { n; cdf }
+
+let sample t rng =
+  let u = Random.State.float rng 1. in
+  (* Smallest i with cdf.(i) >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let support t = t.n

@@ -1,0 +1,17 @@
+(** Zipf-distributed integer sampling, for skewed key popularity.
+
+    [s = 0.] degenerates to the uniform distribution; larger [s]
+    concentrates probability on low indices ("popular patients",
+    "hot accounts"). Sampling is O(log n) via binary search on a
+    precomputed CDF. *)
+
+type t
+
+(** [create ~n ~s] prepares a sampler over [0 .. n-1] with exponent [s].
+    @raise Invalid_argument if [n <= 0] or [s < 0.]. *)
+val create : n:int -> s:float -> t
+
+(** [sample t rng] draws one index. *)
+val sample : t -> Random.State.t -> int
+
+val support : t -> int

@@ -1,0 +1,409 @@
+(* Tests for the offline correctness checkers, on hand-built histories. *)
+
+module Spec = Txn.Spec
+module Op = Txn.Op
+module Value = Txn.Value
+module Result = Txn.Result
+module Atomicity = Checker.Atomicity
+module Staleness = Checker.Staleness
+module Replay = Checker.Replay
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* History-building helpers. *)
+
+let update_spec ~id keys =
+  match keys with
+  | [] -> invalid_arg "update_spec"
+  | first :: rest ->
+      Spec.make ~id
+        (Spec.subtxn
+           ~children:(List.mapi (fun i k -> Spec.subtxn (i + 1) [ Op.Incr (k, 1.) ]) rest)
+           0
+           [ Op.Incr (first, 1.) ])
+
+let read_spec ~id keys =
+  match keys with
+  | [] -> invalid_arg "read_spec"
+  | first :: rest ->
+      Spec.make ~id
+        (Spec.subtxn
+           ~children:(List.mapi (fun i k -> Spec.subtxn (i + 1) [ Op.Read k ]) rest)
+           0
+           [ Op.Read first ])
+
+let committed_result ~id ?(version = 1) ?(reads = []) ?(submit = 0.)
+    ?(complete = 1.) () =
+  {
+    Result.txn_id = id;
+    outcome = Result.Committed;
+    version;
+    reads;
+    submit_time = submit;
+    root_commit_time = submit;
+    complete_time = complete;
+  }
+
+(* A value as a read would observe it: tagged with the writers seen. *)
+let value_with writers =
+  List.fold_left (fun v txn -> Value.incr ~txn ~delta:1. v) Value.empty writers
+
+(* -------------------------------------------------------- atomicity *)
+
+let atomicity_clean_history () =
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      (u, committed_result ~id:1 ());
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", value_with [ 1 ]); ("b", value_with [ 1 ]) ]
+          () );
+    ]
+  in
+  let report = Atomicity.check history in
+  checki "reads" 1 report.Atomicity.reads_checked;
+  checki "pairs" 1 report.Atomicity.pairs_checked;
+  checkb "clean" true (Atomicity.clean report)
+
+let atomicity_all_or_nothing () =
+  (* Seeing none of an update is fine too (stale but atomic). *)
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      (u, committed_result ~id:1 ());
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", Value.empty); ("b", Value.empty) ]
+          () );
+    ]
+  in
+  checkb "none observed is atomic" true (Atomicity.clean (Atomicity.check history))
+
+let atomicity_detects_partial () =
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      (u, committed_result ~id:1 ());
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", value_with [ 1 ]); ("b", Value.empty) ]
+          () );
+    ]
+  in
+  let report = Atomicity.check history in
+  checki "one partial read" 1 report.Atomicity.partial_reads;
+  checkb "example recorded" true (report.Atomicity.examples = [ (2, 1) ])
+
+let atomicity_single_key_overlap_ignored () =
+  (* With only one overlapping key there is nothing to be partial about. *)
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "z" ] in
+  let history =
+    [
+      (u, committed_result ~id:1 ());
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", value_with [ 1 ]); ("z", Value.empty) ]
+          () );
+    ]
+  in
+  let report = Atomicity.check history in
+  checki "no pairs" 0 report.Atomicity.pairs_checked;
+  checkb "clean" true (Atomicity.clean report)
+
+let atomicity_dirty_read () =
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      ( u,
+        {
+          (committed_result ~id:1 ()) with
+          Result.outcome = Result.Aborted "deadlock";
+        } );
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", value_with [ 1 ]); ("b", Value.empty) ]
+          () );
+    ]
+  in
+  let report = Atomicity.check history in
+  checki "dirty read counted" 1 report.Atomicity.dirty_reads;
+  checkb "not clean" false (Atomicity.clean report)
+
+let atomicity_compensated_counts_as_effectful () =
+  (* A compensated transaction's tags are visible; observing them on all
+     overlapping keys is atomic, on a strict subset is a violation. *)
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let compensated =
+    {
+      (committed_result ~id:1 ()) with
+      Result.outcome = Result.Aborted "compensated";
+    }
+  in
+  let partial_history =
+    [
+      (u, compensated);
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", value_with [ 1 ]); ("b", Value.empty) ]
+          () );
+    ]
+  in
+  let report = Atomicity.check partial_history in
+  checki "partial observation of compensated txn flagged" 1
+    report.Atomicity.partial_reads;
+  checki "not a dirty read" 0 report.Atomicity.dirty_reads
+
+let atomicity_aborted_reads_skipped () =
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      ( r,
+        {
+          (committed_result ~id:2 ~reads:[ ("a", value_with [ 1 ]) ] ()) with
+          Result.outcome = Result.Aborted "timeout";
+        } );
+    ]
+  in
+  checki "aborted reads not checked" 0
+    (Atomicity.check history).Atomicity.reads_checked
+
+(* -------------------------------------------------------- staleness *)
+
+let staleness_counts_missed () =
+  let u1 = update_spec ~id:1 [ "a"; "b" ] in
+  let u2 = update_spec ~id:2 [ "a"; "b" ] in
+  let r = read_spec ~id:3 [ "a"; "b" ] in
+  let history =
+    [
+      (u1, committed_result ~id:1 ~complete:1.0 ());
+      (u2, committed_result ~id:2 ~complete:2.0 ());
+      ( r,
+        (* Submitted at t=5, saw u1 but missed u2. *)
+        committed_result ~id:3 ~submit:5.
+          ~reads:[ ("a", value_with [ 1 ]); ("b", value_with [ 1 ]) ]
+          () );
+    ]
+  in
+  let report = Staleness.measure history in
+  checki "reads" 1 report.Staleness.reads;
+  checki "missed" 1 report.Staleness.missed_total;
+  Alcotest.(check (float 1e-9)) "lag is read.submit - u2.complete" 3.
+    report.Staleness.max_lag
+
+let staleness_future_updates_not_missed () =
+  let u = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      (u, committed_result ~id:1 ~complete:10.0 ());
+      ( r,
+        committed_result ~id:2 ~submit:5.
+          ~reads:[ ("a", Value.empty); ("b", Value.empty) ]
+          () );
+    ]
+  in
+  let report = Staleness.measure history in
+  checki "nothing applicable missed" 0 report.Staleness.missed_total
+
+let staleness_fresh_reads () =
+  let u = update_spec ~id:1 [ "a" ] in
+  let r = read_spec ~id:2 [ "a" ] in
+  let history =
+    [
+      (u, committed_result ~id:1 ~complete:1. ());
+      (r, committed_result ~id:2 ~submit:2. ~reads:[ ("a", value_with [ 1 ]) ] ());
+    ]
+  in
+  let report = Staleness.measure history in
+  checki "no misses" 0 report.Staleness.reads_with_misses;
+  Alcotest.(check (float 1e-9)) "zero lag" 0. report.Staleness.mean_lag
+
+(* ----------------------------------------------------------- replay *)
+
+let replay_detects_mismatch () =
+  let u1 = update_spec ~id:1 [ "a"; "b" ] in
+  let u2 = update_spec ~id:2 [ "a" ] in
+  let history =
+    [
+      (u1, committed_result ~id:1 ());
+      (u2, committed_result ~id:2 ());
+    ]
+  in
+  (* Correct store: a = 2, b = 1. *)
+  let good_lookup key =
+    let amount = if key = "a" then 2. else 1. in
+    Some { Value.empty with Value.amount }
+  in
+  checkb "clean on correct store" true
+    (Replay.clean (Replay.check history ~lookup:good_lookup));
+  (* Lossy store: a lost one increment. *)
+  let bad_lookup key =
+    Some { Value.empty with Value.amount = (if key = "a" then 1. else 1.) }
+  in
+  let report = Replay.check history ~lookup:bad_lookup in
+  checki "one mismatch" 1 report.Replay.mismatch_count;
+  (match report.Replay.mismatches with
+  | [ m ] ->
+      Alcotest.(check string) "key" "a" m.Replay.key;
+      Alcotest.(check (float 1e-9)) "expected" 2. m.Replay.expected
+  | _ -> Alcotest.fail "expected one mismatch")
+
+let replay_skips_overwritten_keys () =
+  let u1 = update_spec ~id:1 [ "a" ] in
+  let nc =
+    Spec.make ~id:2 (Spec.subtxn 0 [ Op.Overwrite ("a", 99.); Op.Incr ("c", 1.) ])
+  in
+  let history =
+    [ (u1, committed_result ~id:1 ()); (nc, committed_result ~id:2 ()) ]
+  in
+  let report =
+    Replay.check history ~lookup:(fun key ->
+        if key = "c" then Some { Value.empty with Value.amount = 1. } else None)
+  in
+  checkb "a skipped, c checked, clean" true
+    (report.Replay.keys_skipped = 1 && Replay.clean report)
+
+let replay_uncommitted_excluded () =
+  let u = update_spec ~id:1 [ "a" ] in
+  let history =
+    [ (u, { (committed_result ~id:1 ()) with Result.outcome = Result.Aborted "x" }) ]
+  in
+  let report = Replay.check history ~lookup:(fun _ -> None) in
+  checkb "aborted txn contributes nothing" true (Replay.clean report)
+
+let replay_missing_key_is_zero () =
+  let u = update_spec ~id:1 [ "a" ] in
+  let history = [ (u, committed_result ~id:1 ()) ] in
+  let report = Replay.check history ~lookup:(fun _ -> None) in
+  checki "missing key mismatches expected 1" 1 report.Replay.mismatch_count
+
+(* ----------------------------------------------------- version reads *)
+
+let vr_committed_at version ~id = committed_result ~id ~version ()
+
+let version_reads_exact () =
+  (* u1 at version 1, u2 at version 2; a read at version 1 must see u1 on
+     every key and never u2. *)
+  let u1 = update_spec ~id:1 [ "a"; "b" ] in
+  let u2 = update_spec ~id:2 [ "a"; "b" ] in
+  let r = read_spec ~id:3 [ "a"; "b" ] in
+  let good =
+    [
+      (u1, vr_committed_at 1 ~id:1);
+      (u2, vr_committed_at 2 ~id:2);
+      ( r,
+        {
+          (vr_committed_at 1 ~id:3) with
+          Result.reads = [ ("a", value_with [ 1 ]); ("b", value_with [ 1 ]) ];
+        } );
+    ]
+  in
+  checkb "exact set accepted" true
+    (Checker.Version_reads.clean (Checker.Version_reads.check good))
+
+let version_reads_missing () =
+  let u1 = update_spec ~id:1 [ "a"; "b" ] in
+  let r = read_spec ~id:2 [ "a"; "b" ] in
+  let history =
+    [
+      (u1, vr_committed_at 1 ~id:1);
+      ( r,
+        {
+          (vr_committed_at 1 ~id:2) with
+          (* Missed u1 on b even though u1 has version <= the read's. *)
+          Result.reads = [ ("a", value_with [ 1 ]); ("b", Value.empty) ];
+        } );
+    ]
+  in
+  let report = Checker.Version_reads.check history in
+  checki "one violation" 1 report.Checker.Version_reads.violation_count;
+  match report.Checker.Version_reads.violations with
+  | [ v ] ->
+      checkb "missing recorded" true
+        (v.Checker.Version_reads.missing = [ 1 ]
+        && v.Checker.Version_reads.key = "b")
+  | _ -> Alcotest.fail "expected one violation"
+
+let version_reads_leak () =
+  let u2 = update_spec ~id:2 [ "a" ] in
+  let r = read_spec ~id:3 [ "a" ] in
+  let history =
+    [
+      (u2, vr_committed_at 2 ~id:2);
+      ( r,
+        {
+          (vr_committed_at 1 ~id:3) with
+          (* Saw a version-2 writer from a version-1 read: leak. *)
+          Result.reads = [ ("a", value_with [ 2 ]) ];
+        } );
+    ]
+  in
+  let report = Checker.Version_reads.check history in
+  checki "leak flagged" 1 report.Checker.Version_reads.violation_count;
+  (match report.Checker.Version_reads.violations with
+  | [ v ] -> checkb "leaked id" true (v.Checker.Version_reads.leaked = [ 2 ])
+  | _ -> Alcotest.fail "expected one violation")
+
+let version_reads_aborted_excluded () =
+  let u = update_spec ~id:1 [ "a" ] in
+  let r = read_spec ~id:2 [ "a" ] in
+  let history =
+    [
+      ( u,
+        { (vr_committed_at 1 ~id:1) with Result.outcome = Result.Aborted "x" } );
+      (r, { (vr_committed_at 1 ~id:2) with Result.reads = [ ("a", Value.empty) ] });
+    ]
+  in
+  checkb "aborted update not expected" true
+    (Checker.Version_reads.clean (Checker.Version_reads.check history))
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "atomicity",
+        [
+          Alcotest.test_case "clean history" `Quick atomicity_clean_history;
+          Alcotest.test_case "all-or-nothing" `Quick atomicity_all_or_nothing;
+          Alcotest.test_case "detects partial" `Quick atomicity_detects_partial;
+          Alcotest.test_case "single-key overlap ignored" `Quick
+            atomicity_single_key_overlap_ignored;
+          Alcotest.test_case "dirty read" `Quick atomicity_dirty_read;
+          Alcotest.test_case "compensated is effectful" `Quick
+            atomicity_compensated_counts_as_effectful;
+          Alcotest.test_case "aborted reads skipped" `Quick
+            atomicity_aborted_reads_skipped;
+        ] );
+      ( "staleness",
+        [
+          Alcotest.test_case "counts missed" `Quick staleness_counts_missed;
+          Alcotest.test_case "future updates excluded" `Quick
+            staleness_future_updates_not_missed;
+          Alcotest.test_case "fresh reads" `Quick staleness_fresh_reads;
+        ] );
+      ( "version-reads",
+        [
+          Alcotest.test_case "exact set accepted" `Quick version_reads_exact;
+          Alcotest.test_case "missing detected" `Quick version_reads_missing;
+          Alcotest.test_case "leak detected" `Quick version_reads_leak;
+          Alcotest.test_case "aborted excluded" `Quick
+            version_reads_aborted_excluded;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "detects mismatch" `Quick replay_detects_mismatch;
+          Alcotest.test_case "skips overwritten keys" `Quick
+            replay_skips_overwritten_keys;
+          Alcotest.test_case "uncommitted excluded" `Quick
+            replay_uncommitted_excluded;
+          Alcotest.test_case "missing key is zero" `Quick
+            replay_missing_key_is_zero;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the experiment harness: the workload driver, the Table 1
+   replay (the paper's own worked example is asserted here, row by row),
+   and the experiment registry. *)
+
+module Sim = Simul.Sim
+module Spec = Txn.Spec
+module Result = Txn.Result
+module Engine = Threev.Engine
+module Trace = Threev.Trace
+module Runner = Harness.Runner
+module Table1 = Harness.Table1
+module Experiments = Harness.Experiments
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------ runner *)
+
+let runner_drives_and_harvests () =
+  let sim = Sim.create ~seed:2 () in
+  let engine = Engine.create sim (Engine.default_config ~nodes:3) () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes:3) with
+        Workload.Synthetic.arrival_rate = 200.;
+      }
+  in
+  let outcome =
+    Runner.drive sim (Engine.packed engine) gen
+      { Runner.seed = 2; duration = 0.5; settle = 2.0; max_txns = 1000 }
+  in
+  checkb "some submitted" true (outcome.Runner.submitted > 50);
+  checki "all harvested" outcome.Runner.submitted
+    (List.length outcome.Runner.history);
+  checki "nothing unfinished" 0 outcome.Runner.unfinished;
+  checki "committed = history (no aborts here)" outcome.Runner.committed
+    (List.length outcome.Runner.history);
+  checkb "throughput positive" true (outcome.Runner.throughput > 0.);
+  checkb "latencies recorded" true
+    (Stats.Histogram.count outcome.Runner.read_latency > 0
+    && Stats.Histogram.count outcome.Runner.update_latency > 0)
+
+let runner_max_txns_cap () =
+  let sim = Sim.create ~seed:2 () in
+  let engine = Engine.create sim (Engine.default_config ~nodes:2) () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes:2) with
+        Workload.Synthetic.arrival_rate = 10_000.;
+      }
+  in
+  let outcome =
+    Runner.drive sim (Engine.packed engine) gen
+      { Runner.seed = 2; duration = 5.0; settle = 2.0; max_txns = 25 }
+  in
+  checki "capped" 25 outcome.Runner.submitted
+
+(* ------------------------------------------------------------ table1 *)
+
+let replay = lazy (Table1.run ())
+
+let table1_protocol_outcomes () =
+  let r = Lazy.force replay in
+  checkb "advancement completed" true r.Table1.advancement_completed;
+  checki "read version after" 1 r.Table1.read_version_after;
+  checkb "i committed" true r.Table1.txn_i_committed;
+  checkb "j committed" true r.Table1.txn_j_committed;
+  checkb "reads saw version 0" true r.Table1.reads_saw_version0
+
+let table1_final_counters_match_paper () =
+  let r = Lazy.force replay in
+  (* Exactly the paper's final counter state: each of the six
+     subtransaction requests matched by a completion. *)
+  checkb "counters" true
+    (r.Table1.final_counters
+    = [
+        ("C1[p->p]", 1); ("C1[p->q]", 1); ("C1[p->s]", 1); ("C1[q->p]", 1);
+        ("C2[q->p]", 1); ("C2[q->q]", 1); ("R1[p->p]", 1); ("R1[p->q]", 1);
+        ("R1[p->s]", 1); ("R1[q->p]", 1); ("R2[q->p]", 1); ("R2[q->q]", 1);
+      ])
+
+let table1_event_order () =
+  let r = Lazy.force replay in
+  let events = Trace.events r.Table1.trace in
+  let index pattern =
+    let rec go i = function
+      | [] -> Alcotest.failf "event %S not found in trace" pattern
+      | (e : Trace.event) :: rest ->
+          let contains =
+            let n = String.length e.what and m = String.length pattern in
+            let rec scan j =
+              j + m <= n && (String.sub e.what j m = pattern || scan (j + 1))
+            in
+            m <= n && scan 0
+          in
+          if contains then i else go (i + 1) rest
+    in
+    go 0 events
+  in
+  (* The paper's Table 1 row order, as trace-pattern precedences. *)
+  let order =
+    [
+      "update tx i arrives";
+      "tx i updates A version 1";
+      "tx i updates F version 1";
+      "tx x reads A version 0";
+      "version advancement begins";
+      "update tx j arrives; version 2";
+      "tx j updates D version 2";
+      "tx i updates D versions 1,2" (* the dual write, paper time 14 *);
+      "tx i updates E version 1" (* single write, paper time 15 *);
+      "tx y reads D version 0";
+      "implicit notification: advancing update version to 2" (* paper 19 *);
+      "tx j updates A version 2";
+      "tx j is complete";
+      "tx i updates B version 1";
+      "tx i is complete";
+      "phase 1 complete";
+      "phase 2 complete";
+      "read version advanced to 1";
+      "phase 4 complete";
+    ]
+  in
+  let indices = List.map index order in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  checkb "paper row order preserved" true (increasing indices)
+
+let table1_figure2_layouts () =
+  let r = Lazy.force replay in
+  let find_snap time =
+    List.find (fun s -> Float.abs (s.Table1.snap_time -. time) < 0.5) r.Table1.snapshots
+  in
+  let versions snap site key =
+    let _, _, _, keys =
+      List.find (fun (s, _, _, _) -> s = site) snap.Table1.sites
+    in
+    List.sort compare (List.assoc key keys)
+  in
+  let t12 = find_snap 12. and t20 = find_snap 20. in
+  let final = List.nth r.Table1.snapshots (List.length r.Table1.snapshots - 1) in
+  (* After time 12 (Figure 2 second panel). *)
+  checkb "t12: A in 0,1" true (versions t12 "p" "A" = [ 0; 1 ]);
+  checkb "t12: D in 0,2" true (versions t12 "q" "D" = [ 0; 2 ]);
+  checkb "t12: E only 0" true (versions t12 "q" "E" = [ 0 ]);
+  (* After time 20 (third panel): the three-version maximum. *)
+  checkb "t20: A in 0,1,2" true (versions t20 "p" "A" = [ 0; 1; 2 ]);
+  checkb "t20: D in 0,1,2" true (versions t20 "q" "D" = [ 0; 1; 2 ]);
+  checkb "t20: F in 0,1" true (versions t20 "s" "F" = [ 0; 1 ]);
+  (* Eventually (fourth panel): GC dropped or relabelled version 0. *)
+  checkb "final: A in 1,2" true (versions final "p" "A" = [ 1; 2 ]);
+  checkb "final: B relabelled to 1" true (versions final "p" "B" = [ 1 ]);
+  checkb "final: D in 1,2" true (versions final "q" "D" = [ 1; 2 ]);
+  checkb "final: E in 1" true (versions final "q" "E" = [ 1 ]);
+  checkb "final: F in 1" true (versions final "s" "F" = [ 1 ])
+
+let table1_renderers () =
+  let r = Lazy.force replay in
+  checkb "trace renders" true (String.length (Table1.render_trace r) > 500);
+  checkb "snapshots render" true (String.length (Table1.render_snapshots r) > 100)
+
+(* -------------------------------------------------------- experiments *)
+
+let registry_complete () =
+  let ids = List.map (fun (e : Experiments.t) -> e.Experiments.id) Experiments.all in
+  checkb "all present" true
+    (ids
+    = [
+        "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8";
+        "e10"; "e9"; "a1"; "a2"; "a3";
+      ])
+
+let registry_find () =
+  checkb "find e4" true (Experiments.find "E4" <> None);
+  checkb "unknown" true (Experiments.find "zz" = None)
+
+let experiment_t1_runs () =
+  match Experiments.find "t1" with
+  | Some e ->
+      let out = e.Experiments.run ~quick:true in
+      checkb "mentions true checks" true
+        (let contains s sub =
+           let n = String.length s and m = String.length sub in
+           let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+           scan 0
+         in
+         contains out "| true |" && not (contains out "| false |"))
+  | None -> Alcotest.fail "t1 missing"
+
+let experiment_e4_runs () =
+  match Experiments.find "e4" with
+  | Some e ->
+      let out = e.Experiments.run ~quick:true in
+      checkb "bound holds column is true" true
+        (let contains s sub =
+           let n = String.length s and m = String.length sub in
+           let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+           scan 0
+         in
+         contains out "true" && not (contains out "false"))
+  | None -> Alcotest.fail "e4 missing"
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "drives and harvests" `Quick
+            runner_drives_and_harvests;
+          Alcotest.test_case "max_txns cap" `Quick runner_max_txns_cap;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "protocol outcomes" `Quick table1_protocol_outcomes;
+          Alcotest.test_case "final counters match paper" `Quick
+            table1_final_counters_match_paper;
+          Alcotest.test_case "event order matches Table 1" `Quick
+            table1_event_order;
+          Alcotest.test_case "figure 2 layouts" `Quick table1_figure2_layouts;
+          Alcotest.test_case "renderers" `Quick table1_renderers;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry complete" `Quick registry_complete;
+          Alcotest.test_case "find" `Quick registry_find;
+          Alcotest.test_case "t1 runs clean" `Slow experiment_t1_runs;
+          Alcotest.test_case "e4 runs clean" `Slow experiment_e4_runs;
+        ] );
+    ]

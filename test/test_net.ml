@@ -1,0 +1,183 @@
+(* Tests for the network substrate and latency models. *)
+
+module Sim = Simul.Sim
+module Network = Netsim.Network
+module Latency = Netsim.Latency
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let delivery () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 0.1) () in
+  let got = ref None in
+  Sim.spawn sim ~daemon:true (fun () -> got := Some (Network.recv net ~node:1));
+  Network.send net ~src:0 ~dst:1 "hello";
+  ignore (Sim.run sim ());
+  checkb "received" true (!got = Some "hello")
+
+let constant_latency_timing () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 0.25) () in
+  let at = ref 0. in
+  Sim.spawn sim ~daemon:true (fun () ->
+      ignore (Network.recv net ~node:1);
+      at := Sim.now sim);
+  Network.send net ~src:0 ~dst:1 ();
+  ignore (Sim.run sim ());
+  Alcotest.(check (float 1e-9)) "arrival time" 0.25 !at
+
+let self_send_zero_delay () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 5.0) () in
+  let at = ref (-1.) in
+  Sim.spawn sim ~daemon:true (fun () ->
+      ignore (Network.recv net ~node:0);
+      at := Sim.now sim);
+  Network.send net ~src:0 ~dst:0 ();
+  ignore (Sim.run sim ());
+  Alcotest.(check (float 1e-9)) "no delay to self" 0. !at
+
+let constant_preserves_fifo () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 0.1) () in
+  let log = ref [] in
+  Sim.spawn sim ~daemon:true (fun () ->
+      let rec loop () =
+        log := Network.recv net ~node:1 :: !log;
+        loop ()
+      in
+      loop ());
+  for i = 1 to 5 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  ignore (Sim.run sim ());
+  Alcotest.(check (list int)) "fifo under constant latency" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let link_latency_override () =
+  let sim = Sim.create () in
+  let override ~src ~dst =
+    if src = 0 && dst = 1 then Some (Latency.Constant 1.0) else None
+  in
+  let net =
+    Network.create sim ~size:3 ~latency:(Latency.Constant 0.1)
+      ~link_latency:override ()
+  in
+  let t01 = ref 0. and t02 = ref 0. in
+  Sim.spawn sim ~daemon:true (fun () ->
+      ignore (Network.recv net ~node:1);
+      t01 := Sim.now sim);
+  Sim.spawn sim ~daemon:true (fun () ->
+      ignore (Network.recv net ~node:2);
+      t02 := Sim.now sim);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:2 ();
+  ignore (Sim.run sim ());
+  Alcotest.(check (float 1e-9)) "overridden link" 1.0 !t01;
+  Alcotest.(check (float 1e-9)) "default link" 0.1 !t02
+
+let message_accounting () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:3 ~latency:(Latency.Constant 0.) () in
+  for node = 0 to 2 do
+    Sim.spawn sim ~daemon:true (fun () ->
+        let rec loop () =
+          ignore (Network.recv net ~node);
+          loop ()
+        in
+        loop ())
+  done;
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:1 ~dst:2 ();
+  Network.send net ~src:2 ~dst:2 ();
+  ignore (Sim.run sim ());
+  checki "total" 4 (Network.messages_sent net);
+  checki "remote" 3 (Network.remote_messages_sent net);
+  checkb "link counts" true
+    (Network.link_counts net
+    = [ ((0, 1), 2); ((1, 2), 1); ((2, 2), 1) ])
+
+let zero_size_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "size 0"
+    (Invalid_argument "Network.create: size must be positive") (fun () ->
+      ignore
+        (Network.create sim ~size:0 ~latency:(Latency.Constant 0.)
+           () : unit Network.t))
+
+let out_of_range_nodes () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 0.) () in
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Network.send: node 7 out of range") (fun () ->
+      Network.send net ~src:0 ~dst:7 ())
+
+let latency_means () =
+  Alcotest.(check (float 1e-9)) "constant" 0.5 (Latency.mean (Latency.Constant 0.5));
+  Alcotest.(check (float 1e-9)) "uniform" 0.3
+    (Latency.mean (Latency.Uniform (0.1, 0.5)));
+  Alcotest.(check (float 1e-9)) "exp" 0.2 (Latency.mean (Latency.Exponential 0.2))
+
+let sample_nonnegative =
+  QCheck.Test.make ~name:"latency samples are nonnegative" ~count:300
+    QCheck.(triple (float_range (-1.) 1.) (float_range 0. 1.) (float_range 0. 1.))
+    (fun (a, b, c) ->
+      let rng = Random.State.make [| 11 |] in
+      List.for_all
+        (fun model -> Latency.sample model rng >= 0.)
+        [ Latency.Constant a; Latency.Uniform (a, b); Latency.Exponential c ])
+
+let uniform_within_bounds =
+  QCheck.Test.make ~name:"uniform samples stay in [lo, hi]" ~count:200
+    QCheck.(pair (float_range 0. 5.) (float_range 0. 5.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let rng = Random.State.make [| 7 |] in
+      let model = Latency.Uniform (lo, hi) in
+      List.for_all
+        (fun _ ->
+          let x = Latency.sample model rng in
+          x >= lo -. 1e-12 && x <= hi +. 1e-12)
+        (List.init 50 Fun.id))
+
+let exponential_mean_sanity () =
+  let rng = Random.State.make [| 3 |] in
+  let model = Latency.Exponential 0.1 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Latency.sample model rng
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "empirical mean near 0.1" true (mean > 0.09 && mean < 0.11)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ sample_nonnegative; uniform_within_bounds ]
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick delivery;
+          Alcotest.test_case "constant latency timing" `Quick
+            constant_latency_timing;
+          Alcotest.test_case "self send zero delay" `Quick self_send_zero_delay;
+          Alcotest.test_case "fifo under constant latency" `Quick
+            constant_preserves_fifo;
+          Alcotest.test_case "link latency override" `Quick
+            link_latency_override;
+          Alcotest.test_case "message accounting" `Quick message_accounting;
+          Alcotest.test_case "out of range" `Quick out_of_range_nodes;
+          Alcotest.test_case "zero size rejected" `Quick zero_size_rejected;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "means" `Quick latency_means;
+          Alcotest.test_case "exponential mean sanity" `Quick
+            exponential_mean_sanity;
+        ]
+        @ qsuite );
+    ]

@@ -1,0 +1,240 @@
+(* Tests for the multi-version store: the data-layer rules of paper §4.1
+   step 3/4 and the §4.3 phase-4 garbage collection. *)
+
+module Mvstore = Store.Mvstore
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let vlist = Alcotest.(check (list int))
+
+(* A tiny value type: the store is polymorphic, ints suffice here. *)
+let put store ~key ~version value =
+  Mvstore.write_exact store ~key ~version ~init:0 ~f:(fun _ -> value)
+
+let read_visible_rules () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 10);
+  ignore (put s ~key:"x" ~version:2 30);
+  (* Max existing version not exceeding the requested one. *)
+  checkb "v0" true (Mvstore.read_visible s ~key:"x" ~version:0 = Some (0, 10));
+  checkb "v1 falls back to v0" true
+    (Mvstore.read_visible s ~key:"x" ~version:1 = Some (0, 10));
+  checkb "v2" true (Mvstore.read_visible s ~key:"x" ~version:2 = Some (2, 30));
+  checkb "v9 sees latest" true
+    (Mvstore.read_visible s ~key:"x" ~version:9 = Some (2, 30));
+  checkb "missing key" true (Mvstore.read_visible s ~key:"y" ~version:5 = None)
+
+let read_exact_and_exists () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:1 11);
+  checkb "exact hit" true (Mvstore.read_exact s ~key:"x" ~version:1 = Some 11);
+  checkb "exact miss" true (Mvstore.read_exact s ~key:"x" ~version:0 = None);
+  checkb "exists" true (Mvstore.exists s ~key:"x" ~version:1);
+  checkb "not exists" false (Mvstore.exists s ~key:"x" ~version:2);
+  checkb "above false" false (Mvstore.exists_above s ~key:"x" ~version:1);
+  checkb "above true" true (Mvstore.exists_above s ~key:"x" ~version:0);
+  checkb "above missing key" false (Mvstore.exists_above s ~key:"z" ~version:0)
+
+let write_upward_copy_on_update () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 100);
+  (* Writing version 1 copies version 0 first, then updates version 1. *)
+  let info = Mvstore.write_upward s ~key:"x" ~version:1 ~init:0 ~f:(fun v -> v + 1) in
+  checkb "copied" true info.Mvstore.created_copy;
+  checkb "not new item" false info.Mvstore.created_item;
+  checki "one version updated" 1 info.Mvstore.versions_updated;
+  checkb "v0 untouched" true (Mvstore.read_exact s ~key:"x" ~version:0 = Some 100);
+  checkb "v1 updated" true (Mvstore.read_exact s ~key:"x" ~version:1 = Some 101)
+
+let write_upward_dual_write () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 0);
+  (* A version-2 transaction creates x(2)... *)
+  ignore (Mvstore.write_upward s ~key:"x" ~version:2 ~init:0 ~f:(fun v -> v + 100));
+  (* ...then a version-1 straggler must update BOTH versions 1 and 2
+     (paper §2.3, the iq-on-D case). *)
+  let info = Mvstore.write_upward s ~key:"x" ~version:1 ~init:0 ~f:(fun v -> v + 1) in
+  checki "dual write" 2 info.Mvstore.versions_updated;
+  checkb "v1 = copy of v0 + 1" true
+    (Mvstore.read_exact s ~key:"x" ~version:1 = Some 1);
+  checkb "v2 reflects both" true
+    (Mvstore.read_exact s ~key:"x" ~version:2 = Some 101);
+  checki "dual-write counter" 1 (Mvstore.dual_writes s)
+
+let write_upward_no_higher_copy () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"e" ~version:0 5);
+  (* No version-2 copy exists: a version-1 write touches only version 1
+     (the iq-on-E case — "E does not yet have a version 2 copy"). *)
+  let info = Mvstore.write_upward s ~key:"e" ~version:1 ~init:0 ~f:(fun v -> v + 1) in
+  checki "single" 1 info.Mvstore.versions_updated;
+  vlist "versions" [ 1; 0 ] (Mvstore.versions_of s ~key:"e")
+
+let write_upward_new_item () =
+  let s = Mvstore.create () in
+  let info = Mvstore.write_upward s ~key:"n" ~version:3 ~init:7 ~f:(fun v -> v * 2) in
+  checkb "created item" true info.Mvstore.created_item;
+  checkb "no copy counted for fresh items" false info.Mvstore.created_copy;
+  checkb "value from init" true (Mvstore.read_exact s ~key:"n" ~version:3 = Some 14);
+  checki "copies counter untouched" 0 (Mvstore.copies_created s)
+
+let write_upward_only_higher_exists () =
+  (* The item exists only in a higher version (created there): an
+     older-version write materializes its own copy from [init] and still
+     updates the higher copy — §4.1 step 4 taken literally. *)
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:5 50);
+  let info = Mvstore.write_upward s ~key:"x" ~version:2 ~init:0 ~f:(fun v -> v + 1) in
+  checkb "not a new item" false info.Mvstore.created_item;
+  checki "both versions updated" 2 info.Mvstore.versions_updated;
+  checkb "v2 from init" true (Mvstore.read_exact s ~key:"x" ~version:2 = Some 1);
+  checkb "v5 updated too" true (Mvstore.read_exact s ~key:"x" ~version:5 = Some 51)
+
+let write_exact_leaves_higher_alone () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 0);
+  ignore (put s ~key:"x" ~version:2 20);
+  ignore (Mvstore.write_exact s ~key:"x" ~version:1 ~init:0 ~f:(fun v -> v + 1));
+  checkb "v1 created from v0 and updated" true
+    (Mvstore.read_exact s ~key:"x" ~version:1 = Some 1);
+  checkb "v2 untouched (NC rule)" true
+    (Mvstore.read_exact s ~key:"x" ~version:2 = Some 20)
+
+let gc_drop_when_new_version_exists () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 0);
+  ignore (put s ~key:"x" ~version:1 1);
+  ignore (put s ~key:"x" ~version:2 2);
+  Mvstore.gc s ~new_read_version:1;
+  vlist "kept 1 and 2" [ 2; 1 ] (Mvstore.versions_of s ~key:"x");
+  checkb "v1 value intact" true (Mvstore.read_exact s ~key:"x" ~version:1 = Some 1)
+
+let gc_relabel_when_missing () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"b" ~version:0 42);
+  (* b was never written in version 1: its latest earlier version gets
+     relabelled (paper §4.3 phase 4). *)
+  Mvstore.gc s ~new_read_version:1;
+  vlist "relabelled" [ 1 ] (Mvstore.versions_of s ~key:"b");
+  checkb "value preserved" true (Mvstore.read_exact s ~key:"b" ~version:1 = Some 42)
+
+let gc_idempotent () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 0);
+  ignore (put s ~key:"x" ~version:2 2);
+  Mvstore.gc s ~new_read_version:1;
+  let before = Mvstore.versions_of s ~key:"x" in
+  Mvstore.gc s ~new_read_version:1;
+  vlist "stable" before (Mvstore.versions_of s ~key:"x")
+
+let max_versions_tracking () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"x" ~version:0 0);
+  checki "one" 1 (Mvstore.max_versions_ever s);
+  ignore (put s ~key:"x" ~version:1 1);
+  ignore (put s ~key:"x" ~version:2 2);
+  checki "three" 3 (Mvstore.max_versions_ever s);
+  Mvstore.gc s ~new_read_version:2;
+  (* The high-water mark persists after GC. *)
+  checki "still three" 3 (Mvstore.max_versions_ever s)
+
+let keys_and_fold () =
+  let s = Mvstore.create () in
+  ignore (put s ~key:"b" ~version:0 1);
+  ignore (put s ~key:"a" ~version:0 2);
+  ignore (put s ~key:"a" ~version:1 3);
+  Alcotest.(check (list string)) "sorted keys" [ "a"; "b" ] (Mvstore.keys s);
+  let total = Mvstore.fold s ~init:0 ~f:(fun acc _ _ v -> acc + v) in
+  checki "fold sums all versions" 6 total
+
+(* Property: version lists are always strictly descending and duplicate
+   free, under arbitrary write/gc sequences. *)
+let versions_sorted_property =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun k v -> `Write (k, v)) (int_range 0 3) (int_range 0 4);
+          map (fun v -> `Gc v) (int_range 0 4);
+        ])
+  in
+  QCheck.Test.make ~name:"versions stay sorted and unique under write/gc"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let s = Mvstore.create () in
+      List.iter
+        (function
+          | `Write (k, v) ->
+              ignore
+                (Mvstore.write_upward s ~key:(string_of_int k) ~version:v
+                   ~init:0 ~f:succ)
+          | `Gc v -> Mvstore.gc s ~new_read_version:v)
+        ops;
+      List.for_all
+        (fun key ->
+          let versions = Mvstore.versions_of s ~key in
+          let rec strictly_desc = function
+            | a :: (b :: _ as rest) -> a > b && strictly_desc rest
+            | _ -> true
+          in
+          strictly_desc versions)
+        (Mvstore.keys s))
+
+(* Property: after any write sequence, read_visible returns the maximum
+   version <= the requested one. *)
+let read_visible_property =
+  QCheck.Test.make ~name:"read_visible returns max version <= requested"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 5))
+    (fun writes ->
+      let s = Mvstore.create () in
+      List.iter
+        (fun v -> ignore (Mvstore.write_upward s ~key:"k" ~version:v ~init:0 ~f:succ))
+        writes;
+      let versions = Mvstore.versions_of s ~key:"k" in
+      List.for_all
+        (fun req ->
+          let expect = List.find_opt (fun v -> v <= req) versions in
+          match (Mvstore.read_visible s ~key:"k" ~version:req, expect) with
+          | None, None -> true
+          | Some (v, _), Some v' -> v = v'
+          | _ -> false)
+        [ 0; 1; 2; 3; 4; 5; 6 ])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ versions_sorted_property; read_visible_property ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "reads",
+        [
+          Alcotest.test_case "read_visible rules" `Quick read_visible_rules;
+          Alcotest.test_case "read_exact / exists" `Quick read_exact_and_exists;
+        ] );
+      ( "writes",
+        [
+          Alcotest.test_case "copy on update" `Quick write_upward_copy_on_update;
+          Alcotest.test_case "dual write" `Quick write_upward_dual_write;
+          Alcotest.test_case "no higher copy" `Quick write_upward_no_higher_copy;
+          Alcotest.test_case "only higher exists" `Quick
+            write_upward_only_higher_exists;
+          Alcotest.test_case "new item" `Quick write_upward_new_item;
+          Alcotest.test_case "write_exact NC rule" `Quick
+            write_exact_leaves_higher_alone;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "drop" `Quick gc_drop_when_new_version_exists;
+          Alcotest.test_case "relabel" `Quick gc_relabel_when_missing;
+          Alcotest.test_case "idempotent" `Quick gc_idempotent;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "max versions" `Quick max_versions_tracking;
+          Alcotest.test_case "keys and fold" `Quick keys_and_fold;
+        ] );
+      ("properties", qsuite);
+    ]

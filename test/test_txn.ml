@@ -1,0 +1,422 @@
+(* Tests for the transaction model: values, operations, specs, and the
+   commute-aware lock manager. *)
+
+module Sim = Simul.Sim
+module Value = Txn.Value
+module Op = Txn.Op
+module Spec = Txn.Spec
+module Result = Txn.Result
+module Lockmgr = Txn.Lockmgr
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------ value *)
+
+let value_incr_append () =
+  let v =
+    Value.empty
+    |> Value.incr ~txn:1 ~delta:5.
+    |> Value.append ~txn:2 ~entry:"rec"
+    |> Value.incr ~txn:1 ~delta:(-2.)
+  in
+  Alcotest.(check (float 1e-9)) "amount" 3. v.Value.amount;
+  checki "entries" 1 (List.length v.Value.entries);
+  checkb "writers" true
+    (Value.Writers.elements v.Value.writers = [ 1; 2 ])
+
+let value_overwrite () =
+  let v = Value.empty |> Value.incr ~txn:1 ~delta:5. in
+  let v = Value.overwrite ~txn:3 ~amount:99. v in
+  Alcotest.(check (float 1e-9)) "amount replaced" 99. v.Value.amount;
+  checkb "writer recorded" true (Value.Writers.mem 3 v.Value.writers)
+
+(* The heart of the paper's assumption: commuting subtransaction bodies
+   reach the same state in either order. *)
+let value_commutation =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun t d -> `Incr (t, d)) (int_range 1 5)
+            (float_range (-10.) 10.);
+          map2 (fun t e -> `Append (t, "e" ^ string_of_int e)) (int_range 1 5)
+            (int_range 0 9);
+        ])
+  in
+  let apply v = function
+    | `Incr (txn, delta) -> Value.incr ~txn ~delta v
+    | `Append (txn, entry) -> Value.append ~txn ~entry v
+  in
+  QCheck.Test.make ~name:"commuting ops commute (multiset equality)" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 0 10) op_gen)
+                     (list_size (int_range 0 10) op_gen)))
+    (fun (a, b) ->
+      let run ops = List.fold_left apply Value.empty ops in
+      Value.equal (run (a @ b)) (run (b @ a)))
+
+(* --------------------------------------------------------------- op *)
+
+let op_classification () =
+  checkb "read not write" false (Op.is_write (Op.Read "k"));
+  checkb "incr write" true (Op.is_write (Op.Incr ("k", 1.)));
+  checkb "incr commutes" true (Op.commuting_write (Op.Incr ("k", 1.)));
+  checkb "append commutes" true (Op.commuting_write (Op.Append ("k", "e")));
+  checkb "overwrite does not" false (Op.commuting_write (Op.Overwrite ("k", 1.)));
+  Alcotest.(check string) "key" "k" (Op.key (Op.Overwrite ("k", 1.)))
+
+(* ------------------------------------------------------------- spec *)
+
+let spec_classify () =
+  let read = Spec.make ~id:1 (Spec.subtxn 0 [ Op.Read "a" ]) in
+  checkb "read-only" true (read.Spec.kind = Spec.Read_only);
+  let upd =
+    Spec.make ~id:2
+      (Spec.subtxn ~children:[ Spec.subtxn 1 [ Op.Append ("b", "x") ] ] 0
+         [ Op.Incr ("a", 1.); Op.Read "c" ])
+  in
+  checkb "commuting" true (upd.Spec.kind = Spec.Commuting);
+  let nc =
+    Spec.make ~id:3
+      (Spec.subtxn ~children:[ Spec.subtxn 1 [ Op.Overwrite ("b", 2.) ] ] 0
+         [ Op.Incr ("a", 1.) ])
+  in
+  checkb "one overwrite anywhere makes it non-commuting" true
+    (nc.Spec.kind = Spec.Non_commuting)
+
+let spec_accessors () =
+  let tree =
+    Spec.subtxn
+      ~children:
+        [
+          Spec.subtxn 2 [ Op.Read "x" ];
+          Spec.subtxn ~children:[ Spec.subtxn 0 [ Op.Incr ("z", 1.) ] ] 1
+            [ Op.Incr ("y", 1.) ];
+        ]
+      0
+      [ Op.Read "w"; Op.Incr ("x", 1.) ]
+  in
+  let spec = Spec.make ~id:7 ~label:"t" tree in
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2 ] (Spec.nodes spec);
+  Alcotest.(check (list string)) "read keys" [ "w"; "x" ] (Spec.keys_read spec);
+  Alcotest.(check (list string)) "written keys" [ "x"; "y"; "z" ]
+    (Spec.keys_written spec);
+  checki "size" 4 (Spec.size spec)
+
+let result_latencies () =
+  let r =
+    {
+      Result.txn_id = 1;
+      outcome = Result.Committed;
+      version = 1;
+      reads = [];
+      submit_time = 1.0;
+      root_commit_time = 1.25;
+      complete_time = 2.0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "settle" 1.0 (Result.latency r);
+  Alcotest.(check (float 1e-9)) "blocking" 0.25 (Result.blocking_latency r);
+  checkb "committed" true (Result.committed r);
+  checkb "aborted" false (Result.committed { r with outcome = Result.Aborted "x" })
+
+(* ---------------------------------------------------------- lockmgr *)
+
+let compat () =
+  checkb "S/S" true (Lockmgr.compatible Lockmgr.Shared Lockmgr.Shared);
+  checkb "S/X" false (Lockmgr.compatible Lockmgr.Shared Lockmgr.Exclusive);
+  checkb "X/X" false (Lockmgr.compatible Lockmgr.Exclusive Lockmgr.Exclusive);
+  checkb "CR/CU" true (Lockmgr.compatible Lockmgr.Commute_read Lockmgr.Commute_update);
+  checkb "CU/CU" true (Lockmgr.compatible Lockmgr.Commute_update Lockmgr.Commute_update);
+  checkb "NC/CU" false (Lockmgr.compatible Lockmgr.Non_commute Lockmgr.Commute_update);
+  checkb "NC/NC" false (Lockmgr.compatible Lockmgr.Non_commute Lockmgr.Non_commute)
+
+(* Run a body inside a simulation and return its result after the run. *)
+let in_sim body =
+  let sim = Sim.create () in
+  let out = ref None in
+  Sim.spawn sim (fun () -> out := Some (body sim));
+  (match Sim.run sim () with
+  | Sim.Completed -> ()
+  | Sim.Stalled names ->
+      Alcotest.failf "stalled: %s" (String.concat "," names)
+  | Sim.Hit_limit -> ());
+  match !out with Some v -> v | None -> Alcotest.fail "body did not finish"
+
+let shared_locks_coexist () =
+  let granted =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim () in
+        let a = Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Shared () in
+        let b = Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Shared () in
+        (a, b))
+  in
+  checkb "both granted" true (granted = (Lockmgr.Granted, Lockmgr.Granted))
+
+let exclusive_blocks_until_release () =
+  let order =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:infinity () in
+        let log = ref [] in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+        Sim.spawn sim (fun () ->
+            (match Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Exclusive () with
+            | Lockmgr.Granted -> log := "granted" :: !log
+            | _ -> log := "refused" :: !log));
+        Sim.sleep sim 1.0;
+        log := "releasing" :: !log;
+        Lockmgr.release_all lm ~owner:1;
+        Sim.sleep sim 0.1;
+        List.rev !log)
+  in
+  checkb "waiter granted only after release" true
+    (order = [ "releasing"; "granted" ])
+
+let commute_locks_never_wait () =
+  let all_granted =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim () in
+        List.for_all
+          (fun owner ->
+            Lockmgr.acquire lm ~owner ~key:"hot" ~mode:Lockmgr.Commute_update ()
+            = Lockmgr.Granted)
+          [ 1; 2; 3; 4; 5 ])
+  in
+  checkb "five concurrent commute-update locks" true all_granted
+
+let nc_blocks_commute () =
+  let result =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:infinity () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Non_commute ());
+        let got = ref None in
+        Sim.spawn sim (fun () ->
+            got :=
+              Some (Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Commute_update ()));
+        Sim.sleep sim 0.5;
+        let blocked = !got = None in
+        Lockmgr.release_all lm ~owner:1;
+        Sim.sleep sim 0.1;
+        (blocked, !got))
+  in
+  checkb "blocked then granted" true (result = (true, Some Lockmgr.Granted))
+
+let deadlock_detected () =
+  let outcome =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:infinity () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"a" ~mode:Lockmgr.Exclusive ());
+        ignore (Lockmgr.acquire lm ~owner:2 ~key:"b" ~mode:Lockmgr.Exclusive ());
+        let r1 = ref None in
+        Sim.spawn sim (fun () ->
+            r1 := Some (Lockmgr.acquire lm ~owner:1 ~key:"b" ~mode:Lockmgr.Exclusive ()));
+        Sim.sleep sim 0.1;
+        (* Owner 2 now closes the cycle: must be refused immediately. *)
+        let r2 = Lockmgr.acquire lm ~owner:2 ~key:"a" ~mode:Lockmgr.Exclusive () in
+        (* Let owner 2 abort, releasing b, which unblocks owner 1. *)
+        Lockmgr.release_all lm ~owner:2;
+        Sim.sleep sim 0.1;
+        (r2, !r1))
+  in
+  checkb "cycle refused and victim's release unblocks waiter" true
+    (outcome = (Lockmgr.Deadlock, Some Lockmgr.Granted))
+
+let timeout_fires () =
+  let result =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:0.2 () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+        let t0 = Sim.now sim in
+        let r = Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Exclusive () in
+        (r, Sim.now sim -. t0))
+  in
+  checkb "timed out at the deadline" true
+    (fst result = Lockmgr.Timeout && abs_float (snd result -. 0.2) < 1e-9)
+
+let per_call_timeout_overrides () =
+  let result =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:10.0 () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+        Lockmgr.acquire lm ~timeout:0.05 ~owner:2 ~key:"k"
+          ~mode:Lockmgr.Exclusive ())
+  in
+  checkb "per-call timeout" true (result = Lockmgr.Timeout)
+
+let reentrant_acquire () =
+  let result =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim () in
+        let a = Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Shared () in
+        (* Even with an incompatible waiter queued, the holder's own new
+           request must not deadlock behind it. *)
+        Sim.spawn sim (fun () ->
+            ignore (Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Exclusive ()));
+        Sim.sleep sim 0.01;
+        let b = Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Shared () in
+        Lockmgr.release_all lm ~owner:1;
+        Sim.sleep sim 0.01;
+        Lockmgr.release_all lm ~owner:2;
+        (a, b))
+  in
+  checkb "re-entrant" true (result = (Lockmgr.Granted, Lockmgr.Granted))
+
+let fifo_no_overtaking () =
+  let order =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:infinity () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+        let log = ref [] in
+        (* Owner 2 queues for X; owner 3's S request arrives later and must
+           not overtake it. *)
+        Sim.spawn sim (fun () ->
+            ignore (Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Exclusive ());
+            log := 2 :: !log;
+            Sim.sleep sim 0.1;
+            Lockmgr.release_all lm ~owner:2);
+        Sim.sleep sim 0.01;
+        Sim.spawn sim (fun () ->
+            ignore (Lockmgr.acquire lm ~owner:3 ~key:"k" ~mode:Lockmgr.Shared ());
+            log := 3 :: !log;
+            Lockmgr.release_all lm ~owner:3);
+        Sim.sleep sim 0.05;
+        Lockmgr.release_all lm ~owner:1;
+        Sim.sleep sim 1.0;
+        List.rev !log)
+  in
+  checkb "fifo order" true (order = [ 2; 3 ])
+
+let held_and_counts () =
+  in_sim (fun sim ->
+      let lm = Lockmgr.create sim () in
+      ignore (Lockmgr.acquire lm ~owner:1 ~key:"a" ~mode:Lockmgr.Shared ());
+      ignore (Lockmgr.acquire lm ~owner:1 ~key:"b" ~mode:Lockmgr.Exclusive ());
+      checkb "held" true
+        (Lockmgr.held lm ~owner:1
+        = [ ("a", Lockmgr.Shared); ("b", Lockmgr.Exclusive) ]);
+      checki "no waiters" 0 (Lockmgr.waiting lm);
+      Lockmgr.release_all lm ~owner:1;
+      checkb "released" true (Lockmgr.held lm ~owner:1 = []))
+
+let release_wakes_multiple_shared () =
+  let count =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:infinity () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+        let granted = ref 0 in
+        for owner = 2 to 4 do
+          Sim.spawn sim (fun () ->
+              match Lockmgr.acquire lm ~owner ~key:"k" ~mode:Lockmgr.Shared () with
+              | Lockmgr.Granted -> incr granted
+              | _ -> ())
+        done;
+        Sim.sleep sim 0.1;
+        Lockmgr.release_all lm ~owner:1;
+        Sim.sleep sim 0.1;
+        !granted)
+  in
+  checki "all shared waiters granted together" 3 count
+
+(* Property: under random acquire/release schedules, the lock table never
+   holds two incompatible owners on a key, and everything drains (granted
+   or refused — no one left waiting forever once all owners release). *)
+let lockmgr_random_schedules =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map3
+            (fun owner key mode -> `Acquire (owner, key, mode))
+            (int_range 1 5) (int_range 0 2)
+            (oneofl
+               [ Lockmgr.Shared; Lockmgr.Exclusive; Lockmgr.Commute_read;
+                 Lockmgr.Commute_update; Lockmgr.Non_commute ]);
+          map (fun owner -> `Release owner) (int_range 1 5);
+        ])
+  in
+  QCheck.Test.make ~name:"lockmgr: compatibility invariant + drain" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 30) op_gen))
+    (fun ops ->
+      let sim = Sim.create () in
+      let lm = Lockmgr.create sim ~deadlock_timeout:0.5 () in
+      let violation = ref false in
+      (* Track current holders per key from grant results to check the
+         compatibility matrix externally. *)
+      let grants : (int * string * Lockmgr.mode) list ref = ref [] in
+      let note_grant owner key mode =
+        List.iter
+          (fun (o, k, m) ->
+            if k = key && o <> owner && not (Lockmgr.compatible mode m) then
+              violation := true)
+          !grants;
+        grants := (owner, key, mode) :: !grants
+      in
+      let drop_owner owner =
+        grants := List.filter (fun (o, _, _) -> o <> owner) !grants
+      in
+      List.iteri
+        (fun i op ->
+          match op with
+          | `Acquire (owner, key, mode) ->
+              Sim.spawn sim ~name:(Printf.sprintf "acq%d" i) (fun () ->
+                  let key = string_of_int key in
+                  match Lockmgr.acquire lm ~owner ~key ~mode () with
+                  | Lockmgr.Granted -> note_grant owner key mode
+                  | Lockmgr.Deadlock | Lockmgr.Timeout -> ())
+          | `Release owner ->
+              Sim.spawn sim ~name:(Printf.sprintf "rel%d" i) (fun () ->
+                  Sim.sleep sim (0.01 *. float_of_int i);
+                  drop_owner owner;
+                  Lockmgr.release_all lm ~owner))
+        ops;
+      (* Run; then release every owner so all waiters resolve. *)
+      ignore (Sim.run sim ~until:10.0 ());
+      for owner = 1 to 5 do
+        drop_owner owner;
+        Lockmgr.release_all lm ~owner
+      done;
+      let outcome = Sim.run sim ~until:20.0 () in
+      (not !violation)
+      && (match outcome with Sim.Stalled _ -> false | _ -> true)
+      && Lockmgr.waiting lm = 0)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ value_commutation; lockmgr_random_schedules ]
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "incr/append" `Quick value_incr_append;
+          Alcotest.test_case "overwrite" `Quick value_overwrite;
+        ]
+        @ qsuite );
+      ("op", [ Alcotest.test_case "classification" `Quick op_classification ]);
+      ( "spec",
+        [
+          Alcotest.test_case "classify" `Quick spec_classify;
+          Alcotest.test_case "accessors" `Quick spec_accessors;
+          Alcotest.test_case "result latencies" `Quick result_latencies;
+        ] );
+      ( "lockmgr",
+        [
+          Alcotest.test_case "compatibility matrix" `Quick compat;
+          Alcotest.test_case "shared coexist" `Quick shared_locks_coexist;
+          Alcotest.test_case "exclusive blocks" `Quick
+            exclusive_blocks_until_release;
+          Alcotest.test_case "commute locks never wait" `Quick
+            commute_locks_never_wait;
+          Alcotest.test_case "nc blocks commute" `Quick nc_blocks_commute;
+          Alcotest.test_case "deadlock detected" `Quick deadlock_detected;
+          Alcotest.test_case "timeout fires" `Quick timeout_fires;
+          Alcotest.test_case "per-call timeout" `Quick per_call_timeout_overrides;
+          Alcotest.test_case "re-entrant" `Quick reentrant_acquire;
+          Alcotest.test_case "fifo no overtaking" `Quick fifo_no_overtaking;
+          Alcotest.test_case "held and counts" `Quick held_and_counts;
+          Alcotest.test_case "release wakes shared group" `Quick
+            release_wakes_multiple_shared;
+        ] );
+    ]
