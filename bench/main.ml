@@ -195,8 +195,21 @@ let run_micro () =
 
 (* --------------------------------------------------------------- main *)
 
+(* `main.exe smoke`: the CI gate wired into `dune runtest` — Table 1 replay
+   plus a tiny lossy-network E11, well under ten seconds. *)
+let run_smoke () =
+  let ok, report = Harness.Experiments.smoke () in
+  print_string "## Smoke suite\n\n";
+  print_string report;
+  if ok then print_endline "smoke: all checks passed"
+  else begin
+    prerr_endline "smoke: FAILED";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if args = [ "smoke" ] then (run_smoke (); exit 0);
   let quick = List.mem "--quick" args in
   let no_micro = List.mem "--no-micro" args in
   let ids =

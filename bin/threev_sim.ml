@@ -31,7 +31,9 @@ let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps and durations.")
 
 let experiment_cmd =
-  let doc = "Run one experiment by id (t1, f1, f2, e1..e8), or $(b,all)." in
+  let doc =
+    "Run one experiment by id (t1, f1, f2, e1..e12, a1..a4), or $(b,all)."
+  in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
@@ -139,6 +141,36 @@ let workload_conv =
       ("synthetic", W_synthetic);
     ]
 
+(* Fault-injection flags, shared syntax with lib/fault's plan builders:
+   --partition SRC:DST:FROM:UNTIL drops every message on a directed link
+   during a window; --crash NODE@TIME:RESTART fail-stops a node. *)
+let partition_conv =
+  let parse s =
+    match
+      Scanf.sscanf_opt s "%d:%d:%f:%f%!" (fun a b c d -> (a, b, c, d))
+    with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad partition spec %S, expected SRC:DST:FROM:UNTIL"
+                s))
+  in
+  let print ppf (a, b, c, d) = Format.fprintf ppf "%d:%d:%g:%g" a b c d in
+  Arg.conv (parse, print)
+
+let crash_conv =
+  let parse s =
+    match Scanf.sscanf_opt s "%d@%f:%f%!" (fun n a r -> (n, a, r)) with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad crash spec %S, expected NODE@TIME:RESTART" s))
+  in
+  let print ppf (n, a, r) = Format.fprintf ppf "%d@%g:%g" n a r in
+  Arg.conv (parse, print)
+
 let run_cmd =
   let doc = "Run a single engine × workload simulation and print a report." in
   let engine_arg =
@@ -181,7 +213,47 @@ let run_cmd =
     Arg.(
       value & opt float 0.25 & info [ "read-ratio" ] ~doc:"Read-only fraction.")
   in
-  let run engine workload nodes rate duration seed period nc_ratio read_ratio =
+  let drop_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop-prob" ]
+          ~doc:"Drop each remote message with this probability.")
+  in
+  let dup_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup-prob" ]
+          ~doc:"Duplicate each remote message with this probability.")
+  in
+  let partition_arg =
+    Arg.(
+      value
+      & opt_all partition_conv []
+      & info [ "partition" ] ~docv:"SRC:DST:FROM:UNTIL"
+          ~doc:
+            "Drop every message on the directed link SRC->DST during \
+             [FROM, UNTIL) virtual seconds. Repeatable.")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"NODE\\@TIME:RESTART"
+          ~doc:
+            "Fail-stop NODE at TIME and restart it at RESTART: volatile \
+             state is lost, the durable store and counters survive. \
+             Repeatable; 3v engine only.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ]
+          ~doc:
+            "Seed of the dedicated fault RNG — fault decisions never \
+             perturb the workload or latency RNG streams.")
+  in
+  let run engine workload nodes rate duration seed period nc_ratio read_ratio
+      drop_prob dup_prob partitions crashes fault_seed =
     let gen =
       match workload with
       | W_hospital ->
@@ -218,7 +290,36 @@ let run_cmd =
     let setup =
       { Harness.Runner.default_setup with Harness.Runner.seed; duration; settle = 5.0 }
     in
+    let has_faults =
+      drop_prob > 0. || dup_prob > 0. || partitions <> [] || crashes <> []
+    in
+    match
+      if has_faults && (engine = E_nocoord || engine = E_manual) then
+        Error "fault-injection flags support only --engine 3v or 2pc"
+      else if not has_faults then Ok None
+      else
+        try
+          let rules =
+            (if drop_prob > 0. || dup_prob > 0. then
+               Fault.Plan.uniform_loss ~dup:dup_prob ~drop:drop_prob ()
+             else [])
+            @ List.map
+                (fun (src, dst, from_, until_) ->
+                  Fault.Plan.partition ~src ~dst ~from_ ~until_)
+                partitions
+          in
+          let crashes =
+            List.map
+              (fun (node, at, restart) -> Fault.Plan.crash ~node ~at ~restart)
+              crashes
+          in
+          Ok (Some (Fault.Plan.make ~seed:fault_seed ~rules ~crashes ()))
+        with Invalid_argument m -> Error m
+    with
+    | Error m -> `Error (false, m)
+    | Ok plan ->
     let sim = Sim.create ~seed () in
+    let faults = Option.map (Fault.Injector.create sim) plan in
     let packed, extras =
       match engine with
       | E_3v ->
@@ -229,9 +330,13 @@ let run_cmd =
               policy = Policy.Periodic period;
               nc_mode = nc_ratio > 0.;
               think_time = 0.0005;
+              (* Any fault plan can drop or duplicate messages, so the
+                 reliable channel comes on with it. *)
+              reliable_channel = plan <> None;
+              retransmit_timeout = 0.02;
             }
           in
-          let eng = Engine.create sim cfg () in
+          let eng = Engine.create sim cfg ?faults () in
           ( Engine.packed eng,
             fun () ->
               Printf.printf "advancements: %d\nmax versions: %d\n"
@@ -246,7 +351,8 @@ let run_cmd =
               deadlock_timeout = 0.05;
             }
           in
-          (Baselines.Global_2pc.packed (Baselines.Global_2pc.create sim cfg),
+          (Baselines.Global_2pc.packed
+             (Baselines.Global_2pc.create ?faults sim cfg),
            fun () -> ())
       | E_nocoord ->
           let cfg =
@@ -290,12 +396,15 @@ let run_cmd =
     Format.printf "staleness: %a@." Checker.Staleness.pp stale;
     extras ();
     Format.printf "engine counters: %a@." Stats.Counter_set.pp
-      outcome.Harness.Runner.stats
+      outcome.Harness.Runner.stats;
+    `Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ engine_arg $ workload_arg $ nodes_arg $ rate_arg
-      $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg)
+      ret
+        (const run $ engine_arg $ workload_arg $ nodes_arg $ rate_arg
+       $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg $ drop_arg
+       $ dup_arg $ partition_arg $ crash_arg $ fault_seed_arg))
 
 let () =
   let doc =

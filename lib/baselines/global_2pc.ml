@@ -82,6 +82,7 @@ type t = {
   sim : Sim.t;
   cfg : config;
   net : msg Network.t;
+  faults : Fault.Injector.t;
   nodes : node array;
   counters : Counter_set.t;
 }
@@ -287,9 +288,15 @@ let handle_msg t node = function
           maybe_finish t node p)
   | Decision { txn_id; commit } -> apply_decision t node ~txn_id ~commit
 
-let create sim (cfg : config) =
+let create ?faults sim (cfg : config) =
   if cfg.nodes <= 0 then invalid_arg "Global_2pc.create: nodes must be positive";
   let net = Network.create sim ~size:cfg.nodes ~latency:cfg.latency () in
+  let faults =
+    match faults with
+    | Some f -> f
+    | None -> Fault.Injector.create sim Fault.Plan.none
+  in
+  Fault.Injector.install faults net;
   let nodes =
     Array.init cfg.nodes (fun i ->
         {
@@ -303,7 +310,17 @@ let create sim (cfg : config) =
           paused_until = 0.;
         })
   in
-  let t = { sim; cfg; net; nodes; counters = Counter_set.create () } in
+  let t = { sim; cfg; net; faults; nodes; counters = Counter_set.create () } in
+  (* 2PC deliberately has no crash recovery: the crash/restart hooks stay
+     no-ops, so a crashed node just loses its traffic — that asymmetry
+     against 3V's late-node recovery is what experiment E12 measures. *)
+  Fault.Injector.set_node_hooks faults
+    ~pause:(fun ~node ~duration:_ ~until_ ->
+      if node >= 0 && node < cfg.nodes then begin
+        let nd = nodes.(node) in
+        nd.paused_until <- Float.max nd.paused_until until_
+      end)
+    ();
   Array.iter
     (fun node ->
       Sim.spawn sim ~daemon:true ~name:(Printf.sprintf "2pc-node-%d" node.id)
@@ -345,7 +362,7 @@ let stats t =
   Counter_set.incr out "net.messages" ~by:(Network.messages_sent t.net) ();
   Counter_set.incr out "net.remote_messages"
     ~by:(Network.remote_messages_sent t.net) ();
-  out
+  Counter_set.merge out (Fault.Injector.stats t.faults)
 
 let packed t =
   Txn.Engine_intf.Packed
@@ -366,9 +383,6 @@ let store t ~node =
 let inject_pause t ~node ~at ~duration =
   if node < 0 || node >= t.cfg.nodes then
     invalid_arg "Global_2pc.inject_pause: node out of range";
-  let target = t.nodes.(node) in
-  Sim.schedule t.sim ~delay:(Float.max 0. (at -. Sim.now t.sim)) (fun () ->
-      target.paused_until <-
-        Float.max target.paused_until (Sim.now t.sim +. duration))
+  Fault.Injector.pause t.faults ~node ~at ~duration
 
 let messages_sent t = Network.messages_sent t.net

@@ -22,7 +22,11 @@ val default_config : nodes:int -> config
 
 type t
 
-val create : Simul.Sim.t -> config -> t
+(** [create ?faults sim cfg] builds the system. [faults] plugs a
+    {!Fault.Injector} into the network and the pause hook; crash/restart
+    hooks are deliberately left unset — Global-2PC has no recovery path,
+    which is the asymmetry experiment E12 measures. *)
+val create : ?faults:Fault.Injector.t -> Simul.Sim.t -> config -> t
 
 include Txn.Engine_intf.S with type t := t
 

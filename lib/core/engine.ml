@@ -4,6 +4,8 @@ module Mailbox = Simul.Mailbox
 module Semaphore = Simul.Semaphore
 module Network = Netsim.Network
 module Latency = Netsim.Latency
+module Reliable = Netsim.Reliable
+module Injector = Fault.Injector
 module Mvstore = Store.Mvstore
 module Spec = Txn.Spec
 module Op = Txn.Op
@@ -35,6 +37,16 @@ type config = {
   dual_writes : bool;
       (** straggler writes update every version ≥ theirs (§4.1 step 4);
           [false] writes only the transaction's own version *)
+  (* Message-layer hardening: required whenever a fault plan can lose or
+     duplicate messages; off by default so fault-free runs keep their exact
+     historical schedules (acks would consume extra latency samples). *)
+  reliable_channel : bool;
+      (** sequence numbers + acks + receive-side dedup on every message *)
+  retransmit : bool;
+      (** re-send unacknowledged messages (only meaningful with
+          [reliable_channel]; ablation A4 turns it off) *)
+  retransmit_timeout : float;  (** first retransmission delay *)
+  retransmit_backoff : float;  (** per-retry delay multiplier *)
 }
 
 let default_config ~nodes =
@@ -51,6 +63,10 @@ let default_config ~nodes =
     two_wave_quiescence = true;
     await_gc_acks = true;
     dual_writes = true;
+    reliable_channel = false;
+    retransmit = true;
+    retransmit_timeout = 0.05;
+    retransmit_backoff = 2.0;
   }
 
 type vote = Vote_commit | Vote_abort of string
@@ -138,7 +154,9 @@ type node = {
 type t = {
   sim : Sim.t;
   cfg : config;
-  net : msg Network.t;
+  net : msg Reliable.packet Network.t;
+  ch : msg Reliable.t;
+  faults : Injector.t;
   nodes : node array;
   coord_id : int;
   trigger_box : unit Ivar.t option Mailbox.t;
@@ -208,7 +226,7 @@ let check_version_window t =
 
 (* ------------------------------------------------------------ helpers *)
 
-let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+let send t ~src ~dst msg = Reliable.send t.ch ~src ~dst msg
 
 let combine_vote a b =
   match (a, b) with Vote_abort r, _ -> Vote_abort r | _, v -> v
@@ -694,6 +712,21 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
           node.vu <- version;
           Counters.ensure_version node.cnt version
         end;
+        (* Read-side late-node rule: a version-v read child was admitted at
+           its root only after the coordinator made v consistent and
+           readable (phase 3), so adopting v forward is safe. This is how a
+           crash-restarted node catches its read version up from the first
+           higher-versioned message it sees, without waiting for the
+           coordinator's retransmitted Advance_read. Only active in the
+           hardened (reliable-channel) configuration, so historical
+           fault-free schedules stay byte-identical. *)
+        if t.cfg.reliable_channel && kind = Spec.Read_only && version > node.vr
+        then begin
+          tr t node.name
+            "implicit notification: advancing read version to %d" version;
+          node.vr <- version;
+          wake_vr_waiters node
+        end;
         version
   in
   let p =
@@ -761,6 +794,15 @@ let handle_node_msg t node = function
              c_col = Counters.snapshot_c node.cnt ~version;
            })
   | Do_gc { keep } ->
+      (* A GC notice implies every node acknowledged read version [keep] in
+         phase 3, so adopting it is always safe. Normally a no-op (phase 3
+         already set it); it repairs a crash-restarted node whose recovered
+         read version lagged the phase-3 broadcast it slept through. *)
+      if node.vr < keep then begin
+        node.vr <- keep;
+        tr t node.name "read version adopted from GC notice: %d" keep;
+        wake_vr_waiters node
+      end;
       Mvstore.gc node.store ~new_read_version:keep;
       Counters.gc_below node.cnt keep;
       check_version_window t;
@@ -779,7 +821,7 @@ let broadcast t msg =
 let await_acks t ~matches =
   let needed = ref t.cfg.nodes in
   while !needed > 0 do
-    let msg = Network.recv t.net ~node:t.coord_id in
+    let msg = Reliable.recv t.ch ~node:t.coord_id in
     if matches msg then decr needed
   done
 
@@ -794,7 +836,7 @@ let poll_counters t ~version =
   let r = Array.make_matrix n n 0 and c = Array.make_matrix n n 0 in
   let needed = ref n in
   while !needed > 0 do
-    match Network.recv t.net ~node:t.coord_id with
+    match Reliable.recv t.ch ~node:t.coord_id with
     | Counter_reply { from_node; version = v; round = rd; r_row; c_col }
       when v = version && rd = round ->
         (* R(v)pq is stored at sender p; C(v)pq at executor q. *)
@@ -910,7 +952,25 @@ let coordinator_loop t () =
 
 (* -------------------------------------------------------- public API *)
 
-let create sim (cfg : config) ?trace ?node_names ?link_latency () =
+(* Fail-stop crash recovery (the paper's late-node rule as restart logic):
+   the store, counters and local transaction state are durable (§3.1 — local
+   DBMS transactions); the version registers are volatile. Rebuild them
+   conservatively — [vu] from the highest version with allocated counters
+   (counters are updated atomically with request/termination, so this is the
+   pre-crash value), [vr] from the store's GC floor, which was globally
+   consistent before any GC notice went out. The implicit-notification rules
+   and the coordinator's retransmitted phase messages then catch the node up
+   to the cluster's current versions. *)
+let restart_recover t node =
+  let vu = List.fold_left max 1 (Counters.versions node.cnt) in
+  let vr = max 0 (min (Mvstore.gc_floor node.store) (vu - 1)) in
+  node.vu <- vu;
+  node.vr <- vr;
+  Counters.ensure_version node.cnt vu;
+  wake_vr_waiters node;
+  tr t node.name "restarts; recovers vu=%d vr=%d from durable state" vu vr
+
+let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
   if cfg.nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
   let net =
     match link_latency with
@@ -919,6 +979,22 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency () =
         Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency
           ~link_latency:f ()
   in
+  let ch =
+    Reliable.create
+      ~config:
+        {
+          Reliable.acks = cfg.reliable_channel;
+          retransmit = cfg.retransmit;
+          timeout = cfg.retransmit_timeout;
+          backoff = cfg.retransmit_backoff;
+          max_backoff = 1.0;
+        }
+      net
+  in
+  let faults =
+    match faults with Some f -> f | None -> Injector.create sim Fault.Plan.none
+  in
+  Injector.install faults net;
   let name_of i =
     match node_names with
     | Some names when i < Array.length names -> names.(i)
@@ -948,6 +1024,8 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency () =
       sim;
       cfg;
       net;
+      ch;
+      faults;
       nodes;
       coord_id = cfg.nodes;
       trigger_box = Mailbox.create ();
@@ -962,13 +1040,30 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency () =
       divergence_since_trigger = 0.;
     }
   in
+  (* The injector owns fault timing; the engine supplies the node-level
+     effects. Bad node ids in a hand-built plan are ignored rather than
+     crashing the scheduler callback. *)
+  Injector.set_node_hooks faults
+    ~pause:(fun ~node ~duration ~until_ ->
+      if node >= 0 && node < cfg.nodes then begin
+        let nd = t.nodes.(node) in
+        nd.paused_until <- Float.max nd.paused_until until_;
+        tr t nd.name "pauses for %gs (fault injection)" duration
+      end)
+    ~crash:(fun ~node ->
+      if node >= 0 && node < cfg.nodes then
+        tr t t.nodes.(node).name
+          "crashes (fault injection; volatile state lost)")
+    ~restart:(fun ~node ->
+      if node >= 0 && node < cfg.nodes then restart_recover t t.nodes.(node))
+    ();
   (* Node server loops. *)
   Array.iter
     (fun node ->
       Sim.spawn sim ~daemon:true ~name:(Printf.sprintf "node-%s" node.name)
         (fun () ->
           let rec loop () =
-            let msg = Network.recv t.net ~node:node.id in
+            let msg = Reliable.recv t.ch ~node:node.id in
             (* Injected outage: a frozen node buffers its inbox. Everything
                already running locally proceeds; no new message is handled
                until the pause elapses. *)
@@ -1061,7 +1156,12 @@ let stats t =
   Counter_set.incr out "net.remote_messages"
     ~by:(Network.remote_messages_sent t.net) ();
   Counter_set.incr out "advancements" ~by:t.advancements ();
-  out
+  (* Channel-hardening and fault-injection accounting; all zero in a
+     fault-free run with the channel off. *)
+  Counter_set.incr out "net.retransmissions" ~by:(Reliable.retransmissions t.ch) ();
+  Counter_set.incr out "net.chan_acks" ~by:(Reliable.acks_sent t.ch) ();
+  Counter_set.incr out "net.dedup_dropped" ~by:(Reliable.dup_dropped t.ch) ();
+  Counter_set.merge out (Injector.stats t.faults)
 
 let packed t =
   Txn.Engine_intf.Packed
@@ -1101,10 +1201,13 @@ let counters t ~node =
 
 let inject_pause t ~node ~at ~duration =
   check_node t node "inject_pause";
-  let target = t.nodes.(node) in
-  Sim.schedule t.sim ~delay:(Float.max 0. (at -. Sim.now t.sim)) (fun () ->
-      target.paused_until <- Float.max target.paused_until (Sim.now t.sim +. duration);
-      tr t target.name "pauses for %gs (fault injection)" duration)
+  Injector.pause t.faults ~node ~at ~duration
+
+let inject_crash t ~node ~at ~restart =
+  check_node t node "inject_crash";
+  Injector.crash t.faults ~node ~at ~restart
+
+let injector t = t.faults
 
 let advancements_completed t = t.advancements
 let messages_sent t = Network.messages_sent t.net

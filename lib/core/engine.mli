@@ -65,6 +65,19 @@ type config = {
       (** ablation A3: [true] (sound) makes straggler writes update every
           version ≥ theirs (§4.1 step 4); [false] silently loses those
           writes from the newer version *)
+  reliable_channel : bool;
+      (** route every message through {!Netsim.Reliable}: per-link sequence
+          numbers, acks and receive-side dedup, making delivery
+          at-least-once + idempotent. Required whenever the installed fault
+          plan can drop or duplicate messages; default [false] so fault-free
+          runs keep their exact historical schedules. *)
+  retransmit : bool;
+      (** ablation A4: [true] (sound) re-sends unacknowledged messages with
+          exponential backoff; [false] under loss provably stalls
+          advancement (a lost phase broadcast or ack is never repaired).
+          Only meaningful with [reliable_channel]. *)
+  retransmit_timeout : float;  (** first retransmission delay (virtual s) *)
+  retransmit_backoff : float;  (** per-retry delay multiplier (≥ 1) *)
 }
 
 (** A sensible default: constant 5 ms links, 0.1 ms think time, 10 ms poll
@@ -73,16 +86,20 @@ val default_config : nodes:int -> config
 
 type t
 
-(** [create sim config ?trace ?node_names ?link_latency ()] builds the
-    system and starts its node server processes and coordinator (as daemon
-    processes of [sim]). [node_names] labels nodes in traces (default
-    "n0", "n1", ...). *)
+(** [create sim config ?trace ?node_names ?link_latency ?faults ()] builds
+    the system and starts its node server processes and coordinator (as
+    daemon processes of [sim]). [node_names] labels nodes in traces
+    (default "n0", "n1", ...). [faults] plugs a {!Fault.Injector} into the
+    engine's network and node-event hooks; when omitted an internal
+    injector with the empty plan is used (behaviorally a no-op), so
+    {!inject_pause} and {!inject_crash} always work. *)
 val create :
   Simul.Sim.t ->
   config ->
   ?trace:Trace.t ->
   ?node_names:string array ->
   ?link_latency:(src:int -> dst:int -> Netsim.Latency.t option) ->
+  ?faults:Fault.Injector.t ->
   unit ->
   t
 
@@ -121,8 +138,22 @@ val advancements_completed : t -> int
     an overloaded or GC-stalled peer). Subtransactions already executing
     locally finish; everything else queues. Used to demonstrate the §8
     claim that no user transaction on a node is delayed by activity —
-    or inactivity — on other nodes. *)
+    or inactivity — on other nodes. A thin wrapper over
+    {!Fault.Injector.pause} on the engine's injector. *)
 val inject_pause : t -> node:int -> at:float -> duration:float -> unit
+
+(** [inject_crash t ~node ~at ~restart] fail-stops [node] during
+    [[at, restart)): all its traffic is dropped, and at [restart] it
+    recovers its volatile version registers from durable state (store GC
+    floor + counters) and catches up via the late-node rule. Use with
+    [reliable_channel] on, or in-flight protocol messages are lost for
+    good. Thin wrapper over {!Fault.Injector.crash}. *)
+val inject_crash : t -> node:int -> at:float -> restart:float -> unit
+
+(** The engine's fault injector (the one passed to {!create}, or the
+    internal empty-plan injector), for accounting and ad-hoc fault
+    scheduling. *)
+val injector : t -> Fault.Injector.t
 
 (** Total messages sent on the underlying network so far. *)
 val messages_sent : t -> int

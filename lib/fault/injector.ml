@@ -1,0 +1,141 @@
+module Sim = Simul.Sim
+module Network = Netsim.Network
+module Counter_set = Stats.Counter_set
+
+type hooks = {
+  mutable h_pause : node:int -> duration:float -> until_:float -> unit;
+  mutable h_crash : node:int -> unit;
+  mutable h_restart : node:int -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  plan : Plan.t;
+  rng : Random.State.t;  (** dedicated: fault draws never touch [Sim.rng] *)
+  rules : Plan.rule array;
+  rule_hits : int array;  (** per-rule matching-delivery counts, for [nth] *)
+  mutable crash_windows : (int * float * float) list;  (** (node, at, restart) *)
+  hooks : hooks;
+  counters : Counter_set.t;
+}
+
+let noop_pause ~node:_ ~duration:_ ~until_:_ = ()
+let noop_node ~node:_ = ()
+
+let plan t = t.plan
+let stats t = t.counters
+
+let down t ~node ~at =
+  List.exists
+    (fun (n, from_, until_) -> n = node && at >= from_ && at < until_)
+    t.crash_windows
+
+let count t name ~src ~dst =
+  Counter_set.incr t.counters (name ^ "s") ();
+  Counter_set.incr t.counters (Printf.sprintf "%s[%d->%d]" name src dst) ()
+
+let pause t ~node ~at ~duration =
+  if duration <= 0. then invalid_arg "Fault.Injector.pause: duration must be positive";
+  Counter_set.incr t.counters "fault.pauses" ();
+  Sim.schedule t.sim ~delay:(Float.max 0. (at -. Sim.now t.sim)) (fun () ->
+      t.hooks.h_pause ~node ~duration ~until_:(Sim.now t.sim +. duration))
+
+let crash t ~node ~at ~restart =
+  if restart <= at then
+    invalid_arg "Fault.Injector.crash: restart must be after the crash time";
+  (* The window is recorded eagerly so the filter drops traffic for it even
+     before the scheduled hook fires. *)
+  t.crash_windows <- (node, at, restart) :: t.crash_windows;
+  Counter_set.incr t.counters "fault.crashes" ();
+  let now = Sim.now t.sim in
+  Sim.schedule t.sim ~delay:(Float.max 0. (at -. now)) (fun () ->
+      t.hooks.h_crash ~node);
+  Sim.schedule t.sim ~delay:(Float.max 0. (restart -. now)) (fun () ->
+      Counter_set.incr t.counters "fault.restarts" ();
+      t.hooks.h_restart ~node)
+
+let rule_matches (r : Plan.rule) ~src ~dst ~now =
+  (match r.Plan.r_src with Some s -> s = src | None -> true)
+  && (match r.Plan.r_dst with Some d -> d = dst | None -> true)
+  && ((not r.Plan.r_remote_only) || src <> dst)
+  && now >= r.Plan.r_from
+  && now < r.Plan.r_until
+
+let filter t ~src ~dst ~delay =
+  if Array.length t.rules = 0 && t.crash_windows = [] then [ delay ]
+  else begin
+    let now = Sim.now t.sim in
+    if down t ~node:src ~at:now then begin
+      count t "fault.crash_drop" ~src ~dst;
+      []
+    end
+    else begin
+      let delays = ref [ delay ] in
+      Array.iteri
+        (fun idx r ->
+          if !delays <> [] && rule_matches r ~src ~dst ~now then begin
+            let fire =
+              match r.Plan.r_nth with
+              | Some n ->
+                  t.rule_hits.(idx) <- t.rule_hits.(idx) + 1;
+                  t.rule_hits.(idx) = n
+              | None ->
+                  r.Plan.r_prob >= 1.
+                  || Random.State.float t.rng 1. < r.Plan.r_prob
+            in
+            if fire then
+              match r.Plan.r_action with
+              | Plan.Drop ->
+                  count t "fault.drop" ~src ~dst;
+                  delays := []
+              | Plan.Delay d ->
+                  count t "fault.delay" ~src ~dst;
+                  delays := List.map (fun x -> x +. d) !delays
+              | Plan.Duplicate gap ->
+                  count t "fault.dup" ~src ~dst;
+                  delays := !delays @ List.map (fun x -> x +. gap) !delays
+          end)
+        t.rules;
+      (* Copies that would arrive while the destination is down are lost. *)
+      List.filter
+        (fun d ->
+          let arrives = not (down t ~node:dst ~at:(now +. d)) in
+          if not arrives then count t "fault.crash_drop" ~src ~dst;
+          arrives)
+        !delays
+    end
+  end
+
+let install t net =
+  Network.set_filter net (fun ~src ~dst ~delay -> filter t ~src ~dst ~delay)
+
+let set_node_hooks t ?pause ?crash ?restart () =
+  (match pause with Some f -> t.hooks.h_pause <- f | None -> ());
+  (match crash with Some f -> t.hooks.h_crash <- f | None -> ());
+  match restart with Some f -> t.hooks.h_restart <- f | None -> ()
+
+let create sim (plan : Plan.t) =
+  let t =
+    {
+      sim;
+      plan;
+      rng = Random.State.make [| plan.Plan.seed; 0xfa017 |];
+      rules = Array.of_list plan.Plan.rules;
+      rule_hits = Array.make (List.length plan.Plan.rules) 0;
+      crash_windows = [];
+      hooks =
+        { h_pause = noop_pause; h_crash = noop_node; h_restart = noop_node };
+      counters = Counter_set.create ();
+    }
+  in
+  List.iter
+    (fun (p : Plan.pause) ->
+      pause t ~node:p.Plan.pause_node ~at:p.Plan.pause_at
+        ~duration:p.Plan.pause_duration)
+    plan.Plan.pauses;
+  List.iter
+    (fun (c : Plan.crash) ->
+      crash t ~node:c.Plan.crash_node ~at:c.Plan.crash_at
+        ~restart:c.Plan.crash_restart)
+    plan.Plan.crashes;
+  t

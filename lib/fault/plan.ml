@@ -1,0 +1,130 @@
+type action = Drop | Duplicate of float | Delay of float
+
+type rule = {
+  r_src : int option;
+  r_dst : int option;
+  r_remote_only : bool;
+  r_from : float;
+  r_until : float;
+  r_prob : float;
+  r_nth : int option;
+  r_action : action;
+}
+
+type pause = { pause_node : int; pause_at : float; pause_duration : float }
+type crash = { crash_node : int; crash_at : float; crash_restart : float }
+
+type t = {
+  seed : int;
+  rules : rule list;
+  pauses : pause list;
+  crashes : crash list;
+}
+
+let none = { seed = 0x5eed; rules = []; pauses = []; crashes = [] }
+let is_none t = t.rules = [] && t.pauses = [] && t.crashes = []
+
+let check_rule r =
+  if r.r_prob < 0. || r.r_prob > 1. then
+    invalid_arg
+      (Printf.sprintf "Fault.Plan: rule probability %g outside [0, 1]" r.r_prob);
+  if r.r_until <= r.r_from then
+    invalid_arg
+      (Printf.sprintf "Fault.Plan: rule window [%g, %g) is empty" r.r_from
+         r.r_until);
+  (match r.r_nth with
+  | Some n when n <= 0 ->
+      invalid_arg "Fault.Plan: rule nth must be positive (1-based)"
+  | _ -> ());
+  match r.r_action with
+  | Duplicate gap when gap < 0. ->
+      invalid_arg "Fault.Plan: duplicate gap must be nonnegative"
+  | Delay d when d < 0. -> invalid_arg "Fault.Plan: delay spike must be nonnegative"
+  | _ -> ()
+
+let check_pause p =
+  if p.pause_duration <= 0. then
+    invalid_arg "Fault.Plan: pause duration must be positive"
+
+let check_crash c =
+  if c.crash_restart <= c.crash_at then
+    invalid_arg
+      (Printf.sprintf "Fault.Plan: crash restart %g must be after crash at %g"
+         c.crash_restart c.crash_at)
+
+let make ?(seed = 0x5eed) ?(rules = []) ?(pauses = []) ?(crashes = []) () =
+  List.iter check_rule rules;
+  List.iter check_pause pauses;
+  List.iter check_crash crashes;
+  { seed; rules; pauses; crashes }
+
+let rule ?src ?dst ?(remote_only = false) ?(from_ = 0.) ?(until_ = infinity)
+    ?(prob = 1.) ?nth action =
+  let r =
+    {
+      r_src = src;
+      r_dst = dst;
+      r_remote_only = remote_only;
+      r_from = from_;
+      r_until = until_;
+      r_prob = prob;
+      r_nth = nth;
+      r_action = action;
+    }
+  in
+  check_rule r;
+  r
+
+let uniform_loss ?(dup = 0.) ?(dup_gap = 0.002) ?(spike_prob = 0.)
+    ?(spike = 0.05) ~drop () =
+  let maybe prob action =
+    if prob > 0. then [ rule ~remote_only:true ~prob action ] else []
+  in
+  maybe drop Drop @ maybe dup (Duplicate dup_gap) @ maybe spike_prob (Delay spike)
+
+let partition ~src ~dst ~from_ ~until_ = rule ~src ~dst ~from_ ~until_ Drop
+
+let pause ~node ~at ~duration =
+  let p = { pause_node = node; pause_at = at; pause_duration = duration } in
+  check_pause p;
+  p
+
+let crash ~node ~at ~restart =
+  let c = { crash_node = node; crash_at = at; crash_restart = restart } in
+  check_crash c;
+  c
+
+let pp_action ppf = function
+  | Drop -> Format.fprintf ppf "drop"
+  | Duplicate gap -> Format.fprintf ppf "dup(+%gs)" gap
+  | Delay d -> Format.fprintf ppf "delay(+%gs)" d
+
+let pp_end ppf u =
+  if u = infinity then Format.fprintf ppf "inf" else Format.fprintf ppf "%g" u
+
+let pp ppf t =
+  let pp_opt ppf = function
+    | None -> Format.fprintf ppf "*"
+    | Some n -> Format.fprintf ppf "%d" n
+  in
+  Format.fprintf ppf "@[<v>plan seed=%d" t.seed;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,rule %a->%a%s [%g,%a) p=%g%s %a" pp_opt r.r_src
+        pp_opt r.r_dst
+        (if r.r_remote_only then " remote" else "")
+        r.r_from pp_end r.r_until r.r_prob
+        (match r.r_nth with Some n -> Printf.sprintf " nth=%d" n | None -> "")
+        pp_action r.r_action)
+    t.rules;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,pause node %d at %g for %gs" p.pause_node p.pause_at
+        p.pause_duration)
+    t.pauses;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,crash node %d at %g, restart %g" c.crash_node
+        c.crash_at c.crash_restart)
+    t.crashes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,92 @@
+(** Deterministic, seed-replayable fault plans.
+
+    A plan is pure data: a set of per-link message rules (drop, duplicate,
+    delay spike — probabilistic or scripted), plus scheduled node events
+    (pause, crash-restart). It says nothing about {e how} faults are
+    applied; {!Injector} interprets a plan against a running simulation.
+
+    Determinism contract: a plan carries its own [seed]. All probabilistic
+    decisions are drawn from a dedicated RNG seeded with it, never from the
+    simulation's RNG — so adding or removing faults never perturbs workload
+    arrival times or latency samples, and the same (simulation seed, plan)
+    pair always replays the exact same execution. *)
+
+(** What happens to a matched message delivery. *)
+type action =
+  | Drop  (** the message is lost *)
+  | Duplicate of float
+      (** a second copy is delivered this many virtual seconds after the
+          first *)
+  | Delay of float  (** a latency spike added to the sampled delay *)
+
+(** One per-link message rule. [None] for [src]/[dst] is a wildcard;
+    [remote_only] restricts a wildcard to [src <> dst] links (self-sends
+    pass through untouched). The rule applies inside the half-open virtual
+    time window [[from_, until_)). Either probabilistically — each matching
+    delivery fires with probability [prob] — or scripted: [nth = Some k]
+    fires on exactly the k-th (1-based) matching delivery, ignoring
+    [prob]. *)
+type rule = {
+  r_src : int option;
+  r_dst : int option;
+  r_remote_only : bool;
+  r_from : float;
+  r_until : float;
+  r_prob : float;
+  r_nth : int option;
+  r_action : action;
+}
+
+(** A scheduled node freeze: the node stops processing messages for
+    [duration] seconds starting at [at] (its inbox buffers). *)
+type pause = { pause_node : int; pause_at : float; pause_duration : float }
+
+(** A fail-stop crash: from [at] until [restart] the node neither sends nor
+    receives (all its traffic is dropped); at [restart] it comes back,
+    having lost its volatile state but kept its durable store and
+    counters. *)
+type crash = { crash_node : int; crash_at : float; crash_restart : float }
+
+type t = {
+  seed : int;  (** seeds the injector's dedicated fault RNG *)
+  rules : rule list;
+  pauses : pause list;
+  crashes : crash list;
+}
+
+(** The empty plan: no rules, no events. Installing it is behaviorally
+    identical to running without fault injection. *)
+val none : t
+
+val is_none : t -> bool
+
+(** [make ()] validates and assembles a plan.
+    @raise Invalid_argument on a probability outside [0, 1], an empty or
+    negative time window, or a crash whose [restart] is not after [at]. *)
+val make :
+  ?seed:int -> ?rules:rule list -> ?pauses:pause list -> ?crashes:crash list ->
+  unit -> t
+
+(** [rule action] builds one rule; defaults: wildcard link, all of virtual
+    time, probability 1, not scripted, [remote_only] false. *)
+val rule :
+  ?src:int -> ?dst:int -> ?remote_only:bool -> ?from_:float -> ?until_:float ->
+  ?prob:float -> ?nth:int -> action -> rule
+
+(** [uniform_loss ~drop ()] — the standard lossy-network rule set: every
+    remote delivery is dropped with probability [drop], duplicated with
+    probability [dup] (default 0, second copy [dup_gap] later, default
+    2 ms), and delayed by [spike] seconds with probability [spike_prob]
+    (default 0). *)
+val uniform_loss :
+  ?dup:float -> ?dup_gap:float -> ?spike_prob:float -> ?spike:float ->
+  drop:float -> unit -> rule list
+
+(** [partition ~src ~dst ~from_ ~until_] drops every message on the
+    directed link [src -> dst] during the window — a one-way partition that
+    heals at [until_]. *)
+val partition : src:int -> dst:int -> from_:float -> until_:float -> rule
+
+val pause : node:int -> at:float -> duration:float -> pause
+val crash : node:int -> at:float -> restart:float -> crash
+val pp : Format.formatter -> t -> unit

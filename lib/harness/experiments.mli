@@ -7,14 +7,19 @@
     paper mapping and EXPERIMENTS.md for recorded outputs. *)
 
 type t = {
-  id : string;  (** "t1", "f1", "f2", "e1" .. "e8" *)
+  id : string;  (** "t1", "f1", "f2", "e1" .. "e12", "a1" .. "a4" *)
   title : string;
   paper_ref : string;  (** which part of the paper this reproduces *)
   run : quick:bool -> string;  (** rendered report *)
 }
 
-(** All experiments, in presentation order (t1, f1, f2, e1..e8). *)
+(** All experiments, in presentation order (t1, f1, f2, e1..e12, a1..a4). *)
 val all : t list
 
 (** Look an experiment up by id (case-insensitive). *)
 val find : string -> t option
+
+(** [smoke ()] is the CI gate: the Table 1 scripted replay plus a tiny E11
+    (2 nodes, 5% message loss + duplication, reliable channel on), in
+    well under ten seconds. Returns [(all_passed, report)]. *)
+val smoke : unit -> bool * string

@@ -1,14 +1,20 @@
 module Sim = Simul.Sim
 module Mailbox = Simul.Mailbox
 
+type filter = src:int -> dst:int -> delay:float -> float list
+
 type 'm t = {
   simulation : Sim.t;
   inboxes : 'm Mailbox.t array;
   latency : Latency.t;
   link_latency : src:int -> dst:int -> Latency.t option;
   links : (int * int, int) Hashtbl.t;
+  mutable filter : filter option;
   mutable sent : int;
   mutable remote_sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable extra_copies : int;
 }
 
 let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
@@ -20,12 +26,17 @@ let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
     latency;
     link_latency;
     links = Hashtbl.create 16;
+    filter = None;
     sent = 0;
     remote_sent = 0;
+    delivered = 0;
+    dropped = 0;
+    extra_copies = 0;
   }
 
 let size t = Array.length t.inboxes
 let sim t = t.simulation
+let set_filter t f = t.filter <- Some f
 
 let check_node t n ctx =
   if n < 0 || n >= size t then
@@ -40,6 +51,9 @@ let send t ~src ~dst msg =
     match Hashtbl.find_opt t.links (src, dst) with Some c -> c | None -> 0
   in
   Hashtbl.replace t.links (src, dst) (cur + 1);
+  (* Self-sends have zero base latency (and sample nothing), but still pass
+     through the filter so fault plans and delivery accounting see every
+     message. *)
   let delay =
     if src = dst then 0.
     else
@@ -48,8 +62,19 @@ let send t ~src ~dst msg =
       in
       Latency.sample model (Sim.rng t.simulation)
   in
-  Sim.schedule t.simulation ~delay (fun () ->
-      Mailbox.send t.inboxes.(dst) msg)
+  let delays =
+    match t.filter with None -> [ delay ] | Some f -> f ~src ~dst ~delay
+  in
+  (match delays with
+  | [] -> t.dropped <- t.dropped + 1
+  | _ :: extras ->
+      t.delivered <- t.delivered + List.length delays;
+      t.extra_copies <- t.extra_copies + List.length extras);
+  List.iter
+    (fun d ->
+      Sim.schedule t.simulation ~delay:d (fun () ->
+          Mailbox.send t.inboxes.(dst) msg))
+    delays
 
 let recv t ~node =
   check_node t node "recv";
@@ -57,6 +82,9 @@ let recv t ~node =
 
 let messages_sent t = t.sent
 let remote_messages_sent t = t.remote_sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let extra_copies t = t.extra_copies
 
 let link_counts t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.links []

@@ -8,9 +8,15 @@
 
 type 'm t
 
-(** [create sim ~size ~latency ()] builds a network of [size] nodes. Messages
-    from a node to itself are delivered with zero delay. [link_latency]
-    optionally overrides the model per directed link. *)
+(** A pluggable per-delivery hook (see {!set_filter}): given the sampled
+    base [delay] of a send, returns the delays at which copies of the
+    message are actually delivered. [[]] drops the message; two or more
+    entries duplicate it. The fault injector ({!Fault.Injector}) is the
+    intended implementation. *)
+type filter = src:int -> dst:int -> delay:float -> float list
+
+(** [create sim ~size ~latency ()] builds a network of [size] nodes.
+    [link_latency] optionally overrides the model per directed link. *)
 val create :
   Simul.Sim.t ->
   size:int ->
@@ -22,19 +28,37 @@ val create :
 val size : 'm t -> int
 val sim : 'm t -> Simul.Sim.t
 
+(** [set_filter t f] installs [f] as the per-delivery filter. Every
+    subsequent send — including self-sends — is routed through it. *)
+val set_filter : 'm t -> filter -> unit
+
 (** [send t ~src ~dst msg] schedules delivery of [msg] into [dst]'s inbox.
-    Returns immediately (never suspends). *)
+    Returns immediately (never suspends). Messages from a node to itself
+    have zero base delay (no latency sample is drawn) but still pass
+    through the installed filter and all accounting, so fault plans and
+    counters see every message. *)
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
 
 (** [recv t ~node] takes the next message for [node], suspending the calling
     process until one arrives. Intended for per-node server loops. *)
 val recv : 'm t -> node:int -> 'm
 
-(** Messages sent so far (including self-sends). *)
+(** Send attempts so far (including self-sends and filtered drops). *)
 val messages_sent : 'm t -> int
 
-(** Messages sent with [src <> dst]. *)
+(** Send attempts with [src <> dst]. *)
 val remote_messages_sent : 'm t -> int
 
-(** Per-link counters as [((src, dst), count)] pairs, sorted. *)
+(** Deliveries actually scheduled (duplicates count once per copy). Equals
+    {!messages_sent} when no filter is installed. *)
+val messages_delivered : 'm t -> int
+
+(** Sends whose every copy was suppressed by the filter. *)
+val messages_dropped : 'm t -> int
+
+(** Extra copies beyond the first scheduled by the filter (duplications). *)
+val extra_copies : 'm t -> int
+
+(** Per-link counters as [((src, dst), count)] pairs, sorted. Counts send
+    attempts, before any filtering. *)
 val link_counts : 'm t -> ((int * int) * int) list

@@ -5,6 +5,7 @@ type 'v t = {
   mutable max_versions_ever : int;
   mutable copies_created : int;
   mutable dual_writes : int;
+  mutable gc_floor : int;
 }
 
 type write_info = {
@@ -19,6 +20,7 @@ let create () =
     max_versions_ever = 1;
     copies_created = 0;
     dual_writes = 0;
+    gc_floor = 0;
   }
 
 let find_item t key = Hashtbl.find_opt t.items key
@@ -114,6 +116,7 @@ let write_exact t ~key ~version ~init ~f =
 
 let gc t ~new_read_version =
   let vr = new_read_version in
+  if vr > t.gc_floor then t.gc_floor <- vr;
   Hashtbl.iter
     (fun _key item ->
       if List.mem_assoc vr item.versions then
@@ -147,5 +150,6 @@ let fold t ~init ~f =
     init (keys t)
 
 let max_versions_ever t = t.max_versions_ever
+let gc_floor t = t.gc_floor
 let copies_created t = t.copies_created
 let dual_writes t = t.dual_writes

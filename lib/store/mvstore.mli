@@ -59,6 +59,13 @@ val write_exact :
 (** [gc t ~new_read_version] applies phase-4 garbage collection (see above). *)
 val gc : 'v t -> new_read_version:int -> unit
 
+(** Highest [new_read_version] ever garbage-collected to (0 before any GC).
+    The store is the node's durable state, so this survives a simulated
+    crash: a restarted node recovers a safe read version from it — every
+    version below the floor is gone, and the floor itself was declared
+    globally consistent before the GC notice was sent. *)
+val gc_floor : 'v t -> int
+
 (** Versions currently materialized for [key], descending. *)
 val versions_of : 'v t -> key:string -> int list
 
