@@ -32,7 +32,7 @@ let quick_flag =
 
 let experiment_cmd =
   let doc =
-    "Run one experiment by id (t1, f1, f2, e1..e12, a1..a4), or $(b,all)."
+    "Run one experiment by id (t1, f1, f2, e1..e13, a1..a4), or $(b,all)."
   in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
@@ -171,6 +171,18 @@ let crash_conv =
   let print ppf (n, a, r) = Format.fprintf ppf "%d@%g:%g" n a r in
   Arg.conv (parse, print)
 
+let coord_crash_conv =
+  let parse s =
+    match Scanf.sscanf_opt s "%f:%f%!" (fun a r -> (a, r)) with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad coord-crash spec %S, expected TIME:RESTART" s))
+  in
+  let print ppf (a, r) = Format.fprintf ppf "%g:%g" a r in
+  Arg.conv (parse, print)
+
 let run_cmd =
   let doc = "Run a single engine × workload simulation and print a report." in
   let engine_arg =
@@ -244,6 +256,27 @@ let run_cmd =
              state is lost, the durable store and counters survive. \
              Repeatable; 3v engine only.")
   in
+  let coord_crash_arg =
+    Arg.(
+      value
+      & opt_all coord_crash_conv []
+      & info [ "coord-crash" ] ~docv:"TIME:RESTART"
+          ~doc:
+            "Fail-stop the advancement coordinator at TIME and restart it \
+             at RESTART: volatile phase progress is lost, the write-ahead \
+             log survives and the in-flight advancement is re-driven from \
+             its last logged phase. Repeatable; 3v engine only.")
+  in
+  let phase_deadline_arg =
+    Arg.(
+      value & opt float infinity
+      & info [ "phase-deadline" ]
+          ~doc:
+            "Stall watchdog deadline (virtual seconds) per advancement \
+             phase: past it the coordinator records a stall and re-sends \
+             the phase message with bounded backoff. Default infinity \
+             (watchdog off). 3v engine only.")
+  in
   let fault_seed_arg =
     Arg.(
       value & opt int 42
@@ -253,7 +286,8 @@ let run_cmd =
              perturb the workload or latency RNG streams.")
   in
   let run engine workload nodes rate duration seed period nc_ratio read_ratio
-      drop_prob dup_prob partitions crashes fault_seed =
+      drop_prob dup_prob partitions crashes coord_crashes phase_deadline
+      fault_seed =
     let gen =
       match workload with
       | W_hospital ->
@@ -292,10 +326,15 @@ let run_cmd =
     in
     let has_faults =
       drop_prob > 0. || dup_prob > 0. || partitions <> [] || crashes <> []
+      || coord_crashes <> []
     in
     match
       if has_faults && (engine = E_nocoord || engine = E_manual) then
         Error "fault-injection flags support only --engine 3v or 2pc"
+      else if coord_crashes <> [] && engine <> E_3v then
+        Error "--coord-crash supports only --engine 3v"
+      else if phase_deadline <> infinity && phase_deadline <= 0. then
+        Error "--phase-deadline must be positive"
       else if not has_faults then Ok None
       else
         try
@@ -313,7 +352,15 @@ let run_cmd =
               (fun (node, at, restart) -> Fault.Plan.crash ~node ~at ~restart)
               crashes
           in
-          Ok (Some (Fault.Plan.make ~seed:fault_seed ~rules ~crashes ()))
+          let coord_crashes =
+            List.map
+              (fun (at, restart) -> Fault.Plan.coord_crash ~at ~restart)
+              coord_crashes
+          in
+          Ok
+            (Some
+               (Fault.Plan.make ~seed:fault_seed ~rules ~crashes ~coord_crashes
+                  ()))
         with Invalid_argument m -> Error m
     with
     | Error m -> `Error (false, m)
@@ -334,6 +381,7 @@ let run_cmd =
                  reliable channel comes on with it. *)
               reliable_channel = plan <> None;
               retransmit_timeout = 0.02;
+              phase_deadline;
             }
           in
           let eng = Engine.create sim cfg ?faults () in
@@ -404,7 +452,8 @@ let run_cmd =
       ret
         (const run $ engine_arg $ workload_arg $ nodes_arg $ rate_arg
        $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg $ drop_arg
-       $ dup_arg $ partition_arg $ crash_arg $ fault_seed_arg))
+       $ dup_arg $ partition_arg $ crash_arg $ coord_crash_arg
+       $ phase_deadline_arg $ fault_seed_arg))
 
 let () =
   let doc =

@@ -385,4 +385,11 @@ let inject_pause t ~node ~at ~duration =
     invalid_arg "Global_2pc.inject_pause: node out of range";
   Fault.Injector.pause t.faults ~node ~at ~duration
 
+(* This baseline has no separate coordinator endpoint: every transaction's
+   root node coordinates its own 2PC. The closest comparable fault is
+   crashing node 0, the conventional coordination site — there is no WAL
+   and no recovery protocol here, which is exactly the comparison point. *)
+let inject_coord_crash t ~at ~restart =
+  Fault.Injector.crash t.faults ~node:0 ~at ~restart
+
 let messages_sent t = Network.messages_sent t.net

@@ -41,3 +41,11 @@ val messages_sent : t -> int
     [node] for [duration] seconds starting at virtual time [at] — the same
     fault injection as [Threev.Engine.inject_pause], for comparison. *)
 val inject_pause : t -> node:int -> at:float -> duration:float -> unit
+
+(** Comparison shim for [Threev.Engine.inject_coord_crash]: this baseline
+    has no separate coordinator endpoint (each root node runs its own 2PC),
+    so the closest fault is fail-stopping node 0, the conventional
+    coordination site — with no write-ahead log and no recovery protocol,
+    transactions rooted there during the window are simply lost.
+    @raise Invalid_argument if [restart <= at]. *)
+val inject_coord_crash : t -> at:float -> restart:float -> unit

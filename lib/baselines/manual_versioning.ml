@@ -73,14 +73,28 @@ type t = {
   net : msg Network.t;
   nodes : node array;
   counters : Counter_set.t;
+  mutable pub_outages : (float * float) list;
+      (** (at, restart) windows during which the read-version publisher —
+          this scheme's coordinator analogue — is down *)
 }
 
 (* Period of a submission time; updates of period π write version π + 1. *)
 let update_version_at t ~now = int_of_float (Float.floor (now /. t.cfg.period)) + 1
 
+(* During a publisher outage the read-version publication is frozen at the
+   window's start: reads keep using the last version published before the
+   crash, staleness grows linearly, and the restart catches up instantly
+   (there is no re-drive — the publication is a pure function of time). *)
+let publication_time t ~now =
+  List.fold_left
+    (fun eff (at, restart) ->
+      if now >= at && now < restart then Float.min eff at else eff)
+    now t.pub_outages
+
 (* Latest period σ closed and aged past the safety delay; reads use σ + 1,
    or the initial version 0 when no period is readable yet. *)
 let read_version_at t ~now =
+  let now = publication_time t ~now in
   let sigma =
     int_of_float
       (Float.floor ((now -. t.cfg.safety_delay) /. t.cfg.period))
@@ -208,7 +222,9 @@ let create sim (cfg : config) =
           next_pending = 0;
         })
   in
-  let t = { sim; cfg; net; nodes; counters = Counter_set.create () } in
+  let t =
+    { sim; cfg; net; nodes; counters = Counter_set.create (); pub_outages = [] }
+  in
   Array.iter
     (fun node ->
       Sim.spawn sim ~daemon:true
@@ -269,5 +285,13 @@ let store t ~node =
   if node < 0 || node >= t.cfg.nodes then
     invalid_arg "Manual_versioning.store: node out of range";
   t.nodes.(node).store
+
+let inject_coord_crash t ~at ~restart =
+  if restart <= at then
+    invalid_arg
+      "Manual_versioning.inject_coord_crash: restart must be after the crash \
+       time";
+  cstat t "fault.coord_crashes";
+  t.pub_outages <- (at, restart) :: t.pub_outages
 
 let messages_sent t = Network.messages_sent t.net

@@ -36,4 +36,14 @@ val packed : t -> Txn.Engine_intf.packed
 val read_version_at : t -> now:float -> int
 
 val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
+
+(** Comparison shim for [Threev.Engine.inject_coord_crash]: the periodic
+    version publisher is this scheme's coordinator analogue. During
+    [[at, restart)) the publication clock is frozen at [at], so reads keep
+    the last pre-crash version and staleness grows linearly for the whole
+    outage; at [restart] publication catches up instantly (it is a pure
+    function of time — the "recovery protocol" is the wall clock).
+    @raise Invalid_argument if [restart <= at]. *)
+val inject_coord_crash : t -> at:float -> restart:float -> unit
+
 val messages_sent : t -> int

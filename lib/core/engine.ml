@@ -19,6 +19,13 @@ type config = {
   latency : Latency.t;
   think_time : float;
   poll_interval : float;
+  phase_deadline : float;
+      (** stall watchdog: if an advancement phase makes no progress for this
+          long the coordinator records [proto.phase_stalled] and re-broadcasts
+          the phase message to the nodes still owing a reply, escalating with
+          doubled (bounded) backoff. [infinity] disables the watchdog
+          entirely — the daemon is not even spawned, so fault-free schedules
+          are untouched. *)
   policy : Policy.t;
   nc_mode : bool;
   deadlock_timeout : float;
@@ -55,6 +62,7 @@ let default_config ~nodes =
     latency = Latency.Constant 0.005;
     think_time = 0.0001;
     poll_interval = 0.01;
+    phase_deadline = infinity;
     policy = Policy.Manual;
     nc_mode = false;
     deadlock_timeout = 1.0;
@@ -104,16 +112,24 @@ type msg =
   | Adv_ack of { from_node : int; vu : int }
   | Advance_read of { vr_new : int }
   | Read_ack of { from_node : int; vr : int }
-  | Counter_query of { version : int; round : int }
+  | Counter_query of { version : int; round : int; epoch : int }
   | Counter_reply of {
       from_node : int;
       version : int;
       round : int;
+      epoch : int;
+          (** polls are namespaced by coordinator epoch: a restarted
+              coordinator resets its round counter, so a pre-crash round-k
+              reply must not satisfy the post-restart round k *)
       r_row : int array;
       c_col : int array;
     }
   | Do_gc of { keep : int }
   | Gc_ack of { from_node : int; keep : int }
+  | Coord_wake
+      (** zero-payload self-send fired at coordinator restart: unblocks a
+          coordinator parked in [recv] so it can observe the crash and
+          re-drive the in-flight advancement from its WAL *)
 
 type pending = {
   p_id : int;
@@ -151,6 +167,17 @@ type node = {
       (** fault injection: the node processes no messages before this time *)
 }
 
+(* An armed stall watchdog: one per in-flight coordinator wait. The
+   watchdog daemon re-invokes [w_resend] whenever the deadline passes
+   without the wait completing, doubling the interval (bounded) each
+   time. *)
+type watch = {
+  w_what : string;
+  mutable w_deadline : float;
+  mutable w_interval : float;
+  w_resend : unit -> unit;
+}
+
 type t = {
   sim : Sim.t;
   cfg : config;
@@ -163,6 +190,14 @@ type t = {
   trace : Trace.t option;
   live : (int, int) Hashtbl.t;  (** version -> requested-but-unterminated *)
   counters_live : Counter_set.t;
+  clog : Coord_log.t;  (** durable: survives coordinator crashes *)
+  mutable coord_epoch : int;  (** bumped on each coordinator recovery *)
+  mutable coord_crash_gen : int;
+      (** incremented by the crash hook; compared against [coord_seen_gen]
+          so the coordinator fiber notices a crash at its next check *)
+  mutable coord_seen_gen : int;
+  mutable coord_down_until : float;
+  mutable watch : watch option;
   mutable coord_vu : int;
   mutable coord_vr : int;
   mutable poll_round : int;
@@ -783,13 +818,14 @@ let handle_node_msg t node = function
       end;
       send t ~src:node.id ~dst:t.coord_id
         (Read_ack { from_node = node.id; vr = vr_new })
-  | Counter_query { version; round } ->
+  | Counter_query { version; round; epoch } ->
       send t ~src:node.id ~dst:t.coord_id
         (Counter_reply
            {
              from_node = node.id;
              version;
              round;
+             epoch;
              r_row = Counters.snapshot_r node.cnt ~version;
              c_col = Counters.snapshot_c node.cnt ~version;
            })
@@ -803,48 +839,157 @@ let handle_node_msg t node = function
         tr t node.name "read version adopted from GC notice: %d" keep;
         wake_vr_waiters node
       end;
-      Mvstore.gc node.store ~new_read_version:keep;
-      Counters.gc_below node.cnt keep;
-      check_version_window t;
-      tr t node.name "garbage-collects below version %d" keep;
+      (* Idempotent under re-delivery (a recovered coordinator re-drives
+         phase 4): collect only if this notice actually raises the GC
+         floor; always re-ack. *)
+      if Mvstore.gc_floor node.store < keep then begin
+        Mvstore.gc node.store ~new_read_version:keep;
+        Counters.gc_below node.cnt keep;
+        check_version_window t;
+        tr t node.name "garbage-collects below version %d" keep
+      end
+      else
+        tr t node.name "gc notice for version %d re-delivered; already collected"
+          keep;
       send t ~src:node.id ~dst:t.coord_id (Gc_ack { from_node = node.id; keep })
-  | Adv_ack _ | Read_ack _ | Counter_reply _ | Gc_ack _ ->
+  | Adv_ack _ | Read_ack _ | Counter_reply _ | Gc_ack _ | Coord_wake ->
       invalid_arg "Engine: coordinator message delivered to a node"
 
 (* ------------------------------------------------------- coordinator *)
 
+(* The system's boot-time version pair: every node starts with update
+   version [initial_vu] and read version [initial_vr], and recovery logic
+   (node restart, coordinator WAL replay) seeds from these — never from
+   magic literals that would silently diverge from [create]. *)
+let initial_vu = 1
+let initial_vr = 0
+
 let broadcast t msg =
   Array.iter (fun node -> send t ~src:t.coord_id ~dst:node.id msg) t.nodes
 
-(* Await [n] acknowledgements matching [matches]; other coordinator inbox
-   traffic (stale counter replies) is discarded. *)
-let await_acks t ~matches =
-  let needed = ref t.cfg.nodes in
+(* Raised inside the coordinator fiber when it observes that a crash window
+   hit it; [coordinator_loop] catches it, replays the WAL, and re-drives
+   the in-flight advancement. *)
+exception Coord_crashed
+
+(* Notice a pending crash: if the crash hook fired since we last looked,
+   sleep out the remainder of the down window (volatile state is already
+   gone; the fiber must not act while "down") and raise. *)
+let coord_check t =
+  if t.coord_crash_gen <> t.coord_seen_gen then begin
+    t.coord_seen_gen <- t.coord_crash_gen;
+    let now = Sim.now t.sim in
+    if now < t.coord_down_until then Sim.sleep t.sim (t.coord_down_until -. now);
+    raise Coord_crashed
+  end
+
+(* Receive as the coordinator, crash-aware. A message consumed by the very
+   receive that notices the crash is discarded with it — safe, because the
+   re-driven phase re-collects every reply it needs. *)
+let coord_recv t =
+  let msg = Reliable.recv t.ch ~node:t.coord_id in
+  coord_check t;
+  msg
+
+(* ---- stall watchdog ---- *)
+
+let watch_begin t ~what ~resend =
+  if t.cfg.phase_deadline < infinity then
+    t.watch <-
+      Some
+        {
+          w_what = what;
+          w_deadline = Sim.now t.sim +. t.cfg.phase_deadline;
+          w_interval = t.cfg.phase_deadline;
+          w_resend = resend;
+        }
+
+let watch_end t = t.watch <- None
+
+(* Daemon (spawned only when [phase_deadline] is finite): whenever an armed
+   watch sits past its deadline, record the stall, re-broadcast the phase
+   message to the nodes still owing a reply, and double the interval with a
+   bound — self-healing for silent wedges such as a node crashed past the
+   channel's retransmission window. *)
+let watchdog_loop t () =
+  let rec loop () =
+    Sim.sleep t.sim (t.cfg.phase_deadline /. 4.);
+    (match t.watch with
+    | Some w when Sim.now t.sim >= w.w_deadline ->
+        cstat t "proto.phase_stalled";
+        tr t "coord" "watchdog: %s stalled for %gs; re-broadcasting" w.w_what
+          w.w_interval;
+        w.w_resend ();
+        w.w_interval <- Float.min (w.w_interval *. 2.) (8. *. t.cfg.phase_deadline);
+        w.w_deadline <- Sim.now t.sim +. w.w_interval
+    | _ -> ());
+    loop ()
+  in
+  loop ()
+
+(* Await one acknowledgement from every node. [matches] returns the sender
+   for a matching ack; acks are counted per distinct node, so a duplicate
+   (watchdog re-broadcast, raw-mode duplicate) can never complete a phase
+   early — it is recorded under [proto.dup_acks]. Non-matching coordinator
+   inbox traffic (stale counter replies, acks of a superseded phase) is
+   counted under [proto.stale_msgs] instead of vanishing silently.
+   [resend i] re-sends the phase message to node [i] (watchdog path). *)
+let await_acks t ~what ~resend ~matches =
+  let n = t.cfg.nodes in
+  let acked = Array.make n false in
+  let needed = ref n in
+  watch_begin t ~what ~resend:(fun () ->
+      Array.iteri (fun i done_ -> if not done_ then resend i) acked);
   while !needed > 0 do
-    let msg = Reliable.recv t.ch ~node:t.coord_id in
-    if matches msg then decr needed
-  done
+    match coord_recv t with
+    | Coord_wake -> ()
+    | msg -> (
+        match matches msg with
+        | Some from when from >= 0 && from < n && not acked.(from) ->
+            acked.(from) <- true;
+            decr needed
+        | Some _ -> cstat t "proto.dup_acks"
+        | None -> cstat t "proto.stale_msgs")
+  done;
+  watch_end t
 
 (* One asynchronous poll of all R rows / C columns for [version]. Returns
-   (r, c) with r.(p).(q) = R(version)pq and c.(p).(q) = C(version)pq. *)
+   (r, c) with r.(p).(q) = R(version)pq and c.(p).(q) = C(version)pq.
+   Replies are matched on (epoch, round, version) — the epoch namespaces
+   rounds across coordinator restarts — and counted per distinct node. *)
 let poll_counters t ~version =
   t.poll_round <- t.poll_round + 1;
   cstat t "proto.polls";
-  let round = t.poll_round in
-  broadcast t (Counter_query { version; round });
+  let round = t.poll_round and epoch = t.coord_epoch in
+  let query = Counter_query { version; round; epoch } in
+  broadcast t query;
   let n = t.cfg.nodes in
   let r = Array.make_matrix n n 0 and c = Array.make_matrix n n 0 in
+  let got = Array.make n false in
   let needed = ref n in
+  watch_begin t
+    ~what:(Printf.sprintf "counter poll round %d (version %d)" round version)
+    ~resend:(fun () ->
+      Array.iteri
+        (fun i done_ -> if not done_ then send t ~src:t.coord_id ~dst:i query)
+        got);
   while !needed > 0 do
-    match Reliable.recv t.ch ~node:t.coord_id with
-    | Counter_reply { from_node; version = v; round = rd; r_row; c_col }
-      when v = version && rd = round ->
-        (* R(v)pq is stored at sender p; C(v)pq at executor q. *)
-        Array.iteri (fun q count -> r.(from_node).(q) <- count) r_row;
-        Array.iteri (fun p count -> c.(p).(from_node) <- count) c_col;
-        decr needed
-    | _ -> ()
+    match coord_recv t with
+    | Counter_reply { from_node; version = v; round = rd; epoch = ep; r_row; c_col }
+      when v = version && rd = round && ep = epoch && from_node >= 0
+           && from_node < n ->
+        if got.(from_node) then cstat t "proto.dup_acks"
+        else begin
+          got.(from_node) <- true;
+          (* R(v)pq is stored at sender p; C(v)pq at executor q. *)
+          Array.iteri (fun q count -> r.(from_node).(q) <- count) r_row;
+          Array.iteri (fun p count -> c.(p).(from_node) <- count) c_col;
+          decr needed
+        end
+    | Coord_wake -> ()
+    | _ -> cstat t "proto.stale_msgs"
   done;
+  watch_end t;
   (r, c)
 
 let matrices_equal a b =
@@ -886,49 +1031,137 @@ let await_quiescence t ~version =
     end
     else begin
       Sim.sleep t.sim t.cfg.poll_interval;
+      coord_check t;
       go (Some (r, c))
     end
   in
   go None
 
-(* The four-phase version advancement of §4.3. *)
+(* The four-phase version advancement of §4.3, write-ahead logged: every
+   phase entry is recorded in [t.clog] before its first message goes out,
+   so a crash-restarted coordinator resumes the in-flight advancement at
+   its last logged phase (node-side idempotence makes re-driving a
+   partially — or fully — completed phase harmless).
+
+   Phase 4 is the one asymmetry: its [Retire_read] record is logged only
+   {e after} [vr_old] is confirmed quiescent, because a re-drive must not
+   re-poll a version whose counters some nodes have already collected
+   (a GC'd node reports zeros while an un-GC'd one still holds the frozen
+   true counts, so R = C could never re-establish). A crash during the
+   phase-4 quiescence wait therefore resumes from [Switch_read] — nothing
+   has been collected yet, so re-polling is sound — while a crash after
+   the record resumes straight at the GC re-broadcast. *)
 let run_advancement t =
-  let vu_old = t.coord_vu and vr_old = t.coord_vr in
+  coord_check t;
+  let rc = Coord_log.recover t.clog ~init_vu:initial_vu ~init_vr:initial_vr in
+  let adv, start_phase, vu_old, vr_old, resuming =
+    match rc.Coord_log.in_flight with
+    | Some f ->
+        ( f.Coord_log.f_adv,
+          Coord_log.phase_number f.Coord_log.f_phase,
+          f.Coord_log.f_vu_old,
+          f.Coord_log.f_vr_old,
+          true )
+    | None -> (rc.Coord_log.completed + 1, 1, t.coord_vu, t.coord_vr, false)
+  in
   let vu_new = vu_old + 1 and vr_new = vr_old + 1 in
-  tr t "coord" "version advancement begins (vu %d -> %d)" vu_old vu_new;
+  (* Log a phase entry — except the phase we are resuming into, whose
+     record is the one we just recovered from. *)
+  let enter phase =
+    if not (resuming && Coord_log.phase_number phase = start_phase) then
+      Coord_log.append t.clog
+        (Coord_log.Phase { adv; phase; vu_old; vr_old; time = Sim.now t.sim })
+  in
+  if resuming then
+    tr t "coord" "resuming advancement %d from phase %d (WAL)" adv start_phase
+  else tr t "coord" "version advancement begins (vu %d -> %d)" vu_old vu_new;
   (* Phase 1: switch to the new update version. *)
-  broadcast t (Start_advancement { vu_new });
-  await_acks t ~matches:(function
-    | Adv_ack { vu; _ } -> vu = vu_new
-    | _ -> false);
-  tr t "coord" "phase 1 complete: all nodes on update version %d" vu_new;
+  if start_phase <= 1 then begin
+    enter Coord_log.Switch_update;
+    broadcast t (Start_advancement { vu_new });
+    await_acks t ~what:"phase 1 (start-advancement acks)"
+      ~resend:(fun i ->
+        send t ~src:t.coord_id ~dst:i (Start_advancement { vu_new }))
+      ~matches:(function
+        | Adv_ack { from_node; vu } when vu = vu_new -> Some from_node
+        | _ -> None);
+    tr t "coord" "phase 1 complete: all nodes on update version %d" vu_new
+  end;
   (* Phase 2: wait for version vu_old to become mutually consistent. *)
-  await_quiescence t ~version:vu_old;
-  tr t "coord" "phase 2 complete: version %d consistent across nodes" vu_old;
-  (* Phase 3: switch queries to the freshly consistent version. *)
-  broadcast t (Advance_read { vr_new });
-  await_acks t ~matches:(function
-    | Read_ack { vr; _ } -> vr = vr_new
-    | _ -> false);
-  tr t "coord" "phase 3 complete: read version is %d" vr_new;
-  (* Phase 4: wait for old readers, then garbage-collect. The advancement
+  if start_phase <= 2 then begin
+    enter Coord_log.Quiesce_update;
+    await_quiescence t ~version:vu_old;
+    tr t "coord" "phase 2 complete: version %d consistent across nodes" vu_old
+  end;
+  (* Phase 3: switch queries to the freshly consistent version, then wait
+     for the old read version's subtransactions to drain. *)
+  if start_phase <= 3 then begin
+    enter Coord_log.Switch_read;
+    broadcast t (Advance_read { vr_new });
+    await_acks t ~what:"phase 3 (advance-read acks)"
+      ~resend:(fun i -> send t ~src:t.coord_id ~dst:i (Advance_read { vr_new }))
+      ~matches:(function
+        | Read_ack { from_node; vr } when vr = vr_new -> Some from_node
+        | _ -> None);
+    tr t "coord" "phase 3 complete: read version is %d" vr_new;
+    await_quiescence t ~version:vr_old
+  end;
+  (* Phase 4: old readers have drained; garbage-collect. The advancement
      instance only finishes once every node acknowledged collecting: letting
      the next advancement overlap an in-flight GC notice would transiently
      yield a fourth version, breaking the paper's ≤3 bound (§4.4, 2a). *)
-  await_quiescence t ~version:vr_old;
+  enter Coord_log.Retire_read;
   broadcast t (Do_gc { keep = vr_new });
   if t.cfg.await_gc_acks then
-    await_acks t ~matches:(function
-      | Gc_ack { keep; _ } -> keep = vr_new
-      | _ -> false);
+    await_acks t ~what:"phase 4 (gc acks)"
+      ~resend:(fun i -> send t ~src:t.coord_id ~dst:i (Do_gc { keep = vr_new }))
+      ~matches:(function
+        | Gc_ack { from_node; keep } when keep = vr_new -> Some from_node
+        | _ -> None);
   tr t "coord" "phase 4 complete: version %d garbage-collected" vr_old;
+  Coord_log.append t.clog (Coord_log.Committed { adv; time = Sim.now t.sim });
   t.coord_vu <- vu_new;
   t.coord_vr <- vr_new;
   t.advancements <- t.advancements + 1
 
+(* Coordinator restart: replay the WAL into fresh volatile state. The epoch
+   bump namespaces the reset poll-round counter on the wire, so pre-crash
+   counter replies can never satisfy a post-restart poll. *)
+let coord_recover t =
+  let rc = Coord_log.recover t.clog ~init_vu:initial_vu ~init_vr:initial_vr in
+  t.coord_epoch <- rc.Coord_log.next_epoch;
+  Coord_log.append t.clog
+    (Coord_log.Started { epoch = t.coord_epoch; time = Sim.now t.sim });
+  t.poll_round <- 0;
+  t.watch <- None;
+  t.coord_vu <- rc.Coord_log.vu;
+  t.coord_vr <- rc.Coord_log.vr;
+  t.advancements <- rc.Coord_log.completed;
+  cstat t "proto.coord_recoveries";
+  tr t "coord" "recovers from WAL: epoch %d, %d advancements committed%s"
+    t.coord_epoch rc.Coord_log.completed
+    (match rc.Coord_log.in_flight with
+    | Some f ->
+        Printf.sprintf ", advancement %d in flight (phase %d)" f.Coord_log.f_adv
+          (Coord_log.phase_number f.Coord_log.f_phase)
+    | None -> "")
+
 let coordinator_loop t () =
+  (* Run one advancement to completion, recovering from any number of
+     crashes along the way: each recovery replays the WAL and re-enters
+     [run_advancement], which resumes at the last logged phase. *)
+  let rec drive () =
+    try run_advancement t
+    with Coord_crashed ->
+      coord_recover t;
+      drive ()
+  in
   let rec loop () =
     let reply = Mailbox.recv t.sim t.trigger_box in
+    (* A crash that hit while idle is noticed here. The trigger that woke
+       us is client intent, not volatile coordinator state — it survives
+       the restart and is served below. *)
+    (try coord_check t with Coord_crashed -> coord_recover t);
     (* Coalesce triggers that queued up while a previous advancement ran: a
        single advancement satisfies all of them (an advancement beginning
        after a trigger arrived publishes data at least as fresh as the
@@ -942,7 +1175,7 @@ let coordinator_loop t () =
       | None -> ()
     in
     drain ();
-    run_advancement t;
+    drive ();
     List.iter
       (function Some ivar -> Ivar.fill ivar () | None -> ())
       !replies;
@@ -962,8 +1195,8 @@ let coordinator_loop t () =
    and the coordinator's retransmitted phase messages then catch the node up
    to the cluster's current versions. *)
 let restart_recover t node =
-  let vu = List.fold_left max 1 (Counters.versions node.cnt) in
-  let vr = max 0 (min (Mvstore.gc_floor node.store) (vu - 1)) in
+  let vu = List.fold_left max initial_vu (Counters.versions node.cnt) in
+  let vr = max initial_vr (min (Mvstore.gc_floor node.store) (vu - 1)) in
   node.vu <- vu;
   node.vr <- vr;
   Counters.ensure_version node.cnt vu;
@@ -972,6 +1205,8 @@ let restart_recover t node =
 
 let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
   if cfg.nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
+  if cfg.phase_deadline <= 0. then
+    invalid_arg "Engine.create: phase_deadline must be positive";
   let net =
     match link_latency with
     | None -> Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency ()
@@ -1018,7 +1253,9 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
           paused_until = 0.;
         })
   in
-  Array.iter (fun node -> Counters.ensure_version node.cnt 1) nodes;
+  Array.iter (fun node -> Counters.ensure_version node.cnt initial_vu) nodes;
+  let clog = Coord_log.create () in
+  Coord_log.append clog (Coord_log.Started { epoch = 0; time = Sim.now sim });
   let t =
     {
       sim;
@@ -1032,8 +1269,14 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       trace;
       live = Hashtbl.create 8;
       counters_live = Counter_set.create ();
-      coord_vu = 1;
-      coord_vr = 0;
+      clog;
+      coord_epoch = 0;
+      coord_crash_gen = 0;
+      coord_seen_gen = 0;
+      coord_down_until = 0.;
+      watch = None;
+      coord_vu = initial_vu;
+      coord_vr = initial_vr;
       poll_round = 0;
       advancements = 0;
       updates_since_trigger = 0;
@@ -1057,6 +1300,22 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
     ~restart:(fun ~node ->
       if node >= 0 && node < cfg.nodes then restart_recover t t.nodes.(node))
     ();
+  (* Coordinator crash effects: the crash hook wipes volatile progress (the
+     generation bump makes the coordinator fiber notice at its next check;
+     the armed watch is cleared so no stale re-broadcast fires during the
+     outage); the restart hook wakes a fiber parked in [recv] with a
+     zero-payload self-send — the window is [at, restart), so a send at
+     exactly [restart] passes the filter. *)
+  Injector.set_coord faults ~id:t.coord_id
+    ~crash:(fun ~until_ ->
+      t.coord_crash_gen <- t.coord_crash_gen + 1;
+      t.coord_down_until <- Float.max t.coord_down_until until_;
+      t.watch <- None;
+      tr t "coord" "crashes (fault injection; volatile phase state lost)")
+    ~restart:(fun () ->
+      tr t "coord" "restarts; write-ahead log intact";
+      send t ~src:t.coord_id ~dst:t.coord_id Coord_wake)
+    ();
   (* Node server loops. *)
   Array.iter
     (fun node ->
@@ -1076,6 +1335,10 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
     nodes;
   (* Coordinator. *)
   Sim.spawn sim ~daemon:true ~name:"coordinator" (coordinator_loop t);
+  (* Stall watchdog — only spawned when a finite deadline is configured, so
+     the default configuration's event schedule is untouched. *)
+  if cfg.phase_deadline < infinity then
+    Sim.spawn sim ~daemon:true ~name:"coord-watchdog" (watchdog_loop t);
   (* Advancement policy driver. *)
   (match cfg.policy with
   | Policy.Manual | Policy.Every_n_updates _ | Policy.Divergence _ -> ()
@@ -1206,6 +1469,11 @@ let inject_pause t ~node ~at ~duration =
 let inject_crash t ~node ~at ~restart =
   check_node t node "inject_crash";
   Injector.crash t.faults ~node ~at ~restart
+
+let inject_coord_crash t ~at ~restart =
+  Injector.coord_crash t.faults ~at ~restart
+
+let coord_log t = t.clog
 
 let injector t = t.faults
 

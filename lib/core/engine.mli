@@ -28,6 +28,19 @@
     [R(v)pq = C(v)pq] everywhere; phase 3 advances the read version; phase 4
     waits for old readers the same way and triggers garbage collection.
 
+    {b Coordinator crash tolerance}: every phase entry is recorded in a
+    durable write-ahead log ({!Coord_log}) before its first message goes
+    out, and every phase is idempotent on the node side, so a coordinator
+    fail-stop crash (inject with {!inject_coord_crash} or a
+    {!Fault.Plan.coord_crash} entry) loses only volatile progress: on
+    restart the coordinator replays the log and re-drives the in-flight
+    advancement from its last logged phase. Counter polls are namespaced by
+    a restart epoch so pre-crash replies can never satisfy a post-restart
+    poll. A finite [phase_deadline] additionally arms a stall watchdog that
+    re-broadcasts a phase's message (to the nodes still owing a reply) with
+    bounded exponential backoff, turning silent wedges into observable,
+    self-healing retries ([proto.phase_stalled]).
+
     {b Non-commuting updates} (§5, enable with [nc_mode]): well-behaved
     transactions take commute locks released by an asynchronous clean-up;
     non-commuting transactions take non-commute locks, wait at the root for
@@ -44,6 +57,13 @@ type config = {
   latency : Netsim.Latency.t;  (** inter-node message latency model *)
   think_time : float;  (** local processing time per subtransaction *)
   poll_interval : float;  (** spacing of the coordinator's counter polls *)
+  phase_deadline : float;
+      (** stall watchdog: after this long without progress in an advancement
+          phase the coordinator records [proto.phase_stalled] and re-sends
+          the phase message to the nodes that have not replied, with doubled
+          (bounded) backoff. [infinity] (the default) disables the watchdog
+          — its daemon is not spawned, leaving fault-free schedules
+          untouched. Must be positive. *)
   policy : Policy.t;  (** when to trigger version advancement *)
   nc_mode : bool;
       (** take commute locks on well-behaved transactions so that
@@ -149,6 +169,20 @@ val inject_pause : t -> node:int -> at:float -> duration:float -> unit
     [reliable_channel] on, or in-flight protocol messages are lost for
     good. Thin wrapper over {!Fault.Injector.crash}. *)
 val inject_crash : t -> node:int -> at:float -> restart:float -> unit
+
+(** [inject_coord_crash t ~at ~restart] fail-stops the {e coordinator}
+    during [[at, restart)): its traffic is dropped and its volatile phase
+    progress (ack tallies, poll round, armed watchdog) is lost. At
+    [restart] it replays its write-ahead log, bumps its poll epoch, and
+    re-drives the in-flight advancement from the last logged phase; nodes
+    treat the re-driven messages idempotently. Thin wrapper over
+    {!Fault.Injector.coord_crash}.
+    @raise Invalid_argument if [restart <= at]. *)
+val inject_coord_crash : t -> at:float -> restart:float -> unit
+
+(** The coordinator's write-ahead log, for inspection by tests and
+    experiments (e.g. to read phase-boundary times of a reference run). *)
+val coord_log : t -> Coord_log.t
 
 (** The engine's fault injector (the one passed to {!create}, or the
     internal empty-plan injector), for accounting and ad-hoc fault

@@ -6,6 +6,8 @@ type hooks = {
   mutable h_pause : node:int -> duration:float -> until_:float -> unit;
   mutable h_crash : node:int -> unit;
   mutable h_restart : node:int -> unit;
+  mutable h_coord_crash : until_:float -> unit;
+  mutable h_coord_restart : unit -> unit;
 }
 
 type t = {
@@ -15,20 +17,32 @@ type t = {
   rules : Plan.rule array;
   rule_hits : int array;  (** per-rule matching-delivery counts, for [nth] *)
   mutable crash_windows : (int * float * float) list;  (** (node, at, restart) *)
+  mutable coord_windows : (float * float) list;  (** (at, restart) *)
+  mutable coord_id : int option;
+      (** the coordinator's network id, registered by the owning engine so
+          coordinator crash windows can drop its traffic *)
   hooks : hooks;
   counters : Counter_set.t;
 }
 
 let noop_pause ~node:_ ~duration:_ ~until_:_ = ()
 let noop_node ~node:_ = ()
+let noop_coord_crash ~until_:_ = ()
+let noop_unit () = ()
 
 let plan t = t.plan
 let stats t = t.counters
+
+let coord_down t ~at =
+  List.exists (fun (from_, until_) -> at >= from_ && at < until_) t.coord_windows
 
 let down t ~node ~at =
   List.exists
     (fun (n, from_, until_) -> n = node && at >= from_ && at < until_)
     t.crash_windows
+  || (match t.coord_id with
+     | Some c when c = node -> coord_down t ~at
+     | _ -> false)
 
 let count t name ~src ~dst =
   Counter_set.incr t.counters (name ^ "s") ();
@@ -54,6 +68,22 @@ let crash t ~node ~at ~restart =
       Counter_set.incr t.counters "fault.restarts" ();
       t.hooks.h_restart ~node)
 
+let coord_crash t ~at ~restart =
+  if restart <= at then
+    invalid_arg
+      "Fault.Injector.coord_crash: restart must be after the crash time";
+  (* Same eager-window discipline as node crashes: traffic to and from the
+     coordinator is dropped for the whole window even before the scheduled
+     hook fires. *)
+  t.coord_windows <- (at, restart) :: t.coord_windows;
+  Counter_set.incr t.counters "fault.coord_crashes" ();
+  let now = Sim.now t.sim in
+  Sim.schedule t.sim ~delay:(Float.max 0. (at -. now)) (fun () ->
+      t.hooks.h_coord_crash ~until_:restart);
+  Sim.schedule t.sim ~delay:(Float.max 0. (restart -. now)) (fun () ->
+      Counter_set.incr t.counters "fault.coord_restarts" ();
+      t.hooks.h_coord_restart ())
+
 let rule_matches (r : Plan.rule) ~src ~dst ~now =
   (match r.Plan.r_src with Some s -> s = src | None -> true)
   && (match r.Plan.r_dst with Some d -> d = dst | None -> true)
@@ -62,7 +92,8 @@ let rule_matches (r : Plan.rule) ~src ~dst ~now =
   && now < r.Plan.r_until
 
 let filter t ~src ~dst ~delay =
-  if Array.length t.rules = 0 && t.crash_windows = [] then [ delay ]
+  if Array.length t.rules = 0 && t.crash_windows = [] && t.coord_windows = []
+  then [ delay ]
   else begin
     let now = Sim.now t.sim in
     if down t ~node:src ~at:now then begin
@@ -114,6 +145,11 @@ let set_node_hooks t ?pause ?crash ?restart () =
   (match crash with Some f -> t.hooks.h_crash <- f | None -> ());
   match restart with Some f -> t.hooks.h_restart <- f | None -> ()
 
+let set_coord t ~id ?crash ?restart () =
+  t.coord_id <- Some id;
+  (match crash with Some f -> t.hooks.h_coord_crash <- f | None -> ());
+  match restart with Some f -> t.hooks.h_coord_restart <- f | None -> ()
+
 let create sim (plan : Plan.t) =
   let t =
     {
@@ -123,8 +159,16 @@ let create sim (plan : Plan.t) =
       rules = Array.of_list plan.Plan.rules;
       rule_hits = Array.make (List.length plan.Plan.rules) 0;
       crash_windows = [];
+      coord_windows = [];
+      coord_id = None;
       hooks =
-        { h_pause = noop_pause; h_crash = noop_node; h_restart = noop_node };
+        {
+          h_pause = noop_pause;
+          h_crash = noop_node;
+          h_restart = noop_node;
+          h_coord_crash = noop_coord_crash;
+          h_coord_restart = noop_unit;
+        };
       counters = Counter_set.create ();
     }
   in
@@ -138,4 +182,8 @@ let create sim (plan : Plan.t) =
       crash t ~node:c.Plan.crash_node ~at:c.Plan.crash_at
         ~restart:c.Plan.crash_restart)
     plan.Plan.crashes;
+  List.iter
+    (fun (c : Plan.coord_crash) ->
+      coord_crash t ~at:c.Plan.cc_at ~restart:c.Plan.cc_restart)
+    plan.Plan.coord_crashes;
   t

@@ -18,10 +18,18 @@
     untouched. The empty plan makes no RNG draws at all and passes every
     delivery through unchanged — installing it is a no-op.
 
+    Coordinator crashes are a separate event class: the plan does not know
+    the coordinator's network id, so the owning engine registers it with
+    {!set_coord}; during a coordinator crash window all traffic to and from
+    that id is dropped, and the [crash]/[restart] hooks let the engine wipe
+    volatile phase state and re-drive the advancement from its write-ahead
+    log.
+
     Accounting is surfaced as a {!Stats.Counter_set}: aggregate
     ["fault.drops"], ["fault.dups"], ["fault.delays"], ["fault.crash_drops"]
     plus per-link variants such as ["fault.drop[0->2]"], and event counts
-    ["fault.pauses"] / ["fault.crashes"] / ["fault.restarts"]. *)
+    ["fault.pauses"] / ["fault.crashes"] / ["fault.restarts"] /
+    ["fault.coord_crashes"] / ["fault.coord_restarts"]. *)
 
 type t
 
@@ -58,8 +66,30 @@ val pause : t -> node:int -> at:float -> duration:float -> unit
     @raise Invalid_argument if [restart <= at]. *)
 val crash : t -> node:int -> at:float -> restart:float -> unit
 
-(** Is [node] inside a crash window at virtual time [at]? *)
+(** [set_coord t ~id ?crash ?restart ()] registers the coordinator's
+    network id (so crash windows drop its traffic) and the engine-side
+    effects of a coordinator crash: [crash ~until_] fires when it goes
+    down (with the restart time), [restart] when it comes back. Hooks not
+    provided keep their previous value (initially no-ops). *)
+val set_coord :
+  t ->
+  id:int ->
+  ?crash:(until_:float -> unit) ->
+  ?restart:(unit -> unit) ->
+  unit ->
+  unit
+
+(** [coord_crash t ~at ~restart] schedules a coordinator crash-restart (in
+    addition to any in the plan).
+    @raise Invalid_argument if [restart <= at]. *)
+val coord_crash : t -> at:float -> restart:float -> unit
+
+(** Is [node] inside a crash window at virtual time [at]? Includes
+    coordinator windows when [node] is the registered coordinator id. *)
 val down : t -> node:int -> at:float -> bool
+
+(** Is the coordinator inside a crash window at virtual time [at]? *)
+val coord_down : t -> at:float -> bool
 
 (** Live accounting snapshot (shared, monotone — do not mutate). *)
 val stats : t -> Stats.Counter_set.t

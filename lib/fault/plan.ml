@@ -13,16 +13,21 @@ type rule = {
 
 type pause = { pause_node : int; pause_at : float; pause_duration : float }
 type crash = { crash_node : int; crash_at : float; crash_restart : float }
+type coord_crash = { cc_at : float; cc_restart : float }
 
 type t = {
   seed : int;
   rules : rule list;
   pauses : pause list;
   crashes : crash list;
+  coord_crashes : coord_crash list;
 }
 
-let none = { seed = 0x5eed; rules = []; pauses = []; crashes = [] }
-let is_none t = t.rules = [] && t.pauses = [] && t.crashes = []
+let none =
+  { seed = 0x5eed; rules = []; pauses = []; crashes = []; coord_crashes = [] }
+
+let is_none t =
+  t.rules = [] && t.pauses = [] && t.crashes = [] && t.coord_crashes = []
 
 let check_rule r =
   if r.r_prob < 0. || r.r_prob > 1. then
@@ -52,11 +57,20 @@ let check_crash c =
       (Printf.sprintf "Fault.Plan: crash restart %g must be after crash at %g"
          c.crash_restart c.crash_at)
 
-let make ?(seed = 0x5eed) ?(rules = []) ?(pauses = []) ?(crashes = []) () =
+let check_coord_crash c =
+  if c.cc_restart <= c.cc_at then
+    invalid_arg
+      (Printf.sprintf
+         "Fault.Plan: coordinator restart %g must be after crash at %g"
+         c.cc_restart c.cc_at)
+
+let make ?(seed = 0x5eed) ?(rules = []) ?(pauses = []) ?(crashes = [])
+    ?(coord_crashes = []) () =
   List.iter check_rule rules;
   List.iter check_pause pauses;
   List.iter check_crash crashes;
-  { seed; rules; pauses; crashes }
+  List.iter check_coord_crash coord_crashes;
+  { seed; rules; pauses; crashes; coord_crashes }
 
 let rule ?src ?dst ?(remote_only = false) ?(from_ = 0.) ?(until_ = infinity)
     ?(prob = 1.) ?nth action =
@@ -94,6 +108,11 @@ let crash ~node ~at ~restart =
   check_crash c;
   c
 
+let coord_crash ~at ~restart =
+  let c = { cc_at = at; cc_restart = restart } in
+  check_coord_crash c;
+  c
+
 let pp_action ppf = function
   | Drop -> Format.fprintf ppf "drop"
   | Duplicate gap -> Format.fprintf ppf "dup(+%gs)" gap
@@ -127,4 +146,9 @@ let pp ppf t =
       Format.fprintf ppf "@,crash node %d at %g, restart %g" c.crash_node
         c.crash_at c.crash_restart)
     t.crashes;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,crash coordinator at %g, restart %g" c.cc_at
+        c.cc_restart)
+    t.coord_crashes;
   Format.fprintf ppf "@]"

@@ -47,11 +47,21 @@ type pause = { pause_node : int; pause_at : float; pause_duration : float }
     counters. *)
 type crash = { crash_node : int; crash_at : float; crash_restart : float }
 
+(** A fail-stop crash of the {e coordinator} endpoint: from [cc_at] until
+    [cc_restart] all traffic to and from the coordinator is dropped; at
+    [cc_restart] it comes back, having lost its volatile state (current
+    phase progress, poll round) but kept its write-ahead log
+    ({!Threev.Coord_log}), from which it resumes the in-flight version
+    advancement. The plan does not know the coordinator's network id —
+    the owning engine registers it via {!Injector.set_coord}. *)
+type coord_crash = { cc_at : float; cc_restart : float }
+
 type t = {
   seed : int;  (** seeds the injector's dedicated fault RNG *)
   rules : rule list;
   pauses : pause list;
   crashes : crash list;
+  coord_crashes : coord_crash list;
 }
 
 (** The empty plan: no rules, no events. Installing it is behaviorally
@@ -65,7 +75,7 @@ val is_none : t -> bool
     negative time window, or a crash whose [restart] is not after [at]. *)
 val make :
   ?seed:int -> ?rules:rule list -> ?pauses:pause list -> ?crashes:crash list ->
-  unit -> t
+  ?coord_crashes:coord_crash list -> unit -> t
 
 (** [rule action] builds one rule; defaults: wildcard link, all of virtual
     time, probability 1, not scripted, [remote_only] false. *)
@@ -89,4 +99,8 @@ val partition : src:int -> dst:int -> from_:float -> until_:float -> rule
 
 val pause : node:int -> at:float -> duration:float -> pause
 val crash : node:int -> at:float -> restart:float -> crash
+
+(** @raise Invalid_argument if [restart <= at]. *)
+val coord_crash : at:float -> restart:float -> coord_crash
+
 val pp : Format.formatter -> t -> unit

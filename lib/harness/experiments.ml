@@ -1231,6 +1231,219 @@ let run_e12 ~quick =
         "at healthy nodes, so the crash spreads and work is lost.";
       ]
 
+(* --------------------------------------------------------------- E13 *)
+
+(* E13: coordinator fail-stop crash in each of the four advancement phases.
+   A reference run's write-ahead log supplies the phase-entry times, so each
+   case's crash provably lands inside its target phase (the runs are
+   byte-identical up to the crash instant). The restarted coordinator
+   replays its WAL, bumps its poll epoch and re-drives the in-flight phase;
+   node-side idempotence absorbs the re-driven messages. A final case wedges
+   phase 1 with a scripted drop and no channel retransmission — only the
+   stall watchdog's re-broadcast can resolve it. *)
+let run_e13 ~quick =
+  let nodes = 4 in
+  let duration = if quick then 2.0 else 3.0 in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = 400.;
+        read_ratio = 0.25;
+        fanout = 2;
+        keys_per_node = 20;
+        zipf_s = 0.7;
+      }
+  in
+  let setup =
+    { Runner.default_setup with Runner.seed = 171; duration; settle = 6.0 }
+  in
+  let run_case ?(phase_deadline = infinity) ?(retransmit = true)
+      ?(plan = Fault.Plan.none) () =
+    let sim = Sim.create ~seed:171 () in
+    let cfg =
+      {
+        (Engine.default_config ~nodes) with
+        Engine.latency = Latency.Exponential 0.003;
+        think_time = 0.0005;
+        policy = Policy.Manual;
+        reliable_channel = true;
+        retransmit;
+        retransmit_timeout = 0.02;
+        phase_deadline;
+      }
+    in
+    let faults = Fault.Injector.create sim plan in
+    let engine = Engine.create sim cfg ~faults () in
+    let adv = ref None in
+    Sim.schedule sim ~delay:0.95 (fun () -> adv := Some (Engine.advance engine));
+    let outcome = Runner.drive sim (Engine.packed engine) gen setup in
+    let completed =
+      match !adv with Some iv -> Simul.Ivar.is_full iv | None -> false
+    in
+    (outcome, engine, completed)
+  in
+  (* Reference run: no faults; its WAL gives the phase-entry times. *)
+  let _, ref_engine, _ = run_case () in
+  let entry k =
+    match
+      List.find_opt
+        (fun (a, p, _) -> a = 1 && Threev.Coord_log.phase_number p = k)
+        (Threev.Coord_log.phase_times (Engine.coord_log ref_engine))
+    with
+    | Some (_, _, tm) -> tm
+    | None -> failwith "E13: reference run missing a phase entry"
+  in
+  (* Inside phase k: midway to the next phase's entry. Phase 4's entry is
+     logged after its quiescence wait (see Coord_log), so land in the
+     gc-ack exchange just after it. *)
+  let crash_time k =
+    if k < 4 then (entry k +. entry (k + 1)) /. 2. else entry 4 +. 0.002
+  in
+  let table =
+    Table.create
+      ~title:"E13: coordinator crash tolerance — WAL resume in every phase"
+      ~columns:
+        [
+          "case"; "crash at"; "advancements"; "recoveries"; "stalls";
+          "committed"; "unfinished"; "partial reads"; "max vers";
+        ]
+  in
+  let add_row name ~crash_at (outcome : Runner.outcome) engine completed =
+    let atom = Runner.atomicity outcome in
+    Table.add_row table
+      [
+        name;
+        (match crash_at with Some a -> Printf.sprintf "%.3fs" a | None -> "-");
+        Printf.sprintf "%d%s"
+          (Engine.advancements_completed engine)
+          (if completed then "" else " (wedged)");
+        Table.cell_i
+          (Counter_set.get outcome.Runner.stats "proto.coord_recoveries");
+        Table.cell_i
+          (Counter_set.get outcome.Runner.stats "proto.phase_stalled");
+        Table.cell_i outcome.Runner.committed;
+        Table.cell_i outcome.Runner.unfinished;
+        Table.cell_i atom.Checker.Atomicity.partial_reads;
+        Table.cell_i (Engine.max_versions_ever engine);
+      ]
+  in
+  let o0, e0, c0 = run_case () in
+  add_row "no crash" ~crash_at:None o0 e0 c0;
+  let crash_outcomes =
+    List.map
+      (fun k ->
+        let at = crash_time k in
+        let plan =
+          Fault.Plan.make ~seed:1713
+            ~coord_crashes:[ Fault.Plan.coord_crash ~at ~restart:(at +. 0.3) ]
+            ()
+        in
+        let o, e, c = run_case ~plan () in
+        add_row (Printf.sprintf "crash in phase %d" k) ~crash_at:(Some at) o e c;
+        (k, o, e, c))
+      [ 1; 2; 3; 4 ]
+  in
+  (* Replay determinism: re-run the phase-2 case with the same seeds. *)
+  let replay_ok =
+    let at = crash_time 2 in
+    let plan =
+      Fault.Plan.make ~seed:1713
+        ~coord_crashes:[ Fault.Plan.coord_crash ~at ~restart:(at +. 0.3) ]
+        ()
+    in
+    let o2, _, _ = run_case ~plan () in
+    let _, o1, _, _ = List.nth crash_outcomes 1 in
+    history_digest o1 = history_digest o2
+  in
+  (* Watchdog: drop the phase-1 broadcast to n0, turn channel retransmission
+     off (ablation A4's wedge), and let the per-phase deadline repair it. *)
+  let wo, we, wc =
+    run_case ~phase_deadline:0.06 ~retransmit:false
+      ~plan:
+        (Fault.Plan.make ~seed:1714
+           ~rules:
+             [ Fault.Plan.rule ~src:nodes ~dst:0 ~from_:0.9 ~nth:1 Fault.Plan.Drop ]
+           ())
+      ()
+  in
+  add_row "stalled phase 1 + watchdog" ~crash_at:None wo we wc;
+  (* Baseline comparisons through the same inject_coord_crash surface. *)
+  let twopc_row =
+    let sim = Sim.create ~seed:171 () in
+    let cfg =
+      {
+        (Baselines.Global_2pc.default_config ~nodes) with
+        Baselines.Global_2pc.latency = Latency.Exponential 0.003;
+        think_time = 0.0005;
+        deadlock_timeout = 0.3;
+      }
+    in
+    let engine = Baselines.Global_2pc.create sim cfg in
+    let at = crash_time 2 in
+    Baselines.Global_2pc.inject_coord_crash engine ~at ~restart:(at +. 0.3);
+    let outcome =
+      Runner.drive sim (Baselines.Global_2pc.packed engine) gen setup
+    in
+    Printf.sprintf
+      "global-2pc under the same crash window (its coordination site, node \
+       0): %d committed, %d unfinished — no WAL, no re-drive; work rooted \
+       at the crashed site is simply lost."
+      outcome.Runner.committed outcome.Runner.unfinished
+  in
+  let manual_row =
+    let sim = Sim.create ~seed:171 () in
+    let cfg =
+      {
+        (Baselines.Manual_versioning.default_config ~nodes) with
+        Baselines.Manual_versioning.period = 0.5;
+        safety_delay = 0.2;
+      }
+    in
+    let m = Baselines.Manual_versioning.create sim cfg in
+    let healthy = Baselines.Manual_versioning.read_version_at m ~now:2.9 in
+    Baselines.Manual_versioning.inject_coord_crash m ~at:1.0 ~restart:3.0;
+    let frozen = Baselines.Manual_versioning.read_version_at m ~now:2.9 in
+    let after = Baselines.Manual_versioning.read_version_at m ~now:3.0 in
+    Printf.sprintf
+      "manual versioning, publisher down [1.0s, 3.0s): at 2.9s reads still \
+       use version %d (vs %d had the publisher stayed up) — frozen for the \
+       whole window, snapping to %d at restart (staleness grows linearly, \
+       unbounded by any protocol)."
+      frozen healthy after
+  in
+  let all_recovered =
+    List.for_all
+      (fun (_, o, _, c) ->
+        c && o.Runner.unfinished = 0
+        && (Runner.atomicity o).Checker.Atomicity.partial_reads = 0)
+      crash_outcomes
+  in
+  Table.to_string table
+  ^ notes
+      [
+        "";
+        Printf.sprintf
+          "crash-phase sweep: advancement %s after every single-phase crash \
+           (restart +0.3s), with zero checker anomalies."
+          (if all_recovered then "completed" else "FAILED to complete");
+        Printf.sprintf
+          "replay determinism: two phase-2-crash runs with the same seeds \
+           produced %s histories."
+          (if replay_ok then "identical" else "DIFFERENT");
+        Printf.sprintf
+          "watchdog: %d stall(s) recorded; the re-broadcast resolved a \
+           wedge that channel retransmission (off) could not."
+          (Counter_set.get wo.Runner.stats "proto.phase_stalled");
+        twopc_row;
+        manual_row;
+        "";
+        "Shape check: the WAL records every phase entry before its first";
+        "message, nodes treat re-driven phase messages idempotently, and";
+        "counter polls are namespaced by restart epoch — so a coordinator";
+        "crash in any phase costs only the outage window, never correctness.";
+      ]
+
 (* A1: the two-wave stable-property check vs trusting a single matching
    poll. We count poll rounds (the cost) and unsound declarations caught by
    the oracle (the risk). *)
@@ -1597,6 +1810,12 @@ let all =
       run = run_e12;
     };
     {
+      id = "e13";
+      title = "Coordinator crash tolerance — WAL resume + watchdog";
+      paper_ref = "§4.3 coordinator liveness; robustness extension";
+      run = run_e13;
+    };
+    {
       id = "e9";
       title = "Advancement message overhead";
       paper_ref = "§8 asynchrony, cost side";
@@ -1683,4 +1902,41 @@ let smoke () =
     (Engine.max_versions_ever engine <= 3);
   check "e11-smoke: no unfinished transactions"
     (outcome.Runner.unfinished = 0);
+  (* Coord-smoke: one advancement with a mid-phase-2 coordinator crash
+     (constant latency pins the phase schedule: phase 1 needs two 3 ms
+     hops, so 0.215s lands in phase 2's poll loop; restart at 0.3s). *)
+  let sim = Sim.create ~seed:13 () in
+  let ccfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Latency.Constant 0.003;
+      think_time = 0.0002;
+      policy = Policy.Manual;
+      reliable_channel = true;
+      retransmit_timeout = 0.01;
+    }
+  in
+  let faults =
+    Fault.Injector.create sim
+      (Fault.Plan.make ~seed:13
+         ~coord_crashes:[ Fault.Plan.coord_crash ~at:0.215 ~restart:0.3 ]
+         ())
+  in
+  let cengine = Engine.create sim ccfg ~faults () in
+  let adv = ref None in
+  Sim.schedule sim ~delay:0.2 (fun () -> adv := Some (Engine.advance cengine));
+  let coutcome =
+    Runner.drive sim (Engine.packed cengine) gen
+      { Runner.default_setup with Runner.seed = 13; duration = 0.4; settle = 4.0 }
+  in
+  let catom = Runner.atomicity coutcome in
+  check "coord-smoke: advancement completes across a coordinator crash"
+    ((match !adv with Some iv -> Simul.Ivar.is_full iv | None -> false)
+    && Engine.advancements_completed cengine >= 1);
+  check "coord-smoke: coordinator recovered from its WAL"
+    (Counter_set.get coutcome.Runner.stats "proto.coord_recoveries" >= 1);
+  check "coord-smoke: anomaly-free, bounded versions, nothing unfinished"
+    (catom.Checker.Atomicity.partial_reads = 0
+    && Engine.max_versions_ever cengine <= 3
+    && coutcome.Runner.unfinished = 0);
   (!ok, Buffer.contents buf)

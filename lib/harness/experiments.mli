@@ -19,7 +19,9 @@ val all : t list
 (** Look an experiment up by id (case-insensitive). *)
 val find : string -> t option
 
-(** [smoke ()] is the CI gate: the Table 1 scripted replay plus a tiny E11
-    (2 nodes, 5% message loss + duplication, reliable channel on), in
-    well under ten seconds. Returns [(all_passed, report)]. *)
+(** [smoke ()] is the CI gate: the Table 1 scripted replay, a tiny E11
+    (2 nodes, 5% message loss + duplication, reliable channel on), and a
+    sub-second coord-smoke (one advancement with a mid-flight coordinator
+    crash that must recover from the WAL), in well under ten seconds.
+    Returns [(all_passed, report)]. *)
 val smoke : unit -> bool * string

@@ -1,8 +1,10 @@
 (* Tests for the fault-injection subsystem (lib/fault) and the protocol
    hardening it exercises: the network delivery filter, plan validation,
    scripted and probabilistic faults, seed-replayable determinism,
-   crash-restart recovery, and a bounded-exhaustive check that dropping any
-   single coordinator-bound message never breaks the protocol. *)
+   crash-restart recovery (node and coordinator), a bounded-exhaustive
+   check that dropping any single coordinator-bound message never breaks
+   the protocol, and a bounded-exhaustive sweep that fail-stops the
+   coordinator inside each of the four advancement phases. *)
 
 module Sim = Simul.Sim
 module Ivar = Simul.Ivar
@@ -88,14 +90,22 @@ let plan_validation () =
   checkb "restart before crash rejected" true
     (raises (fun () ->
          Plan.make ~crashes:[ Plan.crash ~node:0 ~at:2.0 ~restart:1.0 ] ()));
+  checkb "coord restart before crash rejected" true
+    (raises (fun () ->
+         Plan.make ~coord_crashes:[ Plan.coord_crash ~at:2.0 ~restart:1.0 ] ()));
   checkb "well-formed plan accepted" true
     (not
        (raises (fun () ->
             Plan.make ~seed:3
               ~rules:(Plan.uniform_loss ~dup:0.1 ~drop:0.05 ())
               ~pauses:[ Plan.pause ~node:0 ~at:1.0 ~duration:0.5 ]
-              ~crashes:[ Plan.crash ~node:1 ~at:1.0 ~restart:2.0 ] ())));
-  checkb "none is none" true (Plan.is_none Plan.none)
+              ~crashes:[ Plan.crash ~node:1 ~at:1.0 ~restart:2.0 ]
+              ~coord_crashes:[ Plan.coord_crash ~at:1.0 ~restart:2.0 ] ())));
+  checkb "none is none" true (Plan.is_none Plan.none);
+  checkb "a coord crash makes a plan non-empty" true
+    (not
+       (Plan.is_none
+          (Plan.make ~coord_crashes:[ Plan.coord_crash ~at:1.0 ~restart:2.0 ] ())))
 
 (* ------------------------------------------------ scripted faults *)
 
@@ -270,6 +280,49 @@ let crash_restart_recovers () =
     (Counter_set.get (Injector.stats (Engine.injector engine)) "fault.restarts"
     = 1)
 
+(* A node that crashes before the first advancement even triggers must
+   recover to the true initial versions (vu = 1, vr = 0), not to zero —
+   the restart-recovery seed is the protocol's initial state, never an
+   empty fold. *)
+let restart_before_any_advancement () =
+  let nodes = 2 in
+  let sim = Sim.create ~seed:7 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Latency.Constant 0.005;
+      think_time = 0.001;
+      reliable_channel = true;
+      retransmit_timeout = 0.01;
+    }
+  in
+  let engine = Engine.create sim cfg () in
+  Engine.inject_crash engine ~node:1 ~at:0.01 ~restart:0.1;
+  let r = ref None in
+  Sim.spawn sim ~name:"script" (fun () ->
+      Sim.sleep sim 0.2;
+      r :=
+        Some
+          (Engine.submit engine
+             (Spec.make ~id:1
+                (Spec.subtxn
+                   ~children:[ Spec.subtxn 1 [ Op.Incr ("b", 1.) ] ]
+                   0
+                   [ Op.Incr ("a", 1.) ]))));
+  ignore (Sim.run sim ~until:10.0 ());
+  checki "recovered update version is the true initial" 1
+    (Engine.update_version engine ~node:1);
+  checki "recovered read version is the true initial" 0
+    (Engine.read_version engine ~node:1);
+  match !r with
+  | Some iv -> (
+      match Ivar.peek iv with
+      | Some res ->
+          checkb "txn committed on the recovered node" true
+            (Result.committed res)
+      | None -> Alcotest.fail "txn unresolved")
+  | None -> Alcotest.fail "txn never submitted"
+
 (* ------------------------------------------------ qcheck: random loss *)
 
 (* Under any loss rate up to 10% (plus duplication), with the reliable
@@ -296,6 +349,39 @@ let qcheck_loss =
         QCheck.Test.fail_report "3-version bound broken";
       if outcome.Harness.Runner.unfinished > 0 then
         QCheck.Test.fail_report "transactions left unfinished";
+      true)
+
+(* Add a coordinator fail-stop on top of random loss: the run must still
+   terminate with at least one completed advancement, a clean history, and
+   the 3-version bound — and re-running the same (sim seed, plan) pair must
+   replay byte-identically, crash recovery included. *)
+let qcheck_coord_crash =
+  QCheck.Test.make
+    ~name:"coordinator crash + <=10% loss terminates, deterministically"
+    ~count:15
+    QCheck.(
+      triple (int_range 1 10_000) (int_range 0 10) (int_range 0 20))
+    (fun (plan_seed, drop_pct, at_slot) ->
+      let at = 0.05 +. (0.01 *. float_of_int at_slot) in
+      let plan =
+        Plan.make ~seed:plan_seed
+          ~rules:
+            (Plan.uniform_loss ~dup:0.02 ~drop:(float_of_int drop_pct /. 100.) ())
+          ~coord_crashes:[ Plan.coord_crash ~at ~restart:(at +. 0.15) ]
+          ()
+      in
+      let o1, engine = run_small ~plan ~reliable:true () in
+      if Engine.advancements_completed engine < 1 then
+        QCheck.Test.fail_report "advancement never completed";
+      if not (Checker.Atomicity.clean (Harness.Runner.atomicity o1)) then
+        QCheck.Test.fail_report "atomic visibility violated";
+      if Engine.max_versions_ever engine > 3 then
+        QCheck.Test.fail_report "3-version bound broken";
+      if o1.Harness.Runner.unfinished > 0 then
+        QCheck.Test.fail_report "transactions left unfinished";
+      let o2, _ = run_small ~plan ~reliable:true () in
+      if history_digest o1 <> history_digest o2 then
+        QCheck.Test.fail_report "replay diverged across coordinator recovery";
       true)
 
 (* ------------------------------------- mcheck: drop any one message *)
@@ -381,6 +467,108 @@ let drop_any_one_message () =
   checkb "tree exhausted" true outcome.Explorer.exhausted;
   checki "2 links x 6 positions" 12 outcome.Explorer.runs
 
+(* --------------------- mcheck: coordinator crash inside each phase *)
+
+(* Manual-policy run with the advancement triggered at a fixed time, so the
+   coordinator's WAL phase-entry timestamps pin down when each phase is in
+   flight. *)
+let run_coord ?(plan = Plan.none) () =
+  let nodes = 2 in
+  let sim = Sim.create ~seed:31 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Latency.Constant 0.004;
+      think_time = 0.0003;
+      policy = Policy.Manual;
+      reliable_channel = true;
+      retransmit_timeout = 0.01;
+    }
+  in
+  let faults = Injector.create sim plan in
+  let engine = Engine.create sim cfg ~faults () in
+  let adv = ref None in
+  Sim.schedule sim ~delay:0.1 (fun () -> adv := Some (Engine.advance engine));
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = 300.;
+        fanout = 2;
+      }
+  in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      {
+        Harness.Runner.default_setup with
+        Harness.Runner.seed = 31;
+        duration = 0.3;
+        settle = 6.0;
+      }
+  in
+  (outcome, engine, !adv)
+
+(* Phase-entry times of the first advancement in a fault-free reference
+   run. Runs are byte-identical up to the crash instant, so a crash placed
+   strictly inside [entry k, entry k+1) provably lands in phase k. *)
+let coord_phase_entries =
+  lazy
+    (let _, engine, adv = run_coord () in
+     (match adv with
+     | Some iv when Ivar.is_full iv -> ()
+     | _ -> failwith "reference advancement did not complete");
+     let times = Threev.Coord_log.phase_times (Engine.coord_log engine) in
+     Array.init 4 (fun i ->
+         match
+           List.find_opt
+             (fun (a, p, _) -> a = 1 && Threev.Coord_log.phase_number p = i + 1)
+             times
+         with
+         | Some (_, _, t) -> t
+         | None -> failwith (Printf.sprintf "phase %d never entered" (i + 1))))
+
+(* Bounded-exhaustive sweep: fail-stop the coordinator inside each of the
+   four phases of an in-flight advancement. Phases 1-3 crash at the
+   midpoint of the phase's WAL-timestamped window; phase 4 has no successor
+   entry, so it crashes just after the Retire_read record. Every schedule
+   must recover from the WAL, finish the advancement, keep the history
+   atomic, and hold the 3-version bound. *)
+let coord_crash_scenario ctl =
+  let entry = Lazy.force coord_phase_entries in
+  let k = Explorer.choose ctl 4 in
+  let at =
+    if k < 3 then (entry.(k) +. entry.(k + 1)) /. 2. else entry.(3) +. 0.002
+  in
+  let plan =
+    Plan.make ~seed:17
+      ~coord_crashes:[ Plan.coord_crash ~at ~restart:(at +. 0.2) ]
+      ()
+  in
+  let outcome, engine, adv = run_coord ~plan () in
+  (match adv with
+  | Some iv when Ivar.is_full iv -> ()
+  | _ -> failwith "advancement did not survive the coordinator crash");
+  if Engine.advancements_completed engine < 1 then
+    failwith "advancement never completed";
+  if Counter_set.get outcome.Harness.Runner.stats "proto.coord_recoveries" < 1
+  then failwith "coordinator never recovered from its WAL";
+  if not (Checker.Atomicity.clean (Harness.Runner.atomicity outcome)) then
+    failwith "atomic visibility violated";
+  if Engine.max_versions_ever engine > 3 then failwith "version bound broken";
+  if outcome.Harness.Runner.unfinished > 0 then
+    failwith "transactions left unfinished"
+
+let coord_crash_each_phase () =
+  let outcome = Explorer.explore coord_crash_scenario in
+  (match outcome.Explorer.failure with
+  | Some (path, exn) ->
+      Alcotest.failf "coordinator crash in phase %s breaks the protocol: %s"
+        (String.concat "," (List.map (fun k -> string_of_int (k + 1)) path))
+        (Printexc.to_string exn)
+  | None -> ());
+  checkb "tree exhausted" true outcome.Explorer.exhausted;
+  checki "one run per phase" 4 outcome.Explorer.runs
+
 (* --------------------------------------------------------------- suite *)
 
 let () =
@@ -404,9 +592,20 @@ let () =
           Alcotest.test_case "empty plan is a no-op" `Quick empty_plan_is_noop;
         ] );
       ( "recovery",
-        [ Alcotest.test_case "crash-restart" `Quick crash_restart_recovers ] );
-      ("loss", [ QCheck_alcotest.to_alcotest qcheck_loss ]);
+        [
+          Alcotest.test_case "crash-restart" `Quick crash_restart_recovers;
+          Alcotest.test_case "restart before first advancement" `Quick
+            restart_before_any_advancement;
+        ] );
+      ( "loss",
+        [
+          QCheck_alcotest.to_alcotest qcheck_loss;
+          QCheck_alcotest.to_alcotest qcheck_coord_crash;
+        ] );
       ( "mcheck",
-        [ Alcotest.test_case "drop any one message" `Quick drop_any_one_message ]
-      );
+        [
+          Alcotest.test_case "drop any one message" `Quick drop_any_one_message;
+          Alcotest.test_case "coordinator crash in each phase" `Quick
+            coord_crash_each_phase;
+        ] );
     ]
