@@ -193,6 +193,176 @@ let run_micro () =
     micro_tests;
   Stats.Table.print table
 
+(* ------------------------------------------------------ scale suite *)
+
+(* The BENCH trajectory: end-to-end 3V runs at 4/16/64/128 nodes with an
+   arrival-rate sweep, recording simulated throughput against real machine
+   cost (wall seconds, events/sec, peak heap) into BENCH_scale.json. Each
+   run traces through a small bounded ring (capacity 4096) to demonstrate
+   that trace memory stays O(capacity) while the run emits orders of
+   magnitude more events — the row records both retained and total. *)
+
+type scale_row = {
+  sr_nodes : int;
+  sr_rate : float;
+  sr_sim_duration : float;
+  sr_submitted : int;
+  sr_committed : int;
+  sr_events : int;
+  sr_wall : float;
+  sr_peak_heap_words : int;
+  sr_trace_capacity : int;
+  sr_trace_retained : int;
+  sr_trace_total : int;
+}
+
+let scale_trace_capacity = 4096
+
+let scale_run ~nodes ~rate ~duration ~settle =
+  let sim = Sim.create ~seed:(1000 + nodes) () in
+  let trace = Threev.Trace.create ~capacity:scale_trace_capacity () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Netsim.Latency.Exponential 0.002;
+      think_time = 0.0001;
+      policy = Threev.Policy.Periodic 0.25;
+    }
+  in
+  let engine = Engine.create sim cfg ~trace () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = rate;
+        read_ratio = 0.3;
+        fanout = 2;
+      }
+  in
+  let wall0 = Unix.gettimeofday () in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      { Harness.Runner.seed = nodes; duration; settle; max_txns = 500_000 }
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  {
+    sr_nodes = nodes;
+    sr_rate = rate;
+    sr_sim_duration = duration;
+    sr_submitted = outcome.Harness.Runner.submitted;
+    sr_committed = outcome.Harness.Runner.committed;
+    sr_events = Sim.events_executed sim;
+    sr_wall = wall;
+    sr_peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    sr_trace_capacity = scale_trace_capacity;
+    sr_trace_retained = Threev.Trace.length trace;
+    sr_trace_total = Threev.Trace.total trace;
+  }
+
+let scale_json rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"bench_scale/v1\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"nodes\": %d, \"arrival_rate\": %.1f, \
+            \"sim_duration_s\": %.2f, \"submitted\": %d, \"committed\": %d, \
+            \"txns_per_sec_wall\": %.1f, \"events\": %d, \
+            \"events_per_sec_wall\": %.1f, \"wall_s\": %.3f, \
+            \"peak_heap_words\": %d, \"trace_capacity\": %d, \
+            \"trace_retained\": %d, \"trace_total\": %d }"
+           r.sr_nodes r.sr_rate r.sr_sim_duration r.sr_submitted r.sr_committed
+           (float_of_int r.sr_committed /. r.sr_wall)
+           r.sr_events
+           (float_of_int r.sr_events /. r.sr_wall)
+           r.sr_wall r.sr_peak_heap_words r.sr_trace_capacity
+           r.sr_trace_retained r.sr_trace_total))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* `main.exe scale [--quick]`: run the sweep and write BENCH_scale.json in
+   the current directory (run from the repo root to refresh the recorded
+   trajectory). The full sweep's 128-node top row exceeds 10^6 simulator
+   events; --quick shrinks to a sub-second sanity sweep and skips the file
+   write. *)
+let run_scale ~quick =
+  let plan =
+    if quick then [ (4, 1.) ; (16, 1.) ]
+    else [ (4, 1.); (4, 2.); (16, 1.); (16, 2.); (64, 1.); (64, 2.);
+           (128, 1.); (128, 2.5) ]
+  in
+  let duration = if quick then 0.3 else 1.5 in
+  let settle = if quick then 1.0 else 3.0 in
+  let rows =
+    List.map
+      (fun (nodes, mult) ->
+        let rate = 150. *. float_of_int nodes *. mult in
+        let r = scale_run ~nodes ~rate ~duration ~settle in
+        Printf.printf
+          "scale: %3d nodes @ %8.0f txns/s sim -> %7d events, %6.3fs wall, \
+           %5.2f Mev/s, trace %d/%d (cap %d)\n%!"
+          r.sr_nodes r.sr_rate r.sr_events r.sr_wall
+          (float_of_int r.sr_events /. r.sr_wall /. 1e6)
+          r.sr_trace_retained r.sr_trace_total r.sr_trace_capacity;
+        r)
+      plan
+  in
+  if not quick then begin
+    let oc = open_out "BENCH_scale.json" in
+    output_string oc (scale_json rows);
+    close_out oc;
+    print_endline "scale: wrote BENCH_scale.json"
+  end
+
+(* `main.exe scale-smoke`: the sub-second CI gate. Fails (exit 1) on crash
+   or on the unbounded-memory sentinel — a trace ring that exceeded its
+   capacity — never on timing, so it is safe on loaded CI machines. *)
+let run_scale_smoke () =
+  let cap = 64 in
+  let sim = Sim.create ~seed:7 () in
+  let trace = Threev.Trace.create ~capacity:cap () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes:8) with
+      Engine.latency = Netsim.Latency.Exponential 0.002;
+      think_time = 0.0001;
+      policy = Threev.Policy.Periodic 0.25;
+    }
+  in
+  let engine = Engine.create sim cfg ~trace () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes:8) with
+        Workload.Synthetic.arrival_rate = 1200.;
+        fanout = 2;
+      }
+  in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      { Harness.Runner.seed = 7; duration = 0.3; settle = 1.5; max_txns = 5_000 }
+  in
+  let fail msg =
+    prerr_endline ("scale-smoke: FAILED: " ^ msg);
+    exit 1
+  in
+  if outcome.Harness.Runner.committed = 0 then fail "no transactions committed";
+  if Threev.Trace.length trace > cap then
+    fail
+      (Printf.sprintf "trace ring exceeded capacity (%d > %d)"
+         (Threev.Trace.length trace) cap);
+  if Threev.Trace.length trace <> List.length (Threev.Trace.events trace) then
+    fail "trace length disagrees with materialized events";
+  if Threev.Trace.total trace <= cap then
+    fail "run too small to exercise ring eviction";
+  Printf.printf
+    "scale-smoke: ok (%d committed, %d sim events, trace %d/%d, cap %d)\n"
+    outcome.Harness.Runner.committed (Sim.events_executed sim)
+    (Threev.Trace.length trace) (Threev.Trace.total trace) cap
+
 (* --------------------------------------------------------------- main *)
 
 (* `main.exe smoke`: the CI gate wired into `dune runtest` — Table 1 replay
@@ -210,7 +380,9 @@ let run_smoke () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if args = [ "smoke" ] then (run_smoke (); exit 0);
+  if args = [ "scale-smoke" ] then (run_scale_smoke (); exit 0);
   let quick = List.mem "--quick" args in
+  if List.mem "scale" args then (run_scale ~quick; exit 0);
   let no_micro = List.mem "--no-micro" args in
   let ids =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args

@@ -83,9 +83,18 @@ let trace_cmd =
     Arg.(value & opt int 80 & info [ "events" ] ~doc:"Events to print.")
   in
   let seed_arg = Arg.(value & opt int 3 & info [ "seed" ] ~doc:"RNG seed.") in
-  let run events seed =
+  let cap_arg =
+    Arg.(
+      value
+      & opt int Threev.Trace.default_capacity
+      & info [ "trace-cap" ]
+          ~doc:
+            "Ring-buffer capacity: at most this many events are retained \
+             (oldest evicted first).")
+  in
+  let run events seed cap =
     let sim = Sim.create ~seed () in
-    let trace = Threev.Trace.create () in
+    let trace = Threev.Trace.create ~capacity:cap () in
     let cfg =
       {
         (Engine.default_config ~nodes:3) with
@@ -119,10 +128,13 @@ let trace_cmd =
             e.Threev.Trace.site e.Threev.Trace.what
         end)
       (Threev.Trace.events trace);
-    Printf.printf "... (%d events total; --events N to see more)\n"
-      (Threev.Trace.length trace)
+    Printf.printf
+      "... (%d events emitted, %d retained; --events N to see more, \
+       --trace-cap N to retain more)\n"
+      (Threev.Trace.total trace) (Threev.Trace.length trace)
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ events_arg $ seed_arg)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ events_arg $ seed_arg $ cap_arg)
 
 (* ------------------------------------------------------------ run *)
 

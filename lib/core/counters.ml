@@ -45,6 +45,10 @@ let snapshot_c t ~version =
 let versions t =
   Hashtbl.fold (fun v _ acc -> v :: acc) t.table [] |> List.sort compare
 
+let fold_versions t f init = Hashtbl.fold (fun v _ acc -> f v acc) t.table init
+
 let gc_below t v =
-  let dead = List.filter (fun v0 -> v0 < v) (versions t) in
+  (* Collect-then-remove without sorting: removal order is irrelevant, and
+     mutating a Hashtbl during fold is unspecified, so stage the dead keys. *)
+  let dead = fold_versions t (fun v0 acc -> if v0 < v then v0 :: acc else acc) [] in
   List.iter (Hashtbl.remove t.table) dead

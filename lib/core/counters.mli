@@ -45,8 +45,13 @@ val snapshot_r : t -> version:int -> int array
     [C(version) o→self]. *)
 val snapshot_c : t -> version:int -> int array
 
-(** Versions currently allocated, ascending. *)
+(** Versions currently allocated, ascending. Allocates and sorts; prefer
+    {!fold_versions} on hot paths. *)
 val versions : t -> int list
+
+(** [fold_versions t f init] folds [f] over the allocated versions in
+    unspecified order, without sorting or building a list. *)
+val fold_versions : t -> (int -> 'a -> 'a) -> 'a -> 'a
 
 (** [gc_below t v] drops counter storage for all versions < [v]
     (§4.3 phase 4). *)

@@ -218,6 +218,14 @@ let tr t site fmt =
         (fun what -> Trace.emit trace ~time:(Sim.now t.sim) ~site what)
         fmt
 
+(* Hot-path guard: [tr] discards the format string without rendering it, but
+   its {e arguments} are still evaluated at the call site. Per-operation and
+   per-message traces below are wrapped in [if tracing t] so an untraced run
+   pays nothing — not even the counter lookups feeding the format args.
+   Tracing never affects scheduling, so guarded and unguarded runs produce
+   identical event schedules. *)
+let[@inline] tracing t = t.trace <> None
+
 let node_name t i = if i = t.cfg.nodes then "coord" else t.nodes.(i).name
 
 (* ------------------------------------------------- oracle & counters *)
@@ -244,7 +252,10 @@ let cstat t name = Counter_set.incr t.counters_live name ()
 (* Distinct version numbers with live counter state anywhere — the paper's
    "three distinct numbers suffice" observation (§4). *)
 let version_window t =
-  Array.fold_left (fun acc node -> acc @ Counters.versions node.cnt) [] t.nodes
+  Array.fold_left
+    (fun acc node ->
+      Counters.fold_versions node.cnt (fun v acc -> v :: acc) acc)
+    [] t.nodes
   |> List.sort_uniq compare
 
 let check_version_window t =
@@ -330,10 +341,11 @@ let apply_decision t node ~txn_id ~commit =
                     note_divergence t op)
                   (List.rev p.p_buffered);
               bump_c t node ~version:p.p_version ~src:p.p_source;
-              tr t node.name "nc subtx %s %s; C%d[%s->%s]=%d" p.p_label
-                (if commit then "commits" else "aborts")
-                p.p_version (node_name t p.p_source) node.name
-                (Counters.c node.cnt ~version:p.p_version ~src:p.p_source))
+              if tracing t then
+                tr t node.name "nc subtx %s %s; C%d[%s->%s]=%d" p.p_label
+                  (if commit then "commits" else "aborts")
+                  p.p_version (node_name t p.p_source) node.name
+                  (Counters.c node.cnt ~version:p.p_version ~src:p.p_source))
         (List.rev !ids);
       Lockmgr.release_all node.locks ~owner:txn_id
 
@@ -394,7 +406,9 @@ let run_ops_commuting t node p ops =
             | Some (v, value) -> (v, value)
             | None -> (-1, Value.empty)
           in
-          tr t node.name "tx %s reads %s version %d" p.p_label key version_seen;
+          if tracing t then
+            tr t node.name "tx %s reads %s version %d" p.p_label key
+              version_seen;
           p.p_reads <- p.p_reads @ [ (key, value) ]
       | Op.Incr _ | Op.Append _ | Op.Overwrite _ ->
           let info =
@@ -409,14 +423,17 @@ let run_ops_commuting t node p ops =
           in
           if info.Mvstore.versions_updated >= 2 then cstat t "store.dual_write";
           note_divergence t op;
-          let versions =
-            List.filter
-              (fun v -> v >= p.p_version)
-              (Mvstore.versions_of node.store ~key:(Op.key op))
-          in
-          tr t node.name "tx %s updates %s version%s %s" p.p_label (Op.key op)
-            (if List.length versions > 1 then "s" else "")
-            (pp_int_list (List.sort compare versions)))
+          if tracing t then begin
+            let versions =
+              List.filter
+                (fun v -> v >= p.p_version)
+                (Mvstore.versions_of node.store ~key:(Op.key op))
+            in
+            tr t node.name "tx %s updates %s version%s %s" p.p_label
+              (Op.key op)
+              (if List.length versions > 1 then "s" else "")
+              (pp_int_list (List.sort compare versions))
+          end)
     ops
 
 (* NC3V local operations: reads go through; writes check the overtake rule
@@ -453,10 +470,11 @@ let spawn_children t node p (children : Spec.subtxn list) ~compensating =
   List.iter
     (fun (child : Spec.subtxn) ->
       bump_r t node ~version:p.p_version ~dst:child.Spec.node;
-      tr t node.name "subtx of %s issued to %s; R%d[%s->%s]=%d" p.p_label
-        (node_name t child.Spec.node) p.p_version node.name
-        (node_name t child.Spec.node)
-        (Counters.r node.cnt ~version:p.p_version ~dst:child.Spec.node);
+      if tracing t then
+        tr t node.name "subtx of %s issued to %s; R%d[%s->%s]=%d" p.p_label
+          (node_name t child.Spec.node) p.p_version node.name
+          (node_name t child.Spec.node)
+          (Counters.r node.cnt ~version:p.p_version ~dst:child.Spec.node);
       p.p_outstanding <- p.p_outstanding + 1;
       send t ~src:node.id ~dst:child.Spec.node
         (Subtxn
@@ -577,9 +595,10 @@ let rec maybe_finish t node p =
         bump_c t node ~version:p.p_version ~src:p.p_source;
         (match p.p_parent with
         | Some (parent_node, parent_pid) ->
-            tr t node.name "subtx %s terminates; C%d[%s->%s]=%d" p.p_label
-              p.p_version (node_name t p.p_source) node.name
-              (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
+            if tracing t then
+              tr t node.name "subtx %s terminates; C%d[%s->%s]=%d" p.p_label
+                p.p_version (node_name t p.p_source) node.name
+                (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
             send t ~src:node.id ~dst:parent_node
               (Completion
                  {
@@ -591,9 +610,10 @@ let rec maybe_finish t node p =
                  })
         | None ->
             let rs = match p.p_root with Some rs -> rs | None -> assert false in
-            tr t node.name "tx %s is complete; C%d[%s->%s]=%d" p.p_label
-              p.p_version node.name node.name
-              (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
+            if tracing t then
+              tr t node.name "tx %s is complete; C%d[%s->%s]=%d" p.p_label
+                p.p_version node.name node.name
+                (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
             (* Asynchronous clean-up of commute locks (§5). *)
             if t.cfg.nc_mode && p.p_kind = Spec.Commuting then
               List.iter
@@ -625,7 +645,8 @@ and handle_completion t node ~pending_id ~child_label ~reads ~vote ~nodes =
         (Printf.sprintf "Engine: completion for unknown pending %d at node %d"
            pending_id node.id)
   | Some p ->
-      tr t node.name "completion notice for subtx %s arrives" child_label;
+      if tracing t then
+        tr t node.name "completion notice for subtx %s arrives" child_label;
       p.p_reads <- p.p_reads @ reads;
       p.p_vote <- combine_vote p.p_vote vote;
       p.p_nodes <- merge_nodes p.p_nodes nodes;
@@ -713,20 +734,23 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
     | None, Spec.Read_only ->
         let v = node.vr in
         bump_r t node ~version:v ~dst:node.id;
-        tr t node.name "read tx %s arrives; version %d; R%d[%s->%s]=%d" label v
-          v node.name node.name
-          (Counters.r node.cnt ~version:v ~dst:node.id);
+        if tracing t then
+          tr t node.name "read tx %s arrives; version %d; R%d[%s->%s]=%d" label
+            v v node.name node.name
+            (Counters.r node.cnt ~version:v ~dst:node.id);
         v
     | None, (Spec.Commuting | Spec.Non_commuting) ->
         let v = node.vu in
         bump_r t node ~version:v ~dst:node.id;
-        tr t node.name "update tx %s arrives; version %d; R%d[%s->%s]=%d" label
-          v v node.name node.name
-          (Counters.r node.cnt ~version:v ~dst:node.id);
+        if tracing t then
+          tr t node.name "update tx %s arrives; version %d; R%d[%s->%s]=%d"
+            label v v node.name node.name
+            (Counters.r node.cnt ~version:v ~dst:node.id);
         v
     | Some _, _ ->
-        tr t node.name "subtx of %s arrives from %s (version %d)" label
-          (node_name t source) version;
+        if tracing t then
+          tr t node.name "subtx of %s arrives from %s (version %d)" label
+            (node_name t source) version;
         (* Version-codec precondition (paper §4's mod-3 reuse remark): every
            arriving version is within distance 1 of the receiver's anchor —
            [vr] on the read path, [vu] on the update path. *)
@@ -1195,7 +1219,7 @@ let coordinator_loop t () =
    and the coordinator's retransmitted phase messages then catch the node up
    to the cluster's current versions. *)
 let restart_recover t node =
-  let vu = List.fold_left max initial_vu (Counters.versions node.cnt) in
+  let vu = Counters.fold_versions node.cnt max initial_vu in
   let vr = max initial_vr (min (Mvstore.gc_floor node.store) (vu - 1)) in
   node.vu <- vu;
   node.vr <- vr;

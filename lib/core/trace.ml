@@ -1,25 +1,93 @@
 type event = { time : float; site : string; what : string }
-type t = { mutable events : event list; mutable n : int }
 
-let create () = { events = []; n = 0 }
+(* Bounded ring buffer. [buf] grows geometrically up to [cap]; once full,
+   [emit] overwrites the oldest slot in O(1). [start] is the index of the
+   oldest retained event, [len] the retained count, [total] every event ever
+   emitted (retained or evicted). The dummy event fills unused slots so they
+   never pin evicted events against the GC. *)
+type t = {
+  cap : int;
+  sink : (event -> unit) option;
+  mutable buf : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable total : int;
+}
+
+let dummy_event = { time = 0.; site = ""; what = "" }
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) ?sink () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { cap = capacity; sink; buf = [||]; start = 0; len = 0; total = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let total t = t.total
+let dropped t = t.total - t.len
+
+(* Grow the backing array (oldest-first relayout), doubling up to [cap]. *)
+let grow t =
+  let old = Array.length t.buf in
+  let ncap = if old = 0 then min t.cap 256 else min t.cap (old * 2) in
+  let nbuf = Array.make ncap dummy_event in
+  for i = 0 to t.len - 1 do
+    nbuf.(i) <- t.buf.((t.start + i) mod old)
+  done;
+  t.buf <- nbuf;
+  t.start <- 0
 
 let emit t ~time ~site what =
-  t.events <- { time; site; what } :: t.events;
-  t.n <- t.n + 1
+  let e = { time; site; what } in
+  (match t.sink with Some f -> f e | None -> ());
+  let size = Array.length t.buf in
+  if t.len = size && size < t.cap then grow t;
+  let size = Array.length t.buf in
+  if t.len < size then begin
+    t.buf.((t.start + t.len) mod size) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full at capacity: overwrite the oldest slot. *)
+    t.buf.(t.start) <- e;
+    t.start <- (t.start + 1) mod size
+  end;
+  t.total <- t.total + 1
 
-let events t = List.rev t.events
-let length t = t.n
+let iter t f =
+  let size = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod size)
+  done
 
+let events t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) dummy_event;
+  t.start <- 0;
+  t.len <- 0;
+  t.total <- 0
+
+(* Allocation-free substring scan (no [String.sub] per position). *)
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
   if m = 0 then true
   else begin
-    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    let rec matches_at i j =
+      j = m || (String.unsafe_get s (i + j) = String.unsafe_get sub j
+                && matches_at i (j + 1))
+    in
+    let rec scan i = i + m <= n && (matches_at i 0 || scan (i + 1)) in
     scan 0
   end
 
 let find t pattern =
-  List.filter (fun e -> contains_substring e.what pattern) (events t)
+  let acc = ref [] in
+  iter t (fun e -> if contains_substring e.what pattern then acc := e :: !acc);
+  List.rev !acc
 
 let render t ~sites =
   let buf = Buffer.create 1024 in
@@ -32,8 +100,7 @@ let render t ~sites =
   Buffer.add_string buf (pad "TIME");
   List.iter (fun s -> Buffer.add_string buf (pad ("SITE " ^ s))) columns;
   Buffer.add_char buf '\n';
-  List.iter
-    (fun e ->
+  iter t (fun e ->
       Buffer.add_string buf (pad (Printf.sprintf "%.2f" e.time));
       let matched = ref false in
       List.iter
@@ -45,6 +112,5 @@ let render t ~sites =
           else Buffer.add_string buf (pad ""))
         columns;
       if not !matched then Buffer.add_string buf (e.site ^ ": " ^ e.what);
-      Buffer.add_char buf '\n')
-    (events t);
+      Buffer.add_char buf '\n');
   Buffer.contents buf

@@ -34,14 +34,16 @@ let drive sim engine gen (setup : setup) =
   let submitted = ref 0 in
   let start = Sim.now sim in
   let in_flight_series = Stats.Series.create ~name:"in-flight" () in
+  (* The sampler owns a pruned list of not-yet-resolved ivars: resolution is
+     monotone, so once an ivar is observed full it can never count again and
+     is dropped. Scanning all of [inflight] every tick instead would make the
+     sampler O(total submitted) per 0.05s — quadratic over a long run. *)
+  let unresolved : Result.t Ivar.t list ref = ref [] in
   Sim.spawn sim ~daemon:true ~name:"in-flight-sampler" (fun () ->
       let rec sample () =
-        let unresolved =
-          List.length
-            (List.filter (fun (_, iv) -> not (Ivar.is_full iv)) !inflight)
-        in
+        unresolved := List.filter (fun iv -> not (Ivar.is_full iv)) !unresolved;
         Stats.Series.add in_flight_series ~x:(Sim.now sim)
-          ~y:(float_of_int unresolved);
+          ~y:(float_of_int (List.length !unresolved));
         Sim.sleep sim 0.05;
         sample ()
       in
@@ -56,6 +58,7 @@ let drive sim engine gen (setup : setup) =
           let spec = gen.Workload.Generator.make rng ~id:!submitted in
           let ivar = Engine_intf.packed_submit engine spec in
           inflight := (spec, ivar) :: !inflight;
+          unresolved := ivar :: !unresolved;
           loop ()
         end
       in

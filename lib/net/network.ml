@@ -6,9 +6,10 @@ type filter = src:int -> dst:int -> delay:float -> float list
 type 'm t = {
   simulation : Sim.t;
   inboxes : 'm Mailbox.t array;
+  n : int;
   latency : Latency.t;
   link_latency : src:int -> dst:int -> Latency.t option;
-  links : (int * int, int) Hashtbl.t;
+  links : int array;  (** per-link send counts, keyed [src * n + dst] *)
   mutable filter : filter option;
   mutable sent : int;
   mutable remote_sent : int;
@@ -23,9 +24,10 @@ let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
   {
     simulation;
     inboxes = Array.init size (fun _ -> Mailbox.create ());
+    n = size;
     latency;
     link_latency;
-    links = Hashtbl.create 16;
+    links = Array.make (size * size) 0;
     filter = None;
     sent = 0;
     remote_sent = 0;
@@ -34,23 +36,29 @@ let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
     extra_copies = 0;
   }
 
-let size t = Array.length t.inboxes
+let size t = t.n
 let sim t = t.simulation
 let set_filter t f = t.filter <- Some f
 
 let check_node t n ctx =
-  if n < 0 || n >= size t then
+  if n < 0 || n >= t.n then
     invalid_arg (Printf.sprintf "Network.%s: node %d out of range" ctx n)
+
+(* One closure per delivered copy — the event itself. [delivered] is bumped
+   when the copy actually lands in the destination mailbox, so messages
+   still in flight when a run ends are never reported as delivered. *)
+let schedule_delivery t ~dst ~delay msg =
+  Sim.schedule t.simulation ~delay (fun () ->
+      t.delivered <- t.delivered + 1;
+      Mailbox.send t.inboxes.(dst) msg)
 
 let send t ~src ~dst msg =
   check_node t src "send";
   check_node t dst "send";
   t.sent <- t.sent + 1;
   if src <> dst then t.remote_sent <- t.remote_sent + 1;
-  let cur =
-    match Hashtbl.find_opt t.links (src, dst) with Some c -> c | None -> 0
-  in
-  Hashtbl.replace t.links (src, dst) (cur + 1);
+  let link = (src * t.n) + dst in
+  t.links.(link) <- t.links.(link) + 1;
   (* Self-sends have zero base latency (and sample nothing), but still pass
      through the filter so fault plans and delivery accounting see every
      message. *)
@@ -62,19 +70,18 @@ let send t ~src ~dst msg =
       in
       Latency.sample model (Sim.rng t.simulation)
   in
-  let delays =
-    match t.filter with None -> [ delay ] | Some f -> f ~src ~dst ~delay
-  in
-  (match delays with
-  | [] -> t.dropped <- t.dropped + 1
-  | _ :: extras ->
-      t.delivered <- t.delivered + List.length delays;
-      t.extra_copies <- t.extra_copies + List.length extras);
-  List.iter
-    (fun d ->
-      Sim.schedule t.simulation ~delay:d (fun () ->
-          Mailbox.send t.inboxes.(dst) msg))
-    delays
+  match t.filter with
+  | None -> schedule_delivery t ~dst ~delay msg
+  | Some f -> (
+      match f ~src ~dst ~delay with
+      | [] -> t.dropped <- t.dropped + 1
+      | d :: extras ->
+          schedule_delivery t ~dst ~delay:d msg;
+          List.iter
+            (fun d ->
+              t.extra_copies <- t.extra_copies + 1;
+              schedule_delivery t ~dst ~delay:d msg)
+            extras)
 
 let recv t ~node =
   check_node t node "recv";
@@ -87,5 +94,12 @@ let messages_dropped t = t.dropped
 let extra_copies t = t.extra_copies
 
 let link_counts t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.links []
-  |> List.sort compare
+  (* Dense iteration is already in (src, dst) lexicographic order. *)
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    for dst = t.n - 1 downto 0 do
+      let c = t.links.((src * t.n) + dst) in
+      if c > 0 then acc := ((src, dst), c) :: !acc
+    done
+  done;
+  !acc

@@ -49,8 +49,11 @@ val messages_sent : 'm t -> int
 (** Send attempts with [src <> dst]. *)
 val remote_messages_sent : 'm t -> int
 
-(** Deliveries actually scheduled (duplicates count once per copy). Equals
-    {!messages_sent} when no filter is installed. *)
+(** Copies actually placed into a destination mailbox so far (duplicates
+    count once per copy). Counted at delivery time, not at send time:
+    messages still in flight are {e not} included, so with no filter
+    installed this equals {!messages_sent} only once every scheduled
+    delivery has run. *)
 val messages_delivered : 'm t -> int
 
 (** Sends whose every copy was suppressed by the filter. *)

@@ -1,72 +1,94 @@
 type 'a t = {
   leq : 'a -> 'a -> bool;
+  dummy : 'a;
   mutable data : 'a array;
   mutable size : int;
 }
 
-let create ~leq = { leq; data = [||]; size = 0 }
+(* For a total preorder, [leq x y && not (leq y x)] is equivalent to
+   [not (leq y x)] (totality gives [leq x y || leq y x]), so a single
+   predicate call per comparison suffices on the sift paths. *)
+let create ~dummy ~leq = { leq; dummy; data = [||]; size = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h x =
+let grow h =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    (* [x] is only a seed value for the fresh slots; real contents are
-       blitted from the old array. *)
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap h.dummy in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
   end
 
+(* Hole-based sift-up: move parents down into the hole until [x]'s position
+   is found, then write [x] once — half the array stores of swap-based
+   sifting, one ordering call per level. *)
 let add h x =
-  grow h x;
-  h.data.(h.size) <- x;
+  grow h;
+  let data = h.data in
+  let i = ref h.size in
   h.size <- h.size + 1;
-  (* Sift up. *)
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if h.leq h.data.(i) h.data.(parent) && not (h.leq h.data.(parent) h.data.(i))
-      then begin
-        let tmp = h.data.(i) in
-        h.data.(i) <- h.data.(parent);
-        h.data.(parent) <- tmp;
-        up parent
-      end
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if not (h.leq data.(parent) x) then begin
+      data.(!i) <- data.(parent);
+      i := parent
     end
-  in
-  up (h.size - 1)
+    else continue_ := false
+  done;
+  data.(!i) <- x
 
 let pop_min h =
   if h.size = 0 then raise Not_found;
-  let min = h.data.(0) in
+  let data = h.data in
+  let min = data.(0) in
   h.size <- h.size - 1;
-  if h.size > 0 then begin
-    h.data.(0) <- h.data.(h.size);
-    (* Sift down. *)
-    let rec down i =
-      let l = (2 * i) + 1 and r = (2 * i) + 2 in
-      let smallest = ref i in
-      if l < h.size && not (h.leq h.data.(!smallest) h.data.(l)) then smallest := l;
-      if r < h.size && not (h.leq h.data.(!smallest) h.data.(r)) then smallest := r;
-      if !smallest <> i then begin
-        let tmp = h.data.(i) in
-        h.data.(i) <- h.data.(!smallest);
-        h.data.(!smallest) <- tmp;
-        down !smallest
+  let n = h.size in
+  if n > 0 then begin
+    let x = data.(n) in
+    (* Clear the vacated slot: a stale reference there would pin the popped
+       element (and any closures it captures) against the GC for the life
+       of the heap. *)
+    data.(n) <- h.dummy;
+    (* Hole-based sift-down of [x] from the root. *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      let sv = ref x in
+      if l < n && not (h.leq !sv data.(l)) then begin
+        smallest := l;
+        sv := data.(l)
+      end;
+      if r < n && not (h.leq !sv data.(r)) then begin
+        smallest := r;
+        sv := data.(r)
+      end;
+      if !smallest <> !i then begin
+        data.(!i) <- !sv;
+        i := !smallest
       end
-    in
-    down 0
-  end;
+      else continue_ := false
+    done;
+    data.(!i) <- x
+  end
+  else
+    (* Emptied: clear the root slot too, so the last element popped does not
+       stay reachable through the heap. *)
+    data.(0) <- h.dummy;
   min
 
 let peek_min h = if h.size = 0 then None else Some h.data.(0)
 
+(* Keep the backing array (capacity reuse for the steady-state event loop),
+   but clear every slot so cleared elements become collectable. *)
 let clear h =
-  h.size <- 0;
-  h.data <- [||]
+  Array.fill h.data 0 (Array.length h.data) h.dummy;
+  h.size <- 0
 
 let to_list h =
   let rec take i acc = if i < 0 then acc else take (i - 1) (h.data.(i) :: acc) in

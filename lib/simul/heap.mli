@@ -2,13 +2,22 @@
 
     Used by the simulator's event queue. The ordering predicate [leq] is fixed
     at creation; ties are broken by the caller embedding a sequence number in
-    the element, which keeps the whole simulation deterministic. *)
+    the element, which keeps the whole simulation deterministic.
+
+    The implementation is tuned for the event-loop hot path: sifting is
+    hole-based (one ordering call and one array store per level), vacated
+    slots are overwritten with [dummy] so popped elements — and the closures
+    they capture — become collectable immediately, and {!clear} keeps the
+    backing array so a drained-and-refilled heap does not re-grow. *)
 
 type 'a t
 
-(** [create ~leq] is an empty heap ordered by [leq] (a total preorder:
-    [leq a b] means [a] sorts before or equal to [b]). *)
-val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~dummy ~leq] is an empty heap ordered by [leq] (a {e total}
+    preorder: [leq a b] means [a] sorts before or equal to [b]; totality —
+    [leq a b || leq b a] for all elements — is required, and is what lets
+    the heap use a single predicate call per comparison). [dummy] is an
+    inert element used to fill empty slots; it is never returned. *)
+val create : dummy:'a -> leq:('a -> 'a -> bool) -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
@@ -16,14 +25,16 @@ val is_empty : 'a t -> bool
 (** [add h x] inserts [x]. O(log n). *)
 val add : 'a t -> 'a -> unit
 
-(** [pop_min h] removes and returns the minimum element.
+(** [pop_min h] removes and returns the minimum element. The vacated slot is
+    reset to [dummy], so the heap keeps no reference to popped elements.
     @raise Not_found if the heap is empty. *)
 val pop_min : 'a t -> 'a
 
 (** [peek_min h] returns the minimum element without removing it. *)
 val peek_min : 'a t -> 'a option
 
-(** [clear h] removes every element. *)
+(** [clear h] removes every element. Capacity is retained; every slot is
+    reset to [dummy]. *)
 val clear : 'a t -> unit
 
 (** [to_list h] is all elements in unspecified order (snapshot). *)

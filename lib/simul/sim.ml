@@ -29,6 +29,11 @@ exception Process_failure of string * exn
 
 let leq_event a b = a.at < b.at || (a.at = b.at && a.seq <= b.seq)
 
+(* Inert filler for vacated heap slots: captures nothing, so executed events
+   (and the continuations their closures capture) are collectable as soon as
+   they are popped. *)
+let dummy_event = { at = neg_infinity; seq = 0; run = ignore }
+
 let create ?(seed = 42) () =
   {
     clock = 0.;
@@ -37,7 +42,7 @@ let create ?(seed = 42) () =
     executed = 0;
     current = None;
     failure = None;
-    queue = Heap.create ~leq:leq_event;
+    queue = Heap.create ~dummy:dummy_event ~leq:leq_event;
     procs = Hashtbl.create 64;
     random = Random.State.make [| seed |];
   }

@@ -204,6 +204,113 @@ let experiment_e4_runs () =
          contains out "true" && not (contains out "false"))
   | None -> Alcotest.fail "e4 missing"
 
+(* ------------------------------------------------- golden schedules *)
+
+(* Byte-identical replay: these digests (and event counts) were recorded on
+   the pre-optimization kernel (commit 165bd78). The heap/network/trace
+   rework must reproduce them exactly — any drift means the optimizations
+   changed a schedule, not just its cost. The digest folds every
+   transaction's (id, committed, submit, latency, blocking latency). *)
+
+let history_digest (outcome : Runner.outcome) =
+  List.fold_left
+    (fun acc ((spec : Spec.t), (res : Result.t)) ->
+      acc
+      lxor Hashtbl.hash
+             ( spec.Spec.id,
+               Result.committed res,
+               res.Result.submit_time,
+               Result.latency res,
+               Result.blocking_latency res ))
+    0 outcome.Runner.history
+
+let golden_gen nodes =
+  Workload.Synthetic.generator
+    {
+      (Workload.Synthetic.default ~nodes) with
+      Workload.Synthetic.arrival_rate = 300.;
+      read_ratio = 0.25;
+      fanout = 2;
+      keys_per_node = 15;
+      zipf_s = 0.7;
+    }
+
+let check_golden name ~digest ~events (d, n) =
+  checkb
+    (Printf.sprintf "%s digest 0x%08x (got 0x%08x)" name digest
+       (d land 0xffffffff))
+    true
+    (d land 0xffffffff = digest);
+  checki (name ^ " event count") events n
+
+(* E10-style: node pause fault, fault-free channel config otherwise. *)
+let golden_e10_style () =
+  let nodes = 4 in
+  let sim = Sim.create ~seed:151 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Periodic 0.2;
+    }
+  in
+  let engine = Engine.create sim cfg () in
+  Engine.inject_pause engine ~node:(nodes - 1) ~at:0.5 ~duration:0.5;
+  let outcome =
+    Runner.drive sim (Engine.packed engine) (golden_gen nodes)
+      { Runner.seed = 151; duration = 1.2; settle = 4.0; max_txns = 100_000 }
+  in
+  check_golden "e10-style" ~digest:0x2350a0b8 ~events:8040
+    (history_digest outcome, Sim.events_executed sim)
+
+(* E13-style: coordinator crash mid-advancement over the reliable channel. *)
+let golden_e13_style () =
+  let nodes = 4 in
+  let sim = Sim.create ~seed:171 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Manual;
+      reliable_channel = true;
+      retransmit_timeout = 0.02;
+    }
+  in
+  let faults =
+    Fault.Injector.create sim
+      (Fault.Plan.make ~seed:1713
+         ~coord_crashes:[ Fault.Plan.coord_crash ~at:0.6 ~restart:0.9 ] ())
+  in
+  let engine = Engine.create sim cfg ~faults () in
+  Sim.schedule sim ~delay:0.5 (fun () -> ignore (Engine.advance engine));
+  let outcome =
+    Runner.drive sim (Engine.packed engine) (golden_gen nodes)
+      { Runner.seed = 171; duration = 1.2; settle = 5.0; max_txns = 100_000 }
+  in
+  check_golden "e13-style" ~digest:0x37b0dde9 ~events:9680
+    (history_digest outcome, Sim.events_executed sim)
+
+let golden_fault_free () =
+  let nodes = 3 in
+  let sim = Sim.create ~seed:99 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Periodic 0.15;
+    }
+  in
+  let engine = Engine.create sim cfg () in
+  let outcome =
+    Runner.drive sim (Engine.packed engine) (golden_gen nodes)
+      { Runner.seed = 99; duration = 1.0; settle = 4.0; max_txns = 100_000 }
+  in
+  check_golden "fault-free" ~digest:0x36746098 ~events:7474
+    (history_digest outcome, Sim.events_executed sim)
+
 let () =
   Alcotest.run "harness"
     [
@@ -229,5 +336,14 @@ let () =
           Alcotest.test_case "find" `Quick registry_find;
           Alcotest.test_case "t1 runs clean" `Slow experiment_t1_runs;
           Alcotest.test_case "e4 runs clean" `Slow experiment_e4_runs;
+        ] );
+      ( "golden-schedules",
+        [
+          Alcotest.test_case "e10-style replay byte-identical" `Quick
+            golden_e10_style;
+          Alcotest.test_case "e13-style replay byte-identical" `Quick
+            golden_e13_style;
+          Alcotest.test_case "fault-free replay byte-identical" `Quick
+            golden_fault_free;
         ] );
     ]

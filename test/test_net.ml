@@ -99,6 +99,27 @@ let message_accounting () =
     (Network.link_counts net
     = [ ((0, 1), 2); ((1, 2), 1); ((2, 2), 1) ])
 
+(* [messages_delivered] counts copies landing in a mailbox, not send
+   attempts: a message still in flight when the run's horizon hits must not
+   be counted. Regression for the send-time increment bug. *)
+let delivered_counts_at_delivery () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 1.0) () in
+  Sim.spawn sim ~daemon:true (fun () ->
+      let rec loop () =
+        ignore (Network.recv net ~node:1);
+        loop ()
+      in
+      loop ());
+  Network.send net ~src:0 ~dst:1 ();
+  (* Stop before the 1.0s delivery: sent but in flight. *)
+  ignore (Sim.run sim ~until:0.5 ());
+  checki "sent immediately" 1 (Network.messages_sent net);
+  checki "in flight, not delivered" 0 (Network.messages_delivered net);
+  (* Let the delivery event run. *)
+  ignore (Sim.run sim ());
+  checki "delivered on arrival" 1 (Network.messages_delivered net)
+
 let zero_size_rejected () =
   let sim = Sim.create () in
   Alcotest.check_raises "size 0"
@@ -170,6 +191,8 @@ let () =
           Alcotest.test_case "link latency override" `Quick
             link_latency_override;
           Alcotest.test_case "message accounting" `Quick message_accounting;
+          Alcotest.test_case "delivered counts at delivery" `Quick
+            delivered_counts_at_delivery;
           Alcotest.test_case "out of range" `Quick out_of_range_nodes;
           Alcotest.test_case "zero size rejected" `Quick zero_size_rejected;
         ] );

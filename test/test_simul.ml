@@ -13,7 +13,7 @@ let checki = Alcotest.(check int)
 (* ------------------------------------------------------------- heap *)
 
 let heap_basic () =
-  let h = Heap.create ~leq:( <= ) in
+  let h = Heap.create ~dummy:0 ~leq:( <= ) in
   checkb "empty" true (Heap.is_empty h);
   List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
   checki "length" 6 (Heap.length h);
@@ -23,28 +23,84 @@ let heap_basic () =
   checki "new min" 0 (Heap.pop_min h)
 
 let heap_empty_pop () =
-  let h = Heap.create ~leq:( <= ) in
+  let h = Heap.create ~dummy:0 ~leq:( <= ) in
   Alcotest.check_raises "pop empty" Not_found (fun () ->
       ignore (Heap.pop_min h))
 
 let heap_peek_clear () =
-  let h = Heap.create ~leq:( <= ) in
+  let h = Heap.create ~dummy:0 ~leq:( <= ) in
   checkb "peek empty" true (Heap.peek_min h = None);
   Heap.add h 7;
   checkb "peek" true (Heap.peek_min h = Some 7);
   Heap.clear h;
   checkb "cleared" true (Heap.is_empty h)
 
+(* Regression: pop_min must clear the slots it vacates. Before the fix the
+   backing array kept a stale reference to every popped element, pinning it
+   (and, in the simulator, the continuation its closure captured) for the
+   life of the heap. *)
+let heap_no_pin_after_pop () =
+  let dummy = ref (-1) in
+  let h = Heap.create ~dummy ~leq:(fun a b -> !a <= !b) in
+  let weak = Weak.create 3 in
+  for i = 0 to 2 do
+    let boxed = ref i in
+    Weak.set weak i (Some boxed);
+    Heap.add h boxed
+  done;
+  for i = 0 to 2 do
+    checki "pop order" i !(Heap.pop_min h)
+  done;
+  Gc.full_major ();
+  for i = 0 to 2 do
+    checkb
+      (Printf.sprintf "popped element %d collectable" i)
+      false (Weak.check weak i)
+  done
+
+let heap_clear_releases () =
+  let dummy = ref (-1) in
+  let h = Heap.create ~dummy ~leq:(fun a b -> !a <= !b) in
+  let weak = Weak.create 1 in
+  let boxed = ref 42 in
+  Weak.set weak 0 (Some boxed);
+  Heap.add h boxed;
+  Heap.clear h;
+  Gc.full_major ();
+  checkb "cleared element collectable" false (Weak.check weak 0)
+
 let heap_sort_property =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Heap.create ~leq:( <= ) in
+      let h = Heap.create ~dummy:0 ~leq:( <= ) in
       List.iter (Heap.add h) xs;
       let rec drain acc =
         if Heap.is_empty h then List.rev acc else drain (Heap.pop_min h :: acc)
       in
       drain [] = List.sort compare xs)
+
+(* Model check against a sorted list, using the simulator's real element
+   shape: (time, seq) with the event-queue ordering. Equal-timestamp events
+   must drain in seq (insertion) order — the tie-break the whole simulation's
+   determinism rests on. *)
+let heap_model_property =
+  QCheck.Test.make ~name:"heap matches sorted-list model with seq tie-break"
+    ~count:300
+    QCheck.(list (int_bound 7))
+    (fun times ->
+      let leq (at1, seq1) (at2, seq2) =
+        at1 < at2 || (at1 = at2 && seq1 <= seq2)
+      in
+      let h = Heap.create ~dummy:(0, 0) ~leq in
+      let events = List.mapi (fun seq at -> (at, seq)) times in
+      List.iter (Heap.add h) events;
+      let rec drain acc =
+        if Heap.is_empty h then List.rev acc else drain (Heap.pop_min h :: acc)
+      in
+      (* [compare] on (at, seq) pairs is exactly the event order, and seqs
+         are distinct, so the sort is the unique correct drain order. *)
+      drain [] = List.sort compare events)
 
 (* -------------------------------------------------------------- sim *)
 
@@ -313,7 +369,9 @@ let sim_events_executed_counts () =
   Alcotest.(check bool) "at least the scheduled events" true
     (Sim.events_executed sim >= 5)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ heap_sort_property ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ heap_sort_property; heap_model_property ]
 
 let () =
   Alcotest.run "simul"
@@ -323,6 +381,10 @@ let () =
           Alcotest.test_case "basic" `Quick heap_basic;
           Alcotest.test_case "empty pop" `Quick heap_empty_pop;
           Alcotest.test_case "peek/clear" `Quick heap_peek_clear;
+          Alcotest.test_case "pop clears slots (no GC pin)" `Quick
+            heap_no_pin_after_pop;
+          Alcotest.test_case "clear releases elements" `Quick
+            heap_clear_releases;
         ]
         @ qsuite );
       ( "sim",

@@ -86,6 +86,56 @@ let trace_basics () =
   checkb "render mentions site header" true
     (String.length (Trace.render t ~sites:[ "p"; "q" ]) > 0)
 
+let trace_ring_bounds () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.emit t ~time:(float_of_int i) ~site:"p" (Printf.sprintf "ev%d" i)
+  done;
+  checki "bounded" 4 (Trace.length t);
+  checki "total counts everything" 10 (Trace.total t);
+  checki "dropped = total - length" 6 (Trace.dropped t);
+  (* Oldest-first, and only the newest [capacity] events retained. *)
+  checkb "retains the tail" true
+    (List.map (fun (e : Trace.event) -> e.Trace.what) (Trace.events t)
+    = [ "ev7"; "ev8"; "ev9"; "ev10" ]);
+  checkb "evicted events not found" true (Trace.find t "ev3" = []);
+  checki "retained events found" 1 (List.length (Trace.find t "ev8"))
+
+(* The documented invariant: [length] always agrees with the materialized
+   list, below and above capacity, and after clear. *)
+let trace_length_invariant () =
+  let t = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.emit t ~time:(float_of_int i) ~site:"p" "x";
+    checki "length = |events|"
+      (List.length (Trace.events t))
+      (Trace.length t);
+    checkb "length <= capacity" true (Trace.length t <= Trace.capacity t)
+  done;
+  Trace.clear t;
+  checki "cleared" 0 (Trace.length t);
+  checki "cleared total" 0 (Trace.total t);
+  checki "still capacity 8" 8 (Trace.capacity t)
+
+let trace_sink_sees_evicted () =
+  let seen = ref [] in
+  let t =
+    Trace.create ~capacity:2
+      ~sink:(fun (e : Trace.event) -> seen := e.Trace.what :: !seen)
+      ()
+  in
+  for i = 1 to 5 do
+    Trace.emit t ~time:(float_of_int i) ~site:"p" (Printf.sprintf "ev%d" i)
+  done;
+  checki "ring keeps capacity" 2 (Trace.length t);
+  checkb "sink saw the full firehose" true
+    (List.rev !seen = [ "ev1"; "ev2"; "ev3"; "ev4"; "ev5" ])
+
+let trace_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
 (* ----------------------------------------------------- basic engine *)
 
 let make_engine ?(nodes = 3) ?(cfg_f = fun c -> c) ?seed () =
@@ -851,7 +901,15 @@ let () =
       ( "version-codec",
         Alcotest.test_case "basics" `Quick codec_basics
         :: List.map QCheck_alcotest.to_alcotest [ codec_roundtrip_property ] );
-      ("trace", [ Alcotest.test_case "basics" `Quick trace_basics ]);
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick trace_basics;
+          Alcotest.test_case "ring bounds retention" `Quick trace_ring_bounds;
+          Alcotest.test_case "length invariant" `Quick trace_length_invariant;
+          Alcotest.test_case "sink sees evicted events" `Quick
+            trace_sink_sees_evicted;
+          Alcotest.test_case "bad capacity rejected" `Quick trace_bad_capacity;
+        ] );
       ( "execution",
         [
           Alcotest.test_case "reads use old version" `Quick
