@@ -363,6 +363,22 @@ let run_scale_smoke () =
     outcome.Harness.Runner.committed (Sim.events_executed sim)
     (Threev.Trace.length trace) (Threev.Trace.total trace) cap
 
+(* `main.exe fuzz-smoke`: sub-second slice of the schedule-fuzz sweep —
+   ten deterministic quick cases (two full engine rotations). Fails on any
+   strict-engine 1SR violation, and requires the certifier to have flagged
+   at least one seeded-anomaly baseline, proving the gate has teeth. *)
+let run_fuzz_smoke () =
+  let s = Harness.Fuzz.sweep ~runs:10 ~quick:true () in
+  Format.printf "fuzz-smoke: %a@." Harness.Fuzz.pp_summary s;
+  if not (Harness.Fuzz.ok s) then begin
+    prerr_endline "fuzz-smoke: FAILED (strict-engine violation)";
+    exit 1
+  end;
+  if s.Harness.Fuzz.anomalies_flagged = 0 then begin
+    prerr_endline "fuzz-smoke: FAILED (no baseline anomaly flagged)";
+    exit 1
+  end
+
 (* --------------------------------------------------------------- main *)
 
 (* `main.exe smoke`: the CI gate wired into `dune runtest` — Table 1 replay
@@ -381,6 +397,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if args = [ "smoke" ] then (run_smoke (); exit 0);
   if args = [ "scale-smoke" ] then (run_scale_smoke (); exit 0);
+  if args = [ "fuzz-smoke" ] then (run_fuzz_smoke (); exit 0);
   let quick = List.mem "--quick" args in
   if List.mem "scale" args then (run_scale ~quick; exit 0);
   let no_micro = List.mem "--no-micro" args in

@@ -440,6 +440,7 @@ let run_cmd =
     let outcome = Harness.Runner.drive sim packed gen setup in
     let atom = Harness.Runner.atomicity outcome in
     let stale = Harness.Runner.staleness outcome in
+    let srz = Checker.Serializability.certify outcome.Harness.Runner.history in
     Printf.printf "engine: %s  workload: %s  nodes: %d  rate: %g/s\n"
       outcome.Harness.Runner.engine_name
       (Workload.Generator.name gen)
@@ -454,6 +455,7 @@ let run_cmd =
       outcome.Harness.Runner.update_latency;
     Format.printf "atomicity: %a@." Checker.Atomicity.pp atom;
     Format.printf "staleness: %a@." Checker.Staleness.pp stale;
+    Format.printf "serializability: %a@." Checker.Serializability.pp srz;
     extras ();
     Format.printf "engine counters: %a@." Stats.Counter_set.pp
       outcome.Harness.Runner.stats;
@@ -467,6 +469,53 @@ let run_cmd =
        $ dup_arg $ partition_arg $ crash_arg $ coord_crash_arg
        $ phase_deadline_arg $ fault_seed_arg))
 
+(* ------------------------------------------------------------ fuzz *)
+
+let fuzz_cmd =
+  let doc =
+    "Deterministic schedule fuzzing: sweep seeds × workloads × fault plans \
+     × engines, certify every outcome with all offline checkers \
+     (serializability, atomicity, version reads, replay), shrink failing \
+     fault plans and print exact reproducer command lines. Strict engines \
+     (3v, 3v-nc, 2pc) must certify clean; the no-coordination and manual \
+     baselines are expected to be flagged — that is the certifier's \
+     positive control."
+  in
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Number of cases to run.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fuzz-seed" ]
+          ~doc:
+            "Master seed: case I of a sweep is a pure function of \
+             (fuzz-seed, I), so any case replays exactly with --only.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "only" ] ~docv:"INDEX"
+          ~doc:"Run exactly one case index (an exact reproducer).")
+  in
+  let fuzz_quick_flag =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Shrink case durations for a sub-second CI smoke.")
+  in
+  let run runs fuzz_seed only quick =
+    let summary =
+      Harness.Fuzz.sweep ~runs ~fuzz_seed ?only ~quick ~log:print_endline ()
+    in
+    Format.printf "%a@." Harness.Fuzz.pp_summary summary;
+    if Harness.Fuzz.ok summary then `Ok () else `Error (false, "fuzz failures")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      ret (const run $ runs_arg $ fuzz_seed_arg $ only_arg $ fuzz_quick_flag))
+
 let () =
   let doc =
     "Reproduction of 'Scalable Versioning in Distributed Databases with \
@@ -475,4 +524,5 @@ let () =
   let info = Cmd.info "threev_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; experiment_cmd; table1_cmd; trace_cmd; run_cmd ]))
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; table1_cmd; trace_cmd; run_cmd; fuzz_cmd ]))

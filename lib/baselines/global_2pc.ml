@@ -199,7 +199,8 @@ let exec_subtxn t node p (tree : Spec.subtxn) =
         match Lockmgr.acquire node.locks ~owner:p.p_txn ~key ~mode () with
         | Lockmgr.Granted -> ()
         | Lockmgr.Deadlock -> failure := Some "deadlock"
-        | Lockmgr.Timeout -> failure := Some "lock-timeout")
+        | Lockmgr.Timeout -> failure := Some "lock-timeout"
+        | Lockmgr.Cancelled -> failure := Some "cancelled")
     (lock_plan tree.Spec.ops);
   (match !failure with
   | Some reason ->

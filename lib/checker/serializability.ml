@@ -1,0 +1,364 @@
+module Spec = Txn.Spec
+module Result = Txn.Result
+module Value = Txn.Value
+module Op = Txn.Op
+
+type edge_kind = Reads_from | Anti_dependency | Version_order
+
+type edge = { src : int; dst : int; key : string; kind : edge_kind }
+
+type report = {
+  txns : int;
+  readers : int;
+  writers : int;
+  edges : int;
+  rf_edges : int;
+  anti_edges : int;
+  ww_edges : int;
+  unknown_count : int;
+  unknown_tags : (int * string * int) list;
+  cycle : edge list option;
+}
+
+module Int_set = Set.Make (Int)
+
+let has_effect (res : Result.t) =
+  match res.Result.outcome with
+  | Result.Committed -> true
+  | Result.Aborted "compensated" -> true
+  | Result.Aborted _ -> false
+
+(* Per-key write classification of a spec: key -> wrote_overwrite. A key
+   counts as overwritten if any operation on it anywhere in the tree is an
+   [Overwrite]. *)
+let write_kinds (spec : Spec.t) =
+  let tbl = Hashtbl.create 8 in
+  let rec walk (st : Spec.subtxn) =
+    List.iter
+      (fun op ->
+        if Op.is_write op then begin
+          let key = Op.key op in
+          let prev =
+            match Hashtbl.find_opt tbl key with Some b -> b | None -> false
+          in
+          Hashtbl.replace tbl key (prev || not (Op.commuting_write op))
+        end)
+      st.Spec.ops;
+    List.iter walk st.Spec.children
+  in
+  walk spec.Spec.root;
+  tbl
+
+(* ------------------------------------------------------------ graph *)
+
+type graph = {
+  (* adjacency, deduplicated: src -> dst set *)
+  adj : (int, Int_set.t ref) Hashtbl.t;
+  (* representative edge per (src, dst, kind); first inserted wins *)
+  edge_tbl : (int * int * edge_kind, edge) Hashtbl.t;
+  mutable rf : int;
+  mutable anti : int;
+  mutable ww : int;
+}
+
+let add_edge g ~src ~dst ~key ~kind =
+  if src <> dst && not (Hashtbl.mem g.edge_tbl (src, dst, kind)) then begin
+    Hashtbl.replace g.edge_tbl (src, dst, kind) { src; dst; key; kind };
+    (match kind with
+    | Reads_from -> g.rf <- g.rf + 1
+    | Anti_dependency -> g.anti <- g.anti + 1
+    | Version_order -> g.ww <- g.ww + 1);
+    let set =
+      match Hashtbl.find_opt g.adj src with
+      | Some s -> s
+      | None ->
+          let s = ref Int_set.empty in
+          Hashtbl.replace g.adj src s;
+          s
+    in
+    set := Int_set.add dst !set
+  end
+
+let succs g v =
+  match Hashtbl.find_opt g.adj v with
+  | Some s -> Int_set.elements !s
+  | None -> []
+
+(* An edge src -> dst of any kind, preferring reads-from for readability of
+   witnesses. *)
+let edge_between g src dst =
+  match Hashtbl.find_opt g.edge_tbl (src, dst, Reads_from) with
+  | Some e -> Some e
+  | None -> (
+      match Hashtbl.find_opt g.edge_tbl (src, dst, Anti_dependency) with
+      | Some e -> Some e
+      | None -> Hashtbl.find_opt g.edge_tbl (src, dst, Version_order))
+
+(* ----------------------------------------------------- cycle search *)
+
+(* Iterative Tarjan: strongly-connected components of the nodes reachable
+   in [g], starting from every node in [nodes]. *)
+let sccs g nodes =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let push v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ()
+  in
+  let visit root =
+    if not (Hashtbl.mem index root) then begin
+      let call = Stack.create () in
+      push root;
+      Stack.push (root, ref (succs g root)) call;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.top call in
+        match !rest with
+        | w :: tl ->
+            rest := tl;
+            if not (Hashtbl.mem index w) then begin
+              push w;
+              Stack.push (w, ref (succs g w)) call
+            end
+            else if Hashtbl.mem on_stack w then
+              Hashtbl.replace lowlink v
+                (min (Hashtbl.find lowlink v) (Hashtbl.find index w))
+        | [] ->
+            ignore (Stack.pop call);
+            if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+              let rec pop acc =
+                match !stack with
+                | w :: tl ->
+                    stack := tl;
+                    Hashtbl.remove on_stack w;
+                    if w = v then w :: acc else pop (w :: acc)
+                | [] -> acc
+              in
+              out := pop [] :: !out
+            end;
+            (match Stack.top_opt call with
+            | Some (parent, _) ->
+                Hashtbl.replace lowlink parent
+                  (min (Hashtbl.find lowlink parent) (Hashtbl.find lowlink v))
+            | None -> ())
+      done
+    end
+  in
+  List.iter visit nodes;
+  !out
+
+(* Shortest cycle through [start] staying inside [members]: BFS until an
+   edge closes back on [start]. Returns the node sequence of the cycle. *)
+let shortest_cycle_through g members start =
+  let parent = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Queue.add start q;
+  Hashtbl.replace parent start start;
+  let found = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let u = Queue.pop q in
+       List.iter
+         (fun w ->
+           if w = start then begin
+             (* Reconstruct start ... u, then close with u -> start. *)
+             let rec back v acc =
+               if v = start then start :: acc
+               else back (Hashtbl.find parent v) (v :: acc)
+             in
+             found := Some (back u []);
+             raise Exit
+           end
+           else if Int_set.mem w members && not (Hashtbl.mem parent w) then begin
+             Hashtbl.replace parent w u;
+             Queue.add w q
+           end)
+         (succs g u)
+     done
+   with Exit -> ());
+  !found
+
+(* Minimal witness: smallest SCC with >= 2 nodes, then the shortest cycle
+   through any of its nodes. *)
+let find_cycle g nodes =
+  let multi =
+    List.filter (fun scc -> List.length scc >= 2) (sccs g nodes)
+  in
+  match
+    List.sort (fun a b -> compare (List.length a) (List.length b)) multi
+  with
+  | [] -> None
+  | scc :: _ ->
+      let members = Int_set.of_list scc in
+      let best = ref None in
+      (try
+         List.iter
+           (fun start ->
+             match shortest_cycle_through g members start with
+             | Some c -> (
+                 match !best with
+                 | Some b when List.length b <= List.length c -> ()
+                 | _ ->
+                     best := Some c;
+                     if List.length c = 2 then raise Exit)
+             | None -> ())
+           scc
+       with Exit -> ());
+      (match !best with
+      | None -> None
+      | Some cyc ->
+          (* Node sequence -> edge list, wrapping around. *)
+          let arr = Array.of_list cyc in
+          let n = Array.length arr in
+          let edges =
+            List.init n (fun i ->
+                let src = arr.(i) and dst = arr.((i + 1) mod n) in
+                match edge_between g src dst with
+                | Some e -> e
+                | None ->
+                    (* Unreachable: the BFS walked real edges. *)
+                    { src; dst; key = "?"; kind = Reads_from })
+          in
+          Some edges)
+
+(* ----------------------------------------------------------- certify *)
+
+let certify history =
+  let g =
+    { adj = Hashtbl.create 256; edge_tbl = Hashtbl.create 1024;
+      rf = 0; anti = 0; ww = 0 }
+  in
+  (* Effect-ful writers: id -> (version, write kinds). *)
+  let writer_info = Hashtbl.create 256 in
+  (* key -> (writer id, version, overwrote) list *)
+  let writers_of_key : (string, (int * int * bool) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if spec.Spec.kind <> Spec.Read_only && has_effect res then begin
+        let kinds = write_kinds spec in
+        Hashtbl.replace writer_info spec.Spec.id ();
+        Hashtbl.iter
+          (fun key ow ->
+            let cur =
+              match Hashtbl.find_opt writers_of_key key with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace writers_of_key key
+              ((spec.Spec.id, res.Result.version, ow) :: cur))
+          kinds
+      end)
+    history;
+  (* Version-order edges: conflicting writer pairs at different versions,
+     lower version first. Commuting pairs are unordered. *)
+  Hashtbl.iter
+    (fun key ws ->
+      let rec pairs = function
+        | [] -> ()
+        | (id1, v1, ow1) :: rest ->
+            List.iter
+              (fun (id2, v2, ow2) ->
+                if v1 <> v2 && (ow1 || ow2) then begin
+                  let src, dst = if v1 < v2 then (id1, id2) else (id2, id1) in
+                  add_edge g ~src ~dst ~key ~kind:Version_order
+                end)
+              rest;
+            pairs rest
+      in
+      pairs ws)
+    writers_of_key;
+  (* Reads-from and anti-dependency edges, plus unknown-tag accounting.
+     Checked per observation (not unioned per key), so a non-repeatable
+     read inside one transaction closes a two-edge cycle. *)
+  let readers = ref 0 in
+  let unknown_count = ref 0 in
+  let unknown_tags = ref [] in
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if Result.committed res && res.Result.reads <> [] then begin
+        incr readers;
+        let rid = spec.Spec.id in
+        List.iter
+          (fun (key, (value : Value.t)) ->
+            let seen = value.Value.writers in
+            (* Observed tags: reads-from, or unknown if unaccounted. *)
+            Value.Writers.iter
+              (fun w ->
+                if w <> rid then
+                  if Hashtbl.mem writer_info w then
+                    add_edge g ~src:w ~dst:rid ~key ~kind:Reads_from
+                  else begin
+                    incr unknown_count;
+                    if List.length !unknown_tags < 20 then
+                      unknown_tags := (rid, key, w) :: !unknown_tags
+                  end)
+              seen;
+            (* Effect-ful writers of this key whose tag is absent from this
+               observation: the read happened first. *)
+            List.iter
+              (fun (w, _, _) ->
+                if w <> rid && not (Value.Writers.mem w seen) then
+                  add_edge g ~src:rid ~dst:w ~key ~kind:Anti_dependency)
+              (match Hashtbl.find_opt writers_of_key key with
+              | Some l -> l
+              | None -> []))
+          res.Result.reads
+      end)
+    history;
+  (* Node set: writers plus committed readers (readers that also write are
+     already present). *)
+  let nodes = Hashtbl.create 256 in
+  Hashtbl.iter (fun id () -> Hashtbl.replace nodes id ()) writer_info;
+  List.iter
+    (fun ((spec : Spec.t), (res : Result.t)) ->
+      if Result.committed res && res.Result.reads <> [] then
+        Hashtbl.replace nodes spec.Spec.id ())
+    history;
+  let node_list = Hashtbl.fold (fun id () acc -> id :: acc) nodes [] in
+  let cycle = find_cycle g node_list in
+  {
+    txns = List.length node_list;
+    readers = !readers;
+    writers = Hashtbl.length writer_info;
+    edges = g.rf + g.anti + g.ww;
+    rf_edges = g.rf;
+    anti_edges = g.anti;
+    ww_edges = g.ww;
+    unknown_count = !unknown_count;
+    unknown_tags = List.rev !unknown_tags;
+    cycle;
+  }
+
+let serializable r = r.cycle = None
+
+let pp_kind ppf = function
+  | Reads_from -> Format.pp_print_string ppf "rf"
+  | Anti_dependency -> Format.pp_print_string ppf "rw"
+  | Version_order -> Format.pp_print_string ppf "ww"
+
+let pp_edge ppf e =
+  Format.fprintf ppf "%d -%a[%s]-> %d" e.src pp_kind e.kind e.key e.dst
+
+let pp_witness ppf r =
+  match r.cycle with
+  | None -> ()
+  | Some edges ->
+      Format.fprintf ppf "@[<v 2>MVSG cycle (%d edges):" (List.length edges);
+      List.iter (fun e -> Format.fprintf ppf "@ %a" pp_edge e) edges;
+      Format.fprintf ppf "@]"
+
+let pp ppf r =
+  Format.fprintf ppf
+    "txns=%d (w=%d r=%d) edges=%d (rf=%d rw=%d ww=%d) unknown=%d %s"
+    r.txns r.writers r.readers r.edges r.rf_edges r.anti_edges r.ww_edges
+    r.unknown_count
+    (if serializable r then "1SR" else "NOT-1SR");
+  if r.cycle <> None then Format.fprintf ppf "@ %a" pp_witness r

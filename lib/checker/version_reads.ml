@@ -7,7 +7,8 @@ type violation = {
   key : string;
   version : int;
   missing : int list;
-  leaked : int list;
+  leaked_future : int list;
+  unknown : int list;
 }
 
 type report = {
@@ -88,12 +89,19 @@ let check history =
               |> Int_set.of_list
             in
             let missing = Int_set.diff expected seen in
-            (* Anything seen that is not expected: either a higher-version
-               writer that leaked, or a writer the history can't account
-               for. *)
-            let leaked = Int_set.diff seen expected in
-            ignore known_later;
-            if not (Int_set.is_empty missing && Int_set.is_empty leaked)
+            (* Anything seen that is not expected is either a known
+               higher-version writer that leaked forward into this read, or
+               a writer tag the history cannot account for at all (e.g. a
+               dirty read from an effect-less abort). The two point at very
+               different bugs, so report them separately. *)
+            let surplus = Int_set.diff seen expected in
+            let leaked_future = Int_set.inter surplus known_later in
+            let unknown = Int_set.diff surplus known_later in
+            if
+              not
+                (Int_set.is_empty missing
+                && Int_set.is_empty leaked_future
+                && Int_set.is_empty unknown)
             then begin
               incr violation_count;
               if List.length !violations < 20 then
@@ -103,7 +111,8 @@ let check history =
                     key;
                     version = v;
                     missing = Int_set.elements missing;
-                    leaked = Int_set.elements leaked;
+                    leaked_future = Int_set.elements leaked_future;
+                    unknown = Int_set.elements unknown;
                   }
                   :: !violations
             end)
@@ -126,8 +135,10 @@ let pp ppf r =
   List.iteri
     (fun i v ->
       if i < 3 then
-        Format.fprintf ppf "@ [txn %d key %s v%d missing={%s} leaked={%s}]"
+        Format.fprintf ppf
+          "@ [txn %d key %s v%d missing={%s} leaked-future={%s} unknown={%s}]"
           v.read_txn v.key v.version
           (String.concat "," (List.map string_of_int v.missing))
-          (String.concat "," (List.map string_of_int v.leaked)))
+          (String.concat "," (List.map string_of_int v.leaked_future))
+          (String.concat "," (List.map string_of_int v.unknown)))
     r.violations

@@ -23,7 +23,12 @@ type violation = {
   key : string;
   version : int;  (** the read transaction's version *)
   missing : int list;  (** writers ≤ version not observed *)
-  leaked : int list;  (** writers observed but of version > v or unknown *)
+  leaked_future : int list;
+      (** observed writers known to have committed at a version > v — the
+          read saw past its version fence *)
+  unknown : int list;
+      (** observed writer tags no effect-ful update in the history accounts
+          for — e.g. a dirty read of an aborted transaction's write *)
 }
 
 type report = {

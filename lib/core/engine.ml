@@ -678,7 +678,8 @@ let exec_subtxn t node p (tree : Spec.subtxn) ~compensating =
           with
           | Lockmgr.Granted -> ()
           | Lockmgr.Deadlock -> lock_failure := Some "deadlock"
-          | Lockmgr.Timeout -> lock_failure := Some "lock-timeout")
+          | Lockmgr.Timeout -> lock_failure := Some "lock-timeout"
+          | Lockmgr.Cancelled -> lock_failure := Some "cancelled")
       (lock_plan ~kind:p.p_kind tree.Spec.ops)
   end;
   (match !lock_failure with

@@ -1,0 +1,102 @@
+(** Deterministic schedule-fuzz harness.
+
+    Sweeps seeds × workloads × fault plans × engines, runs every offline
+    checker (serializability certifier, atomic visibility, exact version
+    reads, commuting-sum replay, staleness) on each outcome, and classifies:
+
+    - {e strict} engines (3V, NC3V, global-2PC) must certify clean on every
+      applicable checker — any violation is a [failure];
+    - {e expected-anomaly} baselines (no-coordination, manual versioning)
+      may be flagged; the cycle witness is recorded, demonstrating that the
+      certifier has teeth on histories known to be broken.
+
+    Cases are derived purely from [(fuzz_seed, index)] — the same pair
+    always replays the same engine, workload, seed and fault plan, so
+    [threev_sim fuzz --fuzz-seed S --only I] is an exact reproducer for
+    case [I] of any sweep. On a strict failure under faults the harness
+    additionally shrinks the fault plan greedily (dropping atoms whose
+    removal keeps the case failing) and renders a standalone
+    [threev_sim run ...] command line for the shrunk plan. *)
+
+type engine_kind = E3v | E3v_nc | E2pc | E_nocoord | E_manual
+
+val engine_label : engine_kind -> string
+
+(** One fault-plan ingredient, kept atomic so a failing plan can be
+    shrunk element-wise and rendered back to [threev_sim run] flags. *)
+type atom =
+  | Loss of float  (** uniform remote-message drop probability *)
+  | Dup of float  (** uniform duplication probability *)
+  | Partition of int * int * float * float  (** src, dst, from, until *)
+  | Crash of int * float * float  (** node, at, restart *)
+  | Coord_crash of float * float  (** at, restart *)
+
+val atom_flag : atom -> string
+
+type workload_kind = W_synthetic | W_hospital | W_pos
+
+type case = {
+  index : int;
+  engine : engine_kind;
+  workload : workload_kind;
+  nodes : int;
+  seed : int;  (** simulation + workload RNG seed *)
+  fault_seed : int;
+  rate : float;
+  read_ratio : float;
+  nc_ratio : float;
+  duration : float;
+  atoms : atom list;
+}
+
+(** Pure derivation: same [(fuzz_seed, index, quick)] → same case. Engines
+    rotate with [index mod 5] so every 5 consecutive indices cover the full
+    matrix. *)
+val case_of_index : fuzz_seed:int -> quick:bool -> int -> case
+
+type check = { check_name : string; ok : bool; detail : string }
+
+type verdict =
+  | Clean  (** every applicable checker passed *)
+  | Anomaly of string list
+      (** expected-anomaly baseline, flagged as hoped; payload includes the
+          rendered cycle witness *)
+  | Failure of check list  (** the failed checks only *)
+
+type case_report = {
+  case : case;
+  verdict : verdict;
+  committed : int;
+  unfinished : int;
+  shrunk : atom list option;
+      (** minimal failing fault-atom subset, when shrinking applied *)
+  reproducers : string list;  (** command lines, most precise first *)
+}
+
+(** Run one case end to end (drive, settle, check, shrink on failure). *)
+val run_case : fuzz_seed:int -> quick:bool -> case -> case_report
+
+type summary = {
+  total : int;
+  clean : int;
+  anomalies_flagged : int;
+  failed : int;
+  reports : case_report list;  (** in index order *)
+}
+
+(** [sweep ()] runs cases [0 .. runs-1] (or exactly [only]). [log] receives
+    one human-readable line per case as it completes, plus witness /
+    reproducer blocks for interesting cases. *)
+val sweep :
+  ?runs:int ->
+  ?fuzz_seed:int ->
+  ?only:int ->
+  ?quick:bool ->
+  ?log:(string -> unit) ->
+  unit ->
+  summary
+
+(** [ok s] — no strict-engine failures. *)
+val ok : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -19,14 +19,23 @@ let create ?(least = 1e-6) ?(growth = 1.25) () =
     summary = Summary.create ();
   }
 
-let bucket_of h x =
-  if x <= 0. then 0
-  else if x <= h.least then 1
-  else 2 + int_of_float (Float.floor (log (x /. h.least) /. h.log_growth))
-
 (* Upper bound of bucket [i]. *)
 let bound_of h i =
   if i = 0 then 0. else h.least *. (h.growth ** float_of_int (i - 1))
+
+let bucket_of h x =
+  if x <= 0. then 0
+  else if x <= h.least then 1
+  else begin
+    let b = 2 + int_of_float (Float.floor (log (x /. h.least) /. h.log_growth)) in
+    (* The documented ranges are upper-inclusive, but at exact bucket bounds
+       (x = least * growth^k) the log lands on an integer and floor pushes x
+       one bucket too high; log/(**) rounding can also disagree by one ulp in
+       either direction. Settle against bound_of, the range's ground truth. *)
+    if b > 1 && x <= bound_of h (b - 1) then b - 1
+    else if x > bound_of h b then b + 1
+    else b
+  end
 
 let add h x =
   Summary.add h.summary x;

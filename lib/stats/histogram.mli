@@ -16,6 +16,16 @@ val create : ?least:float -> ?growth:float -> unit -> t
 (** [add h x] records one observation. *)
 val add : t -> float -> unit
 
+(** [bucket_of h x] is the bucket index recording [x]: 0 for non-positive
+    values, 1 for (0, least], and for i >= 2 the range
+    (least·growth^(i-2), least·growth^(i-1)] — upper-inclusive, so an exact
+    bucket bound lands in the bucket it bounds. *)
+val bucket_of : t -> float -> int
+
+(** [bound_of h i] is the inclusive upper bound of bucket [i] (0. for the
+    zero bucket). *)
+val bound_of : t -> int -> float
+
 val count : t -> int
 val mean : t -> float
 val max : t -> float

@@ -10,7 +10,7 @@ let compatible a b =
       true
   | _ -> false
 
-type grant = Granted | Deadlock | Timeout
+type grant = Granted | Deadlock | Timeout | Cancelled
 
 type request = {
   req_owner : int;
@@ -161,7 +161,11 @@ let acquire t ?timeout ~owner ~key ~mode () =
     holders_allow lock ~owner ~mode
     && (already_holder || not (has_live_waiter lock))
   then begin
-    lock.holders <- (owner, mode) :: lock.holders;
+    (* Re-granting a mode the owner already holds must not push a duplicate
+       entry: [held] would report it twice and the holder list would grow on
+       every re-entrant acquire. *)
+    if not (List.mem (owner, mode) lock.holders) then
+      lock.holders <- (owner, mode) :: lock.holders;
     note_held t owner key;
     Granted
   end
@@ -204,7 +208,10 @@ let release_all t ~owner =
                 List.filter (fun (h, _) -> h <> owner) lock.holders;
               drain_queue t lock key)
         keys;
-      (* Cancel any still-waiting requests of this owner (post-abort). *)
+      (* Cancel any still-waiting requests of this owner (post-abort). The
+         wake reason is [Cancelled], not [Timeout]: the owner is being torn
+         down, it did not lose a deadlock-timeout race, and callers must not
+         account it as one. *)
       Hashtbl.iter
         (fun key lock ->
           let cancelled = ref false in
@@ -214,7 +221,7 @@ let release_all t ~owner =
                 r.req_live <- false;
                 t.waiting_count <- t.waiting_count - 1;
                 cancelled := true;
-                r.req_wake Timeout
+                r.req_wake Cancelled
               end)
             lock.queue;
           if !cancelled then drain_queue t lock key)

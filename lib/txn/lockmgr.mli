@@ -23,6 +23,10 @@ type grant =
   | Granted
   | Deadlock  (** a local waits-for cycle was found; caller should abort *)
   | Timeout  (** waited longer than the deadlock timeout; caller should abort *)
+  | Cancelled
+      (** the wait was torn down by the owner's own [release_all] (post-abort
+          cleanup) — not a conflict outcome, so not counted in
+          [conflicts_aborted] *)
 
 type t
 
@@ -49,7 +53,8 @@ val held : t -> owner:int -> (string * mode) list
 (** Number of requests currently waiting across all keys. *)
 val waiting : t -> int
 
-(** Total lock waits that ended in [Deadlock] or [Timeout] since creation. *)
+(** Total lock waits that ended in [Deadlock] or [Timeout] since creation
+    ([Cancelled] waits are not conflicts and are excluded). *)
 val conflicts_aborted : t -> int
 
 val pp_mode : Format.formatter -> mode -> unit

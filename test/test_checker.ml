@@ -349,8 +349,38 @@ let version_reads_leak () =
   let report = Checker.Version_reads.check history in
   checki "leak flagged" 1 report.Checker.Version_reads.violation_count;
   (match report.Checker.Version_reads.violations with
-  | [ v ] -> checkb "leaked id" true (v.Checker.Version_reads.leaked = [ 2 ])
+  | [ v ] ->
+      checkb "future leak id" true
+        (v.Checker.Version_reads.leaked_future = [ 2 ]);
+      checkb "no unknown tags" true (v.Checker.Version_reads.unknown = [])
   | _ -> Alcotest.fail "expected one violation")
+
+let version_reads_unknown_writer () =
+  let u2 = update_spec ~id:2 [ "a" ] in
+  let r = read_spec ~id:3 [ "a" ] in
+  let history =
+    [
+      (* Txn 2 aborted without compensation, yet its tag was observed: a
+         dirty read. No effect-ful update accounts for the tag, so it must
+         surface as [unknown], not [leaked_future]. *)
+      ( u2,
+        { (vr_committed_at 2 ~id:2) with Result.outcome = Result.Aborted "x" }
+      );
+      ( r,
+        {
+          (vr_committed_at 1 ~id:3) with
+          Result.reads = [ ("a", value_with [ 2 ]) ];
+        } );
+    ]
+  in
+  let report = Checker.Version_reads.check history in
+  checki "dirty read flagged" 1 report.Checker.Version_reads.violation_count;
+  match report.Checker.Version_reads.violations with
+  | [ v ] ->
+      checkb "unknown id" true (v.Checker.Version_reads.unknown = [ 2 ]);
+      checkb "not a future leak" true
+        (v.Checker.Version_reads.leaked_future = [])
+  | _ -> Alcotest.fail "expected one violation"
 
 let version_reads_aborted_excluded () =
   let u = update_spec ~id:1 [ "a" ] in
@@ -364,6 +394,225 @@ let version_reads_aborted_excluded () =
   in
   checkb "aborted update not expected" true
     (Checker.Version_reads.clean (Checker.Version_reads.check history))
+
+(* -------------------------------------------------- serializability *)
+
+module Srz = Checker.Serializability
+
+(* A single-node spec with arbitrary ops (reads + writes mixed). *)
+let rw_spec ~id ops = Spec.make ~id (Spec.subtxn 0 ops)
+
+(* Every consecutive pair of witness edges must chain dst -> src, wrapping
+   around — a genuine cycle, not just a bag of edges. *)
+let well_formed_cycle = function
+  | [] -> false
+  | edges ->
+      let arr = Array.of_list edges in
+      let n = Array.length arr in
+      let ok = ref true in
+      Array.iteri
+        (fun i e ->
+          if e.Srz.dst <> arr.((i + 1) mod n).Srz.src then ok := false)
+        arr;
+      !ok
+
+let flagged_with_witness history =
+  let r = Srz.certify history in
+  (not (Srz.serializable r))
+  && (match r.Srz.cycle with Some c -> well_formed_cycle c | None -> false)
+
+let srz_lost_update () =
+  (* Both read the balance before either deposit landed, then both
+     overwrite: whichever order they serialize in, the second must have
+     seen the first. *)
+  let t1 = rw_spec ~id:1 [ Op.Read "a"; Op.Overwrite ("a", 10.) ] in
+  let t2 = rw_spec ~id:2 [ Op.Read "a"; Op.Overwrite ("a", 20.) ] in
+  let history =
+    [
+      (t1, committed_result ~id:1 ~reads:[ ("a", Value.empty) ] ());
+      (t2, committed_result ~id:2 ~reads:[ ("a", Value.empty) ] ());
+    ]
+  in
+  checkb "lost update flagged" true (flagged_with_witness history);
+  let r = Srz.certify history in
+  checkb "two-edge witness" true
+    (match r.Srz.cycle with Some c -> List.length c = 2 | None -> false)
+
+let srz_write_skew () =
+  (* t1 reads both and writes b; t2 reads both and writes a; neither sees
+     the other. Atomic visibility holds — only the certifier catches it. *)
+  let t1 =
+    rw_spec ~id:1 [ Op.Read "a"; Op.Read "b"; Op.Overwrite ("b", 1.) ]
+  in
+  let t2 =
+    rw_spec ~id:2 [ Op.Read "a"; Op.Read "b"; Op.Overwrite ("a", 1.) ]
+  in
+  let history =
+    [
+      ( t1,
+        committed_result ~id:1
+          ~reads:[ ("a", Value.empty); ("b", Value.empty) ]
+          () );
+      ( t2,
+        committed_result ~id:2
+          ~reads:[ ("a", Value.empty); ("b", Value.empty) ]
+          () );
+    ]
+  in
+  checkb "atomicity does not catch write skew" true
+    (Atomicity.clean (Atomicity.check history));
+  checkb "certifier flags write skew" true (flagged_with_witness history)
+
+let srz_read_only_anomaly () =
+  (* Two commuting writers of the same key; reader 3 sees only writer 1,
+     reader 4 sees only writer 2 — each reader alone is consistent, but no
+     serial order places both. *)
+  let t1 = rw_spec ~id:1 [ Op.Incr ("a", 1.) ] in
+  let t2 = rw_spec ~id:2 [ Op.Incr ("a", 1.) ] in
+  let r1 = read_spec ~id:3 [ "a" ] in
+  let r2 = read_spec ~id:4 [ "a" ] in
+  let history =
+    [
+      (t1, committed_result ~id:1 ());
+      (t2, committed_result ~id:2 ());
+      (r1, committed_result ~id:3 ~reads:[ ("a", value_with [ 1 ]) ] ());
+      (r2, committed_result ~id:4 ~reads:[ ("a", value_with [ 2 ]) ] ());
+    ]
+  in
+  checkb "read-only anomaly flagged" true (flagged_with_witness history)
+
+let srz_non_repeatable_read () =
+  (* One transaction observes the same key with and without writer 1's
+     tag: the writer lands both before and after the reader. *)
+  let t1 = rw_spec ~id:1 [ Op.Incr ("a", 1.) ] in
+  let r = read_spec ~id:2 [ "a"; "a" ] in
+  let history =
+    [
+      (t1, committed_result ~id:1 ());
+      ( r,
+        committed_result ~id:2
+          ~reads:[ ("a", value_with [ 1 ]); ("a", Value.empty) ]
+          () );
+    ]
+  in
+  checkb "non-repeatable read flagged" true (flagged_with_witness history)
+
+let srz_version_order_cycle () =
+  (* Writer 2 overwrote at version 2, after writer 1's version-1 overwrite.
+     A reader that saw 2's tag but not 1's contradicts tag monotonicity
+     under that version order. *)
+  let t1 = rw_spec ~id:1 [ Op.Overwrite ("a", 1.) ] in
+  let t2 = rw_spec ~id:2 [ Op.Overwrite ("a", 2.) ] in
+  let r = read_spec ~id:3 [ "a" ] in
+  let history =
+    [
+      (t1, committed_result ~id:1 ~version:1 ());
+      (t2, committed_result ~id:2 ~version:2 ());
+      (r, committed_result ~id:3 ~version:2 ~reads:[ ("a", value_with [ 2 ]) ] ());
+    ]
+  in
+  let report = Srz.certify history in
+  checki "ww edge present" 1 report.Srz.ww_edges;
+  checkb "version-order cycle flagged" true (flagged_with_witness history)
+
+let srz_commuting_writers_not_ordered () =
+  (* Same shape but the writers commute (Incr): seeing the version-2
+     increment without the version-1 one is serializable as t2, r, t1. A
+     naive version-order edge between commuting writers would wrongly flag
+     this. *)
+  let t1 = rw_spec ~id:1 [ Op.Incr ("a", 1.) ] in
+  let t2 = rw_spec ~id:2 [ Op.Incr ("a", 1.) ] in
+  let r = read_spec ~id:3 [ "a" ] in
+  let history =
+    [
+      (t1, committed_result ~id:1 ~version:1 ());
+      (t2, committed_result ~id:2 ~version:2 ());
+      (r, committed_result ~id:3 ~version:2 ~reads:[ ("a", value_with [ 2 ]) ] ());
+    ]
+  in
+  let report = Srz.certify history in
+  checki "no ww edges between commuting writers" 0 report.Srz.ww_edges;
+  checkb "serializable" true (Srz.serializable report)
+
+let srz_clean_history () =
+  let t1 = rw_spec ~id:1 [ Op.Incr ("a", 1.); Op.Incr ("b", 1.) ] in
+  let t2 = rw_spec ~id:2 [ Op.Incr ("a", 1.) ] in
+  let r = read_spec ~id:3 [ "a"; "b" ] in
+  let history =
+    [
+      (t1, committed_result ~id:1 ());
+      (t2, committed_result ~id:2 ());
+      ( r,
+        committed_result ~id:3
+          ~reads:[ ("a", value_with [ 1; 2 ]); ("b", value_with [ 1 ]) ]
+          () );
+    ]
+  in
+  let report = Srz.certify history in
+  checkb "clean history certifies" true (Srz.serializable report);
+  checki "nodes" 3 report.Srz.txns;
+  checki "no unknown tags" 0 report.Srz.unknown_count
+
+let srz_unknown_tag_reported () =
+  (* A tag with no effect-ful writer behind it gets no edge but is
+     surfaced. *)
+  let r = read_spec ~id:2 [ "a" ] in
+  let history =
+    [ (r, committed_result ~id:2 ~reads:[ ("a", value_with [ 99 ]) ] ()) ]
+  in
+  let report = Srz.certify history in
+  checkb "still serializable" true (Srz.serializable report);
+  checki "unknown counted" 1 report.Srz.unknown_count;
+  checkb "unknown listed" true (report.Srz.unknown_tags = [ (2, "a", 99) ])
+
+(* qcheck: randomized instances of the three anomaly families are always
+   flagged, with a well-formed cycle witness. *)
+let srz_anomalies_flagged =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 0 2) (pair (int_range 1 50) (int_range 0 4)))
+  in
+  QCheck.Test.make ~name:"serializability: anomaly families always flagged"
+    ~count:150 (QCheck.make gen)
+    (fun (shape, (id_base, key_idx)) ->
+      let k = Printf.sprintf "k%d" key_idx in
+      let k2 = Printf.sprintf "k%d'" key_idx in
+      let i1 = id_base and i2 = id_base + 1 and i3 = id_base + 2
+      and i4 = id_base + 3 in
+      let history =
+        match shape with
+        | 0 ->
+            (* lost update on k *)
+            [
+              ( rw_spec ~id:i1 [ Op.Read k; Op.Overwrite (k, 1.) ],
+                committed_result ~id:i1 ~reads:[ (k, Value.empty) ] () );
+              ( rw_spec ~id:i2 [ Op.Read k; Op.Overwrite (k, 2.) ],
+                committed_result ~id:i2 ~reads:[ (k, Value.empty) ] () );
+            ]
+        | 1 ->
+            (* write skew across k, k2 *)
+            [
+              ( rw_spec ~id:i1 [ Op.Read k; Op.Read k2; Op.Overwrite (k2, 1.) ],
+                committed_result ~id:i1
+                  ~reads:[ (k, Value.empty); (k2, Value.empty) ]
+                  () );
+              ( rw_spec ~id:i2 [ Op.Read k; Op.Read k2; Op.Overwrite (k, 1.) ],
+                committed_result ~id:i2
+                  ~reads:[ (k, Value.empty); (k2, Value.empty) ]
+                  () );
+            ]
+        | _ ->
+            (* read-only anomaly: opposing one-sided observations *)
+            [
+              (rw_spec ~id:i1 [ Op.Incr (k, 1.) ], committed_result ~id:i1 ());
+              (rw_spec ~id:i2 [ Op.Incr (k, 1.) ], committed_result ~id:i2 ());
+              ( read_spec ~id:i3 [ k ],
+                committed_result ~id:i3 ~reads:[ (k, value_with [ i1 ]) ] () );
+              ( read_spec ~id:i4 [ k ],
+                committed_result ~id:i4 ~reads:[ (k, value_with [ i2 ]) ] () );
+            ]
+      in
+      flagged_with_witness history)
 
 let () =
   Alcotest.run "checker"
@@ -393,6 +642,8 @@ let () =
           Alcotest.test_case "exact set accepted" `Quick version_reads_exact;
           Alcotest.test_case "missing detected" `Quick version_reads_missing;
           Alcotest.test_case "leak detected" `Quick version_reads_leak;
+          Alcotest.test_case "unknown writer distinguished" `Quick
+            version_reads_unknown_writer;
           Alcotest.test_case "aborted excluded" `Quick
             version_reads_aborted_excluded;
         ] );
@@ -405,5 +656,21 @@ let () =
             replay_uncommitted_excluded;
           Alcotest.test_case "missing key is zero" `Quick
             replay_missing_key_is_zero;
+        ] );
+      ( "serializability",
+        [
+          Alcotest.test_case "lost update" `Quick srz_lost_update;
+          Alcotest.test_case "write skew" `Quick srz_write_skew;
+          Alcotest.test_case "read-only anomaly" `Quick srz_read_only_anomaly;
+          Alcotest.test_case "non-repeatable read" `Quick
+            srz_non_repeatable_read;
+          Alcotest.test_case "version-order cycle" `Quick
+            srz_version_order_cycle;
+          Alcotest.test_case "commuting writers unordered" `Quick
+            srz_commuting_writers_not_ordered;
+          Alcotest.test_case "clean history" `Quick srz_clean_history;
+          Alcotest.test_case "unknown tag reported" `Quick
+            srz_unknown_tag_reported;
+          QCheck_alcotest.to_alcotest srz_anomalies_flagged;
         ] );
     ]

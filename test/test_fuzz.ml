@@ -1,0 +1,222 @@
+(* Tests for the schedule-fuzz harness: case derivation and sweeps must be
+   bit-for-bit deterministic (the reproducer contract), small strict sweeps
+   must come back 1SR-clean, and the e10/e13-style golden fault histories
+   must certify clean under every offline checker. *)
+
+module Sim = Simul.Sim
+module Engine = Threev.Engine
+module Runner = Harness.Runner
+module Fuzz = Harness.Fuzz
+module Srz = Checker.Serializability
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------------------------------------------------------- determinism *)
+
+let case_of_index_deterministic () =
+  for i = 0 to 24 do
+    let a = Fuzz.case_of_index ~fuzz_seed:7 ~quick:true i in
+    let b = Fuzz.case_of_index ~fuzz_seed:7 ~quick:true i in
+    checkb (Printf.sprintf "case %d replays identically" i) true (a = b)
+  done;
+  (* Different fuzz seeds must actually vary the cases. *)
+  let differs =
+    List.exists
+      (fun i ->
+        Fuzz.case_of_index ~fuzz_seed:7 ~quick:true i
+        <> Fuzz.case_of_index ~fuzz_seed:8 ~quick:true i)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  checkb "fuzz seed perturbs the cases" true differs
+
+let engines_rotate () =
+  let kinds =
+    List.map
+      (fun i -> (Fuzz.case_of_index ~fuzz_seed:1 ~quick:true i).Fuzz.engine)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  checkb "indices 0-4 cover the engine matrix" true
+    (List.sort_uniq compare kinds
+    = List.sort_uniq compare
+        [ Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E2pc; Fuzz.E_nocoord; Fuzz.E_manual ])
+
+let verdict_tag = function
+  | Fuzz.Clean -> "clean"
+  | Fuzz.Anomaly _ -> "anomaly"
+  | Fuzz.Failure _ -> "failure"
+
+let sweep_deterministic () =
+  let run () = Fuzz.sweep ~runs:5 ~quick:true () in
+  let a = run () and b = run () in
+  checki "same total" a.Fuzz.total b.Fuzz.total;
+  List.iter2
+    (fun (ra : Fuzz.case_report) (rb : Fuzz.case_report) ->
+      let i = ra.Fuzz.case.Fuzz.index in
+      checkb
+        (Printf.sprintf "case %d same case" i)
+        true
+        (ra.Fuzz.case = rb.Fuzz.case);
+      checki (Printf.sprintf "case %d same commits" i) ra.Fuzz.committed
+        rb.Fuzz.committed;
+      Alcotest.(check string)
+        (Printf.sprintf "case %d same verdict" i)
+        (verdict_tag ra.Fuzz.verdict)
+        (verdict_tag rb.Fuzz.verdict))
+    a.Fuzz.reports b.Fuzz.reports
+
+(* ------------------------------------------------------- strict sweeps *)
+
+let strict engine =
+  match engine with
+  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E2pc -> true
+  | Fuzz.E_nocoord | Fuzz.E_manual -> false
+
+let small_sweep_strict_clean () =
+  let s = Fuzz.sweep ~runs:10 ~quick:true () in
+  checkb "no strict failures" true (Fuzz.ok s);
+  checki "all cases ran" 10 s.Fuzz.total;
+  List.iter
+    (fun (r : Fuzz.case_report) ->
+      if strict r.Fuzz.case.Fuzz.engine then
+        checkb
+          (Printf.sprintf "strict case %d clean" r.Fuzz.case.Fuzz.index)
+          true
+          (r.Fuzz.verdict = Fuzz.Clean))
+    s.Fuzz.reports
+
+let only_selects_one_case () =
+  let s = Fuzz.sweep ~runs:50 ~only:3 ~quick:true () in
+  checki "one report" 1 s.Fuzz.total;
+  match s.Fuzz.reports with
+  | [ r ] -> checki "the requested index" 3 r.Fuzz.case.Fuzz.index
+  | _ -> Alcotest.fail "expected exactly one report"
+
+(* ------------------------------------------- golden fault certification
+
+   These mirror the e10/e13-style golden histories in test_harness.ml (node
+   pause during load; coordinator crash mid-advancement on the reliable
+   channel) and assert that every offline checker — including the MVSG
+   certifier — certifies them clean. The digests over these same runs live
+   in test_harness.ml; here we care about 1SR, not byte identity. *)
+
+let golden_gen nodes =
+  Workload.Synthetic.generator
+    {
+      (Workload.Synthetic.default ~nodes) with
+      Workload.Synthetic.arrival_rate = 300.;
+      read_ratio = 0.25;
+      fanout = 2;
+      keys_per_node = 15;
+      zipf_s = 0.7;
+    }
+
+let certify_clean name (outcome : Runner.outcome) =
+  checki (name ^ " settled") 0 outcome.Runner.unfinished;
+  checkb (name ^ " committed some") true (outcome.Runner.committed > 0);
+  let srz = Srz.certify outcome.Runner.history in
+  checkb (name ^ " 1SR") true (Srz.serializable srz);
+  checki (name ^ " no unknown tags") 0 srz.Srz.unknown_count;
+  checkb (name ^ " atomic visibility") true
+    (Checker.Atomicity.clean (Checker.Atomicity.check outcome.Runner.history));
+  checkb (name ^ " exact version reads") true
+    (Checker.Version_reads.clean
+       (Checker.Version_reads.check outcome.Runner.history))
+
+let golden_e10_certifies () =
+  let nodes = 4 in
+  let sim = Sim.create ~seed:151 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Periodic 0.2;
+    }
+  in
+  let engine = Engine.create sim cfg () in
+  Engine.inject_pause engine ~node:(nodes - 1) ~at:0.5 ~duration:0.5;
+  let outcome =
+    Runner.drive sim (Engine.packed engine) (golden_gen nodes)
+      { Runner.seed = 151; duration = 1.2; settle = 4.0; max_txns = 100_000 }
+  in
+  certify_clean "e10-style" outcome
+
+let golden_e13_certifies () =
+  let nodes = 4 in
+  let sim = Sim.create ~seed:171 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Manual;
+      reliable_channel = true;
+      retransmit_timeout = 0.02;
+    }
+  in
+  let faults =
+    Fault.Injector.create sim
+      (Fault.Plan.make ~seed:1713
+         ~coord_crashes:[ Fault.Plan.coord_crash ~at:0.6 ~restart:0.9 ] ())
+  in
+  let engine = Engine.create sim cfg ~faults () in
+  Sim.schedule sim ~delay:0.5 (fun () -> ignore (Engine.advance engine));
+  let outcome =
+    Runner.drive sim (Engine.packed engine) (golden_gen nodes)
+      { Runner.seed = 171; duration = 1.2; settle = 5.0; max_txns = 100_000 }
+  in
+  checkb "e13-style advanced past v0" true (Engine.max_versions_ever engine > 1);
+  certify_clean "e13-style" outcome
+
+(* Plain 3V runs across a few seeds certify clean — the cheap end of the
+   acceptance sweep, kept in-tree so `dune runtest` exercises it. *)
+let threev_seeds_certify_clean () =
+  List.iter
+    (fun seed ->
+      let nodes = 3 in
+      let sim = Sim.create ~seed () in
+      let cfg =
+        {
+          (Engine.default_config ~nodes) with
+          Engine.latency = Netsim.Latency.Exponential 0.003;
+          think_time = 0.0005;
+          policy = Threev.Policy.Periodic 0.15;
+        }
+      in
+      let engine = Engine.create sim cfg () in
+      let outcome =
+        Runner.drive sim (Engine.packed engine) (golden_gen nodes)
+          { Runner.seed = seed; duration = 0.6; settle = 4.0; max_txns = 10_000 }
+      in
+      certify_clean (Printf.sprintf "3v seed %d" seed) outcome)
+    [ 5; 23; 42 ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "case_of_index replays" `Quick
+            case_of_index_deterministic;
+          Alcotest.test_case "engines rotate over 5 indices" `Quick
+            engines_rotate;
+          Alcotest.test_case "sweep replays" `Quick sweep_deterministic;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "small sweep strict-clean" `Quick
+            small_sweep_strict_clean;
+          Alcotest.test_case "--only selects one case" `Quick
+            only_selects_one_case;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "e10-style history certifies" `Quick
+            golden_e10_certifies;
+          Alcotest.test_case "e13-style history certifies" `Quick
+            golden_e13_certifies;
+          Alcotest.test_case "3v seeds certify clean" `Quick
+            threev_seeds_certify_clean;
+        ] );
+    ]

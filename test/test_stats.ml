@@ -116,6 +116,41 @@ let histogram_percentile_monotone =
       in
       nondecreasing vs)
 
+let histogram_bucket_boundaries () =
+  (* Exact bucket bounds are upper-inclusive: x = least * growth^k belongs
+     to the bucket whose bound_of equals x, not the one above (the
+     off-by-one inflated boundary percentiles). *)
+  let h = Histogram.create ~least:1e-3 ~growth:1.25 () in
+  checki "least lands in bucket 1" 1 (Histogram.bucket_of h 1e-3);
+  for k = 1 to 40 do
+    let x = 1e-3 *. (1.25 ** float_of_int k) in
+    let b = Histogram.bucket_of h x in
+    checki (Printf.sprintf "exact power k=%d" k) (k + 1) b;
+    checkb "within documented range" true
+      (x <= Histogram.bound_of h b && x > Histogram.bound_of h (b - 1) *. (1. -. 1e-12))
+  done;
+  (* Strictly interior values still land one bucket above their lower bound. *)
+  checki "interior value" 3 (Histogram.bucket_of h (1e-3 *. 1.25 *. 1.1))
+
+let histogram_boundary_percentile () =
+  (* A histogram holding only the exact value least*growth must report a
+     percentile of that bucket's bound, not the next bucket's. *)
+  let h = Histogram.create ~least:1e-3 ~growth:1.25 () in
+  let x = 1e-3 *. 1.25 in
+  Histogram.add h x;
+  Alcotest.(check (float 1e-12)) "p100 not inflated" x (Histogram.percentile h 100.);
+  Alcotest.(check (float 1e-12)) "p50 not inflated" x (Histogram.percentile h 50.)
+
+let histogram_bucket_bound_consistent =
+  QCheck.Test.make ~name:"bucket_of respects bound_of ranges" ~count:500
+    QCheck.(float_range 1e-9 1e4)
+    (fun x ->
+      let h = Histogram.create () in
+      let b = Histogram.bucket_of h x in
+      b >= 1
+      && x <= Histogram.bound_of h b
+      && (b = 1 || x > Histogram.bound_of h (b - 1) *. (1. -. 1e-12)))
+
 let histogram_upper_bound_property =
   QCheck.Test.make ~name:"p100 bounds every observation" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 100) (float_bound_exclusive 50.))
@@ -246,7 +281,7 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       summary_merge_matches_combined; histogram_percentile_monotone;
-      histogram_upper_bound_property;
+      histogram_upper_bound_property; histogram_bucket_bound_consistent;
     ]
 
 let () =
@@ -268,6 +303,10 @@ let () =
           Alcotest.test_case "merge incompatible" `Quick
             histogram_merge_incompatible;
           Alcotest.test_case "invalid args" `Quick histogram_invalid_args;
+          Alcotest.test_case "bucket boundaries" `Quick
+            histogram_bucket_boundaries;
+          Alcotest.test_case "boundary percentile" `Quick
+            histogram_boundary_percentile;
         ] );
       ( "counter-set",
         [

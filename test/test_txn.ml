@@ -318,6 +318,43 @@ let release_wakes_multiple_shared () =
   in
   checki "all shared waiters granted together" 3 count
 
+let reentrant_no_duplicate_holders () =
+  in_sim (fun sim ->
+      let lm = Lockmgr.create sim () in
+      ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Shared ());
+      ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Shared ());
+      ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Shared ());
+      checkb "re-granting an already-held mode adds no duplicate entry" true
+        (Lockmgr.held lm ~owner:1 = [ ("k", Lockmgr.Shared) ]);
+      (* A genuine upgrade still records the new mode alongside the old. *)
+      ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+      checkb "distinct modes are both recorded" true
+        (Lockmgr.held lm ~owner:1
+        = [ ("k", Lockmgr.Shared); ("k", Lockmgr.Exclusive) ]);
+      Lockmgr.release_all lm ~owner:1)
+
+let release_all_cancels_own_waiters () =
+  let result =
+    in_sim (fun sim ->
+        let lm = Lockmgr.create sim ~deadlock_timeout:infinity () in
+        ignore (Lockmgr.acquire lm ~owner:1 ~key:"k" ~mode:Lockmgr.Exclusive ());
+        let got = ref None in
+        Sim.spawn sim (fun () ->
+            (* Owner 2 holds one lock and queues on another — the shape of a
+               partially-locked transaction being torn down mid-acquire. *)
+            ignore (Lockmgr.acquire lm ~owner:2 ~key:"other" ~mode:Lockmgr.Exclusive ());
+            got := Some (Lockmgr.acquire lm ~owner:2 ~key:"k" ~mode:Lockmgr.Exclusive ()));
+        Sim.sleep sim 0.1;
+        (* Owner 2 aborts while still queued: its wait must end in
+           [Cancelled], not [Timeout], and must not count as a conflict. *)
+        let aborted_before = Lockmgr.conflicts_aborted lm in
+        Lockmgr.release_all lm ~owner:2;
+        Sim.sleep sim 0.1;
+        (!got, Lockmgr.conflicts_aborted lm - aborted_before))
+  in
+  checkb "cancelled wake reason" true (fst result = Some Lockmgr.Cancelled);
+  checki "cancellation is not a conflict abort" 0 (snd result)
+
 (* Property: under random acquire/release schedules, the lock table never
    holds two incompatible owners on a key, and everything drains (granted
    or refused — no one left waiting forever once all owners release). *)
@@ -363,7 +400,7 @@ let lockmgr_random_schedules =
                   let key = string_of_int key in
                   match Lockmgr.acquire lm ~owner ~key ~mode () with
                   | Lockmgr.Granted -> note_grant owner key mode
-                  | Lockmgr.Deadlock | Lockmgr.Timeout -> ())
+                  | Lockmgr.Deadlock | Lockmgr.Timeout | Lockmgr.Cancelled -> ())
           | `Release owner ->
               Sim.spawn sim ~name:(Printf.sprintf "rel%d" i) (fun () ->
                   Sim.sleep sim (0.01 *. float_of_int i);
@@ -414,6 +451,10 @@ let () =
           Alcotest.test_case "timeout fires" `Quick timeout_fires;
           Alcotest.test_case "per-call timeout" `Quick per_call_timeout_overrides;
           Alcotest.test_case "re-entrant" `Quick reentrant_acquire;
+          Alcotest.test_case "re-entrant no duplicate holders" `Quick
+            reentrant_no_duplicate_holders;
+          Alcotest.test_case "release_all cancels own waiters" `Quick
+            release_all_cancels_own_waiters;
           Alcotest.test_case "fifo no overtaking" `Quick fifo_no_overtaking;
           Alcotest.test_case "held and counts" `Quick held_and_counts;
           Alcotest.test_case "release wakes shared group" `Quick
