@@ -170,26 +170,31 @@ let run_micro () =
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let time_ns =
-            match Analyze.OLS.estimates ols_result with
-            | Some (t :: _) -> t
-            | Some [] | None -> Float.nan
-          in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "n/a"
-          in
-          let pretty =
-            if time_ns >= 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
-            else if time_ns >= 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
-            else if time_ns >= 1e3 then Printf.sprintf "%.3f us" (time_ns /. 1e3)
-            else Printf.sprintf "%.1f ns" time_ns
-          in
-          Stats.Table.add_row table [ name; pretty; r2 ])
-        analyzed)
+      (* Rows sorted by benchmark name: bechamel hands results back in a
+         hash table, and the report order must not depend on its layout. *)
+      Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc)
+        analyzed []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols_result) ->
+             let time_ns =
+               match Analyze.OLS.estimates ols_result with
+               | Some (t :: _) -> t
+               | Some [] | None -> Float.nan
+             in
+             let r2 =
+               match Analyze.OLS.r_square ols_result with
+               | Some r -> Printf.sprintf "%.4f" r
+               | None -> "n/a"
+             in
+             let pretty =
+               if time_ns >= 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
+               else if time_ns >= 1e6 then
+                 Printf.sprintf "%.3f ms" (time_ns /. 1e6)
+               else if time_ns >= 1e3 then
+                 Printf.sprintf "%.3f us" (time_ns /. 1e3)
+               else Printf.sprintf "%.1f ns" time_ns
+             in
+             Stats.Table.add_row table [ name; pretty; r2 ]))
     micro_tests;
   Stats.Table.print table
 

@@ -516,6 +516,49 @@ let fuzz_cmd =
     Term.(
       ret (const run $ runs_arg $ fuzz_seed_arg $ only_arg $ fuzz_quick_flag))
 
+(* ----------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let doc =
+    "Run the determinism & protocol-hygiene static analyzer (rules R1-R5) \
+     over lib/, bin/ and bench/. Exits non-zero on any non-waived finding; \
+     the same gate runs as lint-smoke inside `dune runtest`."
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable lint/v1 report.")
+  in
+  let rule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rule" ] ~docv:"ID"
+          ~doc:"Restrict the report to one rule id (R1..R5).")
+  in
+  let root_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Repository root to scan (default: the current directory).")
+  in
+  let run json rule root =
+    match rule with
+    | Some r when not (List.mem_assoc r Lint.Rules.all) ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown rule %S (expected one of %s)" r
+              (String.concat ", " (List.map fst Lint.Rules.all)) )
+    | _ ->
+        let report = Lint.Driver.run ?rule ~root () in
+        if json then print_endline (Lint.Report.to_json report)
+        else Format.printf "%a" Lint.Report.render_human report;
+        if Lint.Report.total report = 0 then `Ok ()
+        else `Error (false, "lint findings")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(ret (const run $ json_flag $ rule_arg $ root_arg))
+
 let () =
   let doc =
     "Reproduction of 'Scalable Versioning in Distributed Databases with \
@@ -525,4 +568,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; experiment_cmd; table1_cmd; trace_cmd; run_cmd; fuzz_cmd ]))
+          [
+            list_cmd; experiment_cmd; table1_cmd; trace_cmd; run_cmd; fuzz_cmd;
+            lint_cmd;
+          ]))

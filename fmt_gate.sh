@@ -7,7 +7,25 @@
 # container ships the compiler toolchain without ocamlformat) the gate
 # skips cleanly with exit 0 so `dune runtest` stays green — it must never
 # require installing anything.
+#
+# When a built threev_sim binary is available it also refreshes
+# LINT_report.json (the machine-readable lint/v1 report committed alongside
+# BENCH_scale.json); absent a build it skips that step gracefully.
 set -eu
+
+lint_exe=_build/default/bin/threev_sim.exe
+if [ -x "$lint_exe" ]; then
+  if "$lint_exe" lint --json >LINT_report.json.tmp 2>/dev/null; then
+    mv LINT_report.json.tmp LINT_report.json
+    echo "fmt gate: refreshed LINT_report.json"
+  else
+    rm -f LINT_report.json.tmp
+    echo "fmt gate: lint reported findings; LINT_report.json not refreshed" >&2
+    exit 1
+  fi
+else
+  echo "fmt gate: no built threev_sim; skipping LINT_report.json refresh"
+fi
 
 if ! command -v ocamlformat >/dev/null 2>&1; then
   echo "fmt gate: ocamlformat not on PATH; skipping (nothing to enforce)"

@@ -18,6 +18,8 @@ type config = {
   deadlock_timeout : float;
 }
 
+(** Stock configuration: 5 ms constant latency, 0.1 ms think time, 1 s
+    deadlock timeout. *)
 val default_config : nodes:int -> config
 
 type t
@@ -30,11 +32,13 @@ val create : ?faults:Fault.Injector.t -> Simul.Sim.t -> config -> t
 
 include Txn.Engine_intf.S with type t := t
 
+(** The engine packed behind {!Txn.Engine_intf.S}. *)
 val packed : t -> Txn.Engine_intf.packed
 
 (** The single-version store of a node (version 0 only), for inspection. *)
 val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
 
+(** Network send attempts so far. *)
 val messages_sent : t -> int
 
 (** [inject_pause t ~node ~at ~duration] freezes message processing at

@@ -22,19 +22,26 @@ type config = {
   safety_delay : float;  (** wait after period close before reads switch *)
 }
 
+(** Stock configuration: 5 ms constant latency, 0.1 ms think time,
+    1 s period, 200 ms safety delay. *)
 val default_config : nodes:int -> config
 
 type t
 
+(** [create sim cfg] builds the system and starts its node servers and the
+    periodic version publisher. *)
 val create : Simul.Sim.t -> config -> t
 
 include Txn.Engine_intf.S with type t := t
 
+(** The engine packed behind {!Txn.Engine_intf.S}. *)
 val packed : t -> Txn.Engine_intf.packed
 
 (** The version a read submitted at virtual time [now] uses. *)
 val read_version_at : t -> now:float -> int
 
+(** The multi-version store of a node (one version per period), for
+    inspection. *)
 val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
 
 (** Comparison shim for [Threev.Engine.inject_coord_crash]: the periodic
@@ -46,4 +53,5 @@ val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
     @raise Invalid_argument if [restart <= at]. *)
 val inject_coord_crash : t -> at:float -> restart:float -> unit
 
+(** Network send attempts so far. *)
 val messages_sent : t -> int

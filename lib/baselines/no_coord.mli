@@ -10,14 +10,21 @@
 
 type config = { nodes : int; latency : Netsim.Latency.t; think_time : float }
 
+(** Stock configuration: 5 ms constant latency, 0.1 ms think time. *)
 val default_config : nodes:int -> config
 
 type t
 
+(** [create sim cfg] builds the system and starts its node servers. *)
 val create : Simul.Sim.t -> config -> t
 
 include Txn.Engine_intf.S with type t := t
 
+(** The engine packed behind {!Txn.Engine_intf.S}. *)
 val packed : t -> Txn.Engine_intf.packed
+
+(** The single-version store of a node (version 0 only), for inspection. *)
 val store : t -> node:int -> Txn.Value.t Store.Mvstore.t
+
+(** Network send attempts so far. *)
 val messages_sent : t -> int

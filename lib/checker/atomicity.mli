@@ -28,4 +28,5 @@ val check : (Txn.Spec.t * Txn.Result.t) list -> report
 (** True when the report shows no violation of either kind. *)
 val clean : report -> bool
 
+(** One-line summary: pairs checked, partial reads, dirty reads. *)
 val pp : Format.formatter -> report -> unit

@@ -64,20 +64,23 @@ let check history ~lookup =
   let mismatches = ref [] in
   let mismatch_count = ref 0 in
   let keys_checked = ref 0 in
-  Hashtbl.iter
-    (fun key want ->
-      incr keys_checked;
-      let actual =
-        match lookup key with
-        | Some (v : Value.t) -> v.Value.amount
-        | None -> 0.
-      in
-      if Float.abs (actual -. want) > 1e-6 then begin
-        incr mismatch_count;
-        if List.length !mismatches < 20 then
-          mismatches := { key; expected = want; actual } :: !mismatches
-      end)
-    sums;
+  (* Check keys in sorted order: the mismatch list is capped at 20 and
+     escapes into the report, so hash-order iteration would make which
+     mismatches are reported layout-dependent. *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) sums []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (key, want) ->
+         incr keys_checked;
+         let actual =
+           match lookup key with
+           | Some (v : Value.t) -> v.Value.amount
+           | None -> 0.
+         in
+         if Float.abs (actual -. want) > 1e-6 then begin
+           incr mismatch_count;
+           if List.length !mismatches < 20 then
+             mismatches := { key; expected = want; actual } :: !mismatches
+         end);
   {
     keys_checked = !keys_checked;
     keys_skipped = Hashtbl.length skip;

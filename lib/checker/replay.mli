@@ -32,5 +32,8 @@ val check :
   lookup:(string -> Txn.Value.t option) ->
   report
 
+(** True when no mismatch was found. *)
 val clean : report -> bool
+
+(** Summary line plus one line per (capped) mismatch. *)
 val pp : Format.formatter -> report -> unit

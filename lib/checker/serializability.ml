@@ -322,7 +322,11 @@ let certify history =
       if Result.committed res && res.Result.reads <> [] then
         Hashtbl.replace nodes spec.Spec.id ())
     history;
-  let node_list = Hashtbl.fold (fun id () acc -> id :: acc) nodes [] in
+  (* Sorted: the node enumeration seeds the SCC/BFS walk, so hash-order
+     iteration would make the chosen cycle witness layout-dependent. *)
+  let node_list =
+    Hashtbl.fold (fun id () acc -> id :: acc) nodes [] |> List.sort compare
+  in
   let cycle = find_cycle g node_list in
   {
     txns = List.length node_list;

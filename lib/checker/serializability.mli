@@ -56,12 +56,16 @@ type report = {
           [i]'s [dst] is edge [i+1]'s [src], wrapping around *)
 }
 
+(** [certify history] builds the MVSG of a finished run and searches it
+    for a cycle. *)
 val certify : (Txn.Spec.t * Txn.Result.t) list -> report
 
 (** [serializable r] — no cycle. Unknown tags do not affect this; check
     [unknown_count] separately when the history is supposed to be clean. *)
 val serializable : report -> bool
 
+(** One-line graph summary: node/edge counts and the certification
+    verdict. *)
 val pp : Format.formatter -> report -> unit
 
 (** Multi-line rendering of the cycle witness (no-op when acyclic). *)

@@ -68,8 +68,12 @@ let check history =
             Hashtbl.replace observed key
               (Value.Writers.fold Int_set.add value.Value.writers cur))
           res.Result.reads;
-        Hashtbl.iter
-          (fun key seen ->
+        (* Sorted key order: violations are capped at 20 and escape into
+           the report, so which ones survive must not depend on hash
+           layout. *)
+        Hashtbl.fold (fun key seen acc -> (key, seen) :: acc) observed []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (key, seen) ->
             incr observations;
             let writers =
               match Hashtbl.find_opt writers_of_key key with
@@ -116,7 +120,6 @@ let check history =
                   }
                   :: !violations
             end)
-          observed
       end)
     history;
   {

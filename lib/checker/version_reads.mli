@@ -38,6 +38,12 @@ type report = {
   violation_count : int;
 }
 
+(** [check history] compares every committed read's observations against
+    the exact writer sets Theorem 4.1 predicts. *)
 val check : (Txn.Spec.t * Txn.Result.t) list -> report
+
+(** True when no violation was found. *)
 val clean : report -> bool
+
+(** Summary line plus one line per (capped) violation. *)
 val pp : Format.formatter -> report -> unit

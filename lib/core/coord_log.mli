@@ -31,6 +31,7 @@ val phase_number : phase -> int  (** 1..4 *)
 (** @raise Invalid_argument outside 1..4. *)
 val phase_of_number : int -> phase
 
+(** Short phase name for traces, e.g. "switch-update". *)
 val phase_name : phase -> string
 
 type record =
@@ -46,12 +47,16 @@ type record =
 
 type t
 
+(** An empty log. *)
 val create : unit -> t
+
+(** [append t r] durably appends one record. O(1). *)
 val append : t -> record -> unit
 
 (** Oldest first. *)
 val records : t -> record list
 
+(** Number of records logged. *)
 val length : t -> int
 
 (** The advancement to resume, if recovery finds one in flight. *)
@@ -75,4 +80,5 @@ val recover : t -> init_vu:int -> init_vr:int -> recovery
     aim crash injections at specific phase interiors of a reference run. *)
 val phase_times : t -> (int * phase * float) list
 
+(** One line per record, oldest first. *)
 val pp : Format.formatter -> t -> unit

@@ -45,6 +45,8 @@ let snapshot_c t ~version =
 let versions t =
   Hashtbl.fold (fun v _ acc -> v :: acc) t.table [] |> List.sort compare
 
+(* lint: hash-order-ok — callers must fold with a commutative [f] (min/max
+   over the version set); see the .mli contract. *)
 let fold_versions t f init = Hashtbl.fold (fun v _ acc -> f v acc) t.table init
 
 let gc_below t v =

@@ -34,7 +34,12 @@ val incr_r : t -> version:int -> dst:int -> unit
 (** [incr_c t ~version ~src] bumps [C(version) src→self]. *)
 val incr_c : t -> version:int -> src:int -> unit
 
+(** [r t ~version ~dst] reads [R(version) self→dst]; 0 when the version
+    was never allocated. *)
 val r : t -> version:int -> dst:int -> int
+
+(** [c t ~version ~src] reads [C(version) src→self]; 0 when the version
+    was never allocated. *)
 val c : t -> version:int -> src:int -> int
 
 (** [snapshot_r t ~version] is the R row for this node: index [q] holds
@@ -50,7 +55,10 @@ val snapshot_c : t -> version:int -> int array
 val versions : t -> int list
 
 (** [fold_versions t f init] folds [f] over the allocated versions in
-    unspecified order, without sorting or building a list. *)
+    {e unspecified order}, without sorting or building a list. Determinism
+    contract: [f] must be commutative over the version set (min, max, sum,
+    set accumulation) — anything order-sensitive must use {!versions}
+    instead. *)
 val fold_versions : t -> (int -> 'a -> 'a) -> 'a -> 'a
 
 (** [gc_below t v] drops counter storage for all versions < [v]

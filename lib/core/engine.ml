@@ -215,6 +215,8 @@ let tr t site fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some trace ->
       Format.kasprintf
+        (* lint: trace-ok — [tr] is itself the guard: this branch only
+           exists when a trace is attached. *)
         (fun what -> Trace.emit trace ~time:(Sim.now t.sim) ~site what)
         fmt
 
@@ -456,8 +458,9 @@ let run_ops_nc t node p ops =
             if Mvstore.exists_above node.store ~key ~version:p.p_version then begin
               (* §5 step 4: a higher version exists — K must abort. *)
               p.p_vote <- Vote_abort "version-overtaken";
-              tr t node.name "nc tx %s overtaken on %s; votes abort" p.p_label
-                key;
+              if tracing t then
+                tr t node.name "nc tx %s overtaken on %s; votes abort"
+                  p.p_label key;
               ok := false
             end
             else p.p_buffered <- (key, op) :: p.p_buffered)
@@ -545,8 +548,9 @@ let rec maybe_finish t node p =
             if n <> node.id then
               send t ~src:node.id ~dst:n (Decision { txn_id = p.p_txn; commit }))
           p.p_nodes;
-        tr t node.name "nc tx %s decision: %s" p.p_label
-          (if commit then "commit" else "abort");
+        if tracing t then
+          tr t node.name "nc tx %s decision: %s" p.p_label
+            (if commit then "commit" else "abort");
         cstat t (if commit then "txn.committed" else "txn.aborted");
         let outcome =
           if commit then Result.Committed
@@ -586,7 +590,8 @@ let rec maybe_finish t node p =
             Semaphore.with_permit t.sim node.local_cc (fun () ->
                 if t.cfg.think_time > 0. then Sim.sleep t.sim t.cfg.think_time;
                 run_ops_commuting t node p inverse.Spec.ops);
-            tr t node.name "tx %s compensates (wave starts)" p.p_label;
+            if tracing t then
+              tr t node.name "tx %s compensates (wave starts)" p.p_label;
             spawn_children t node p inverse.Spec.children ~compensating:true;
             p.p_outstanding <- p.p_outstanding - 1;
             maybe_finish t node p)
@@ -659,7 +664,7 @@ let exec_subtxn t node p (tree : Spec.subtxn) ~compensating =
   if tree.Spec.think > 0. then Sim.sleep t.sim tree.Spec.think;
   (* NC3V admission wait applies to non-commuting roots only. *)
   (if p.p_kind = Spec.Non_commuting && p.p_parent = None then begin
-     if p.p_version <> node.vr + 1 then
+     if p.p_version <> node.vr + 1 && tracing t then
        tr t node.name "nc tx %s waits for vu = vr + 1" p.p_label;
      wait_nc_admission t node p.p_version
    end);
@@ -688,7 +693,9 @@ let exec_subtxn t node p (tree : Spec.subtxn) ~compensating =
          vote abort without executing or spawning children. *)
       p.p_vote <- Vote_abort reason;
       cstat t "txn.lock_failure";
-      tr t node.name "nc tx %s lock failure (%s); votes abort" p.p_label reason
+      if tracing t then
+        tr t node.name "nc tx %s lock failure (%s); votes abort" p.p_label
+          reason
   | None ->
       (* Local critical section: the node's local concurrency control
          serializes subtransaction bodies (paper §3.1 assumption). *)
@@ -709,7 +716,8 @@ let exec_subtxn t node p (tree : Spec.subtxn) ~compensating =
         && Random.State.float (Sim.rng t.sim) 1. < t.cfg.abort_probability
       then begin
         p.p_vote <- Vote_abort "application-abort";
-        tr t node.name "subtx of %s aborts; compensation required" p.p_label
+        if tracing t then
+          tr t node.name "subtx of %s aborts; compensation required" p.p_label
       end;
       if p.p_vote = Vote_commit || p.p_kind = Spec.Commuting then
         spawn_children t node p tree.Spec.children ~compensating);
@@ -767,8 +775,9 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
                  version node.name anchor)
         end;
         if version > node.vu then begin
-          tr t node.name
-            "implicit notification: advancing update version to %d" version;
+          if tracing t then
+            tr t node.name
+              "implicit notification: advancing update version to %d" version;
           node.vu <- version;
           Counters.ensure_version node.cnt version
         end;
@@ -782,8 +791,9 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
            fault-free schedules stay byte-identical. *)
         if t.cfg.reliable_channel && kind = Spec.Read_only && version > node.vr
         then begin
-          tr t node.name
-            "implicit notification: advancing read version to %d" version;
+          if tracing t then
+            tr t node.name
+              "implicit notification: advancing read version to %d" version;
           node.vr <- version;
           wake_vr_waiters node
         end;
@@ -827,10 +837,11 @@ let handle_node_msg t node = function
         node.vu <- vu_new;
         Counters.ensure_version node.cnt vu_new;
         check_version_window t;
-        tr t node.name "start-advancement arrives; update version now %d"
-          vu_new
+        if tracing t then
+          tr t node.name "start-advancement arrives; update version now %d"
+            vu_new
       end
-      else
+      else if tracing t then
         tr t node.name
           "start-advancement arrives; update version already %d" node.vu;
       send t ~src:node.id ~dst:t.coord_id
@@ -838,7 +849,7 @@ let handle_node_msg t node = function
   | Advance_read { vr_new } ->
       if node.vr < vr_new then begin
         node.vr <- vr_new;
-        tr t node.name "read version advanced to %d" vr_new;
+        if tracing t then tr t node.name "read version advanced to %d" vr_new;
         wake_vr_waiters node
       end;
       send t ~src:node.id ~dst:t.coord_id
@@ -861,7 +872,8 @@ let handle_node_msg t node = function
          read version lagged the phase-3 broadcast it slept through. *)
       if node.vr < keep then begin
         node.vr <- keep;
-        tr t node.name "read version adopted from GC notice: %d" keep;
+        if tracing t then
+          tr t node.name "read version adopted from GC notice: %d" keep;
         wake_vr_waiters node
       end;
       (* Idempotent under re-delivery (a recovered coordinator re-drives
@@ -871,11 +883,12 @@ let handle_node_msg t node = function
         Mvstore.gc node.store ~new_read_version:keep;
         Counters.gc_below node.cnt keep;
         check_version_window t;
-        tr t node.name "garbage-collects below version %d" keep
+        if tracing t then
+          tr t node.name "garbage-collects below version %d" keep
       end
-      else
-        tr t node.name "gc notice for version %d re-delivered; already collected"
-          keep;
+      else if tracing t then
+        tr t node.name
+          "gc notice for version %d re-delivered; already collected" keep;
       send t ~src:node.id ~dst:t.coord_id (Gc_ack { from_node = node.id; keep })
   | Adv_ack _ | Read_ack _ | Counter_reply _ | Gc_ack _ | Coord_wake ->
       invalid_arg "Engine: coordinator message delivered to a node"
@@ -942,8 +955,9 @@ let watchdog_loop t () =
     (match t.watch with
     | Some w when Sim.now t.sim >= w.w_deadline ->
         cstat t "proto.phase_stalled";
-        tr t "coord" "watchdog: %s stalled for %gs; re-broadcasting" w.w_what
-          w.w_interval;
+        if tracing t then
+          tr t "coord" "watchdog: %s stalled for %gs; re-broadcasting"
+            w.w_what w.w_interval;
         w.w_resend ();
         w.w_interval <- Float.min (w.w_interval *. 2.) (8. *. t.cfg.phase_deadline);
         w.w_deadline <- Sim.now t.sim +. w.w_interval
@@ -1097,9 +1111,11 @@ let run_advancement t =
       Coord_log.append t.clog
         (Coord_log.Phase { adv; phase; vu_old; vr_old; time = Sim.now t.sim })
   in
-  if resuming then
-    tr t "coord" "resuming advancement %d from phase %d (WAL)" adv start_phase
-  else tr t "coord" "version advancement begins (vu %d -> %d)" vu_old vu_new;
+  if tracing t then
+    if resuming then
+      tr t "coord" "resuming advancement %d from phase %d (WAL)" adv
+        start_phase
+    else tr t "coord" "version advancement begins (vu %d -> %d)" vu_old vu_new;
   (* Phase 1: switch to the new update version. *)
   if start_phase <= 1 then begin
     enter Coord_log.Switch_update;
@@ -1110,13 +1126,16 @@ let run_advancement t =
       ~matches:(function
         | Adv_ack { from_node; vu } when vu = vu_new -> Some from_node
         | _ -> None);
-    tr t "coord" "phase 1 complete: all nodes on update version %d" vu_new
+    if tracing t then
+      tr t "coord" "phase 1 complete: all nodes on update version %d" vu_new
   end;
   (* Phase 2: wait for version vu_old to become mutually consistent. *)
   if start_phase <= 2 then begin
     enter Coord_log.Quiesce_update;
     await_quiescence t ~version:vu_old;
-    tr t "coord" "phase 2 complete: version %d consistent across nodes" vu_old
+    if tracing t then
+      tr t "coord" "phase 2 complete: version %d consistent across nodes"
+        vu_old
   end;
   (* Phase 3: switch queries to the freshly consistent version, then wait
      for the old read version's subtransactions to drain. *)
@@ -1128,7 +1147,8 @@ let run_advancement t =
       ~matches:(function
         | Read_ack { from_node; vr } when vr = vr_new -> Some from_node
         | _ -> None);
-    tr t "coord" "phase 3 complete: read version is %d" vr_new;
+    if tracing t then
+      tr t "coord" "phase 3 complete: read version is %d" vr_new;
     await_quiescence t ~version:vr_old
   end;
   (* Phase 4: old readers have drained; garbage-collect. The advancement
@@ -1143,7 +1163,8 @@ let run_advancement t =
       ~matches:(function
         | Gc_ack { from_node; keep } when keep = vr_new -> Some from_node
         | _ -> None);
-  tr t "coord" "phase 4 complete: version %d garbage-collected" vr_old;
+  if tracing t then
+    tr t "coord" "phase 4 complete: version %d garbage-collected" vr_old;
   Coord_log.append t.clog (Coord_log.Committed { adv; time = Sim.now t.sim });
   t.coord_vu <- vu_new;
   t.coord_vr <- vr_new;
@@ -1163,13 +1184,15 @@ let coord_recover t =
   t.coord_vr <- rc.Coord_log.vr;
   t.advancements <- rc.Coord_log.completed;
   cstat t "proto.coord_recoveries";
-  tr t "coord" "recovers from WAL: epoch %d, %d advancements committed%s"
-    t.coord_epoch rc.Coord_log.completed
-    (match rc.Coord_log.in_flight with
-    | Some f ->
-        Printf.sprintf ", advancement %d in flight (phase %d)" f.Coord_log.f_adv
-          (Coord_log.phase_number f.Coord_log.f_phase)
-    | None -> "")
+  if tracing t then
+    tr t "coord" "recovers from WAL: epoch %d, %d advancements committed%s"
+      t.coord_epoch rc.Coord_log.completed
+      (match rc.Coord_log.in_flight with
+      | Some f ->
+          Printf.sprintf ", advancement %d in flight (phase %d)"
+            f.Coord_log.f_adv
+            (Coord_log.phase_number f.Coord_log.f_phase)
+      | None -> "")
 
 let coordinator_loop t () =
   (* Run one advancement to completion, recovering from any number of
@@ -1226,7 +1249,8 @@ let restart_recover t node =
   node.vr <- vr;
   Counters.ensure_version node.cnt vu;
   wake_vr_waiters node;
-  tr t node.name "restarts; recovers vu=%d vr=%d from durable state" vu vr
+  if tracing t then
+    tr t node.name "restarts; recovers vu=%d vr=%d from durable state" vu vr
 
 let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
   if cfg.nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
@@ -1316,10 +1340,10 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       if node >= 0 && node < cfg.nodes then begin
         let nd = t.nodes.(node) in
         nd.paused_until <- Float.max nd.paused_until until_;
-        tr t nd.name "pauses for %gs (fault injection)" duration
+        if tracing t then tr t nd.name "pauses for %gs (fault injection)" duration
       end)
     ~crash:(fun ~node ->
-      if node >= 0 && node < cfg.nodes then
+      if node >= 0 && node < cfg.nodes && tracing t then
         tr t t.nodes.(node).name
           "crashes (fault injection; volatile state lost)")
     ~restart:(fun ~node ->
@@ -1336,9 +1360,10 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       t.coord_crash_gen <- t.coord_crash_gen + 1;
       t.coord_down_until <- Float.max t.coord_down_until until_;
       t.watch <- None;
-      tr t "coord" "crashes (fault injection; volatile phase state lost)")
+      if tracing t then
+        tr t "coord" "crashes (fault injection; volatile phase state lost)")
     ~restart:(fun () ->
-      tr t "coord" "restarts; write-ahead log intact";
+      if tracing t then tr t "coord" "restarts; write-ahead log intact";
       send t ~src:t.coord_id ~dst:t.coord_id Coord_wake)
     ();
   (* Node server loops. *)

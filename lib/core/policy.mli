@@ -18,4 +18,5 @@ type t =
           the difference in value of data items in different versions
           exceeds some threshold" *)
 
+(** Prints the policy and its parameter, e.g. "periodic(0.5)". *)
 val pp : Format.formatter -> t -> unit

@@ -30,6 +30,7 @@ val default_capacity : int
     @raise Invalid_argument if [capacity <= 0]. *)
 val create : ?capacity:int -> ?sink:(event -> unit) -> unit -> t
 
+(** The ring capacity the trace was created with. *)
 val capacity : t -> int
 
 (** [emit t ~time ~site what] appends an event, evicting the oldest if the

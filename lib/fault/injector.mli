@@ -37,6 +37,7 @@ type t
     and crashes on [sim]. Register hooks before running the simulation. *)
 val create : Simul.Sim.t -> Plan.t -> t
 
+(** The plan the injector was created with. *)
 val plan : t -> Plan.t
 
 (** The per-delivery filter (what {!install} plugs into the network). *)

@@ -68,6 +68,7 @@ type t = {
     identical to running without fault injection. *)
 val none : t
 
+(** [is_none p] is true iff [p] has no rules and no scheduled events. *)
 val is_none : t -> bool
 
 (** [make ()] validates and assembles a plan.
@@ -97,10 +98,15 @@ val uniform_loss :
     heals at [until_]. *)
 val partition : src:int -> dst:int -> from_:float -> until_:float -> rule
 
+(** [pause ~node ~at ~duration] builds a node-freeze event. *)
 val pause : node:int -> at:float -> duration:float -> pause
+
+(** [crash ~node ~at ~restart] builds a crash-restart event.
+    @raise Invalid_argument if [restart <= at]. *)
 val crash : node:int -> at:float -> restart:float -> crash
 
 (** @raise Invalid_argument if [restart <= at]. *)
 val coord_crash : at:float -> restart:float -> coord_crash
 
+(** Multi-line plan description: seed, each rule, each scheduled event. *)
 val pp : Format.formatter -> t -> unit

@@ -1064,17 +1064,31 @@ let run_e11 ~quick =
 (* --------------------------------------------------------------- E12 *)
 
 (* Order-independent history digest for the byte-identical-replay check:
-   same set of (txn, outcome, timing) tuples => same digest. *)
+   same set of (txn, outcome, timing) tuples => same digest. The per-tuple
+   digest is a structural FNV-style mix (not [Hashtbl.hash], whose value
+   depends on the runtime's hash layout), so the digest is stable across
+   compiler versions; the outer [lxor] fold keeps it order-independent. *)
 let history_digest (outcome : Runner.outcome) =
+  let mix acc n = ((acc * 0x01000193) + n) land 0x3FFFFFFF in
+  let mix_float acc f =
+    let bits = Int64.bits_of_float f in
+    let lo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+    mix (mix acc lo) hi
+  in
   List.fold_left
     (fun acc ((spec : Spec.t), (res : Txn.Result.t)) ->
-      acc
-      lxor Hashtbl.hash
-             ( spec.Spec.id,
-               Result.committed res,
-               res.Result.submit_time,
-               Result.latency res,
-               Result.blocking_latency res ))
+      let h =
+        mix 0x811C9DC5 spec.Spec.id
+        |> fun h ->
+        mix h (if Result.committed res then 1 else 0)
+        |> fun h ->
+        mix_float h res.Result.submit_time
+        |> fun h ->
+        mix_float h (Result.latency res)
+        |> fun h -> mix_float h (Result.blocking_latency res)
+      in
+      acc lxor h)
     0 outcome.Runner.history
 
 (* E12: a node crashes mid-advancement and restarts one second later,

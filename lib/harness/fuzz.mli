@@ -20,6 +20,8 @@
 
 type engine_kind = E3v | E3v_nc | E2pc | E_nocoord | E_manual
 
+(** Short engine label for reports and reproducer command lines
+    (e.g. "3v", "2pc"). *)
 val engine_label : engine_kind -> string
 
 (** One fault-plan ingredient, kept atomic so a failing plan can be
@@ -31,6 +33,7 @@ type atom =
   | Crash of int * float * float  (** node, at, restart *)
   | Coord_crash of float * float  (** at, restart *)
 
+(** Renders an atom as the [threev_sim run] flag that reproduces it. *)
 val atom_flag : atom -> string
 
 type workload_kind = W_synthetic | W_hospital | W_pos
@@ -99,4 +102,6 @@ val sweep :
 (** [ok s] — no strict-engine failures. *)
 val ok : summary -> bool
 
+(** Multi-line sweep summary: totals per verdict, then each failing case
+    with its reproducer command lines. *)
 val pp_summary : Format.formatter -> summary -> unit

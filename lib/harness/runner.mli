@@ -13,6 +13,7 @@ type setup = {
   max_txns : int;  (** hard cap on submissions *)
 }
 
+(** [{seed = 1; duration = 2.0; settle = 5.0; max_txns = 100_000}]. *)
 val default_setup : setup
 
 type outcome = {

@@ -1,0 +1,87 @@
+type allow = { a_rule : string; a_glob : string; a_note : string }
+
+type t = {
+  allows : allow list;
+  deny_types : string list;
+  engines : string list;
+}
+
+let empty = { allows = []; deny_types = []; engines = [] }
+
+(* ----------------------------------------------------------- globs *)
+
+(* Segment-wise glob matching: '/' separates segments, "**" matches any
+   number of whole segments (including zero), '*' matches within one
+   segment. No character classes — lint.config does not need them. *)
+
+let split_path s = String.split_on_char '/' s
+
+let rec seg_match p pi s si =
+  let plen = String.length p and slen = String.length s in
+  if pi = plen then si = slen
+  else if p.[pi] = '*' then
+    (* Zero or more characters. *)
+    seg_match p (pi + 1) s si || (si < slen && seg_match p pi s (si + 1))
+  else si < slen && p.[pi] = s.[si] && seg_match p (pi + 1) s (si + 1)
+
+let rec segs_match pat path =
+  match (pat, path) with
+  | [], [] -> true
+  | "**" :: pat', _ ->
+      segs_match pat' path
+      || (match path with [] -> false | _ :: path' -> segs_match pat path')
+  | p :: pat', s :: path' -> seg_match p 0 s 0 && segs_match pat' path'
+  | _ :: _, [] | [], _ :: _ -> false
+
+let glob_match pattern path = segs_match (split_path pattern) (split_path path)
+
+(* ---------------------------------------------------------- parsing *)
+
+(* Line-oriented format, '#' to end of line is a comment:
+
+     allow <rule-id> <path-glob> [free-text note]
+     deny-type <Module.type>
+     engine <path/to/engine.mli>                                       *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  List.fold_left
+    (fun acc line ->
+      match tokens (strip_comment line) with
+      | [] -> acc
+      | "allow" :: rule :: glob :: note ->
+          {
+            acc with
+            allows =
+              acc.allows
+              @ [ { a_rule = rule; a_glob = glob;
+                    a_note = String.concat " " note } ];
+          }
+      | [ "deny-type"; ty ] -> { acc with deny_types = acc.deny_types @ [ ty ] }
+      | [ "engine"; path ] -> { acc with engines = acc.engines @ [ path ] }
+      | tok :: _ ->
+          invalid_arg (Printf.sprintf "lint.config: unknown directive %S" tok))
+    empty lines
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    parse content
+  end
+
+let allowed t ~rule ~file =
+  List.exists (fun a -> a.a_rule = rule && glob_match a.a_glob file) t.allows

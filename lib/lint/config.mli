@@ -1,0 +1,35 @@
+(** The versioned lint configuration ([lint.config] at the repo root).
+
+    Line-oriented, ['#'] comments. Three directives:
+
+    - [allow <rule-id> <path-glob> [note]] — suppress a rule for matching
+      files (e.g. wall-clock reads in the bench driver);
+    - [deny-type <Module.type>] — a type whose values must not meet the
+      polymorphic [compare]/[=] (rule R3);
+    - [engine <path.mli>] — an interface that must [include Engine_intf.S]
+      (rule R5). *)
+
+type allow = { a_rule : string; a_glob : string; a_note : string }
+
+type t = {
+  allows : allow list;
+  deny_types : string list;
+  engines : string list;
+}
+
+(** No allows, no deny-types, no engines. *)
+val empty : t
+
+(** [glob_match pattern path]: segment-wise matching where ["**"] spans any
+    number of path segments and ['*'] matches within one segment. *)
+val glob_match : string -> string -> bool
+
+(** Parse configuration text.
+    @raise Invalid_argument on an unknown directive. *)
+val parse : string -> t
+
+(** Parse the file at [path]; {!empty} if the file does not exist. *)
+val load : string -> t
+
+(** Is [rule] suppressed for [file] by some [allow] line? *)
+val allowed : t -> rule:string -> file:string -> bool

@@ -1,0 +1,179 @@
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --------------------------------------------------------------- waivers *)
+
+let waiver_tags =
+  [
+    ("nondet-ok", "R1");
+    ("hash-order-ok", "R2");
+    ("compare-ok", "R3");
+    ("trace-ok", "R4");
+    ("doc-ok", "R5");
+  ]
+
+(* A waiver is an inline comment of the form "lint: <tag> reason...". It
+   suppresses findings of the tagged rule from its own line through two
+   lines past the comment's closing delimiter, so it can sit at the end of
+   the offending line, just above a multi-line expression, or carry a
+   multi-line justification. *)
+let waivers source =
+  let out = ref [] in
+  let len = String.length source in
+  let marker = "lint:" in
+  let line_of pos =
+    let n = ref 1 in
+    for i = 0 to pos - 1 do
+      if source.[i] = '\n' then incr n
+    done;
+    !n
+  in
+  let rec find_sub sub from =
+    if from + String.length sub > len then None
+    else if String.sub source from (String.length sub) = sub then Some from
+    else find_sub sub (from + 1)
+  in
+  let rec go from =
+    match find_sub marker from with
+    | None -> ()
+    | Some at ->
+        let after = at + String.length marker in
+        let rest =
+          String.trim (String.sub source after (min 80 (len - after)))
+        in
+        let tag =
+          match String.index_opt rest ' ' with
+          | Some j -> String.sub rest 0 j
+          | None -> (
+              match String.index_opt rest '*' with
+              | Some j -> String.trim (String.sub rest 0 j)
+              | None -> rest)
+        in
+        (match List.assoc_opt tag waiver_tags with
+        | Some rule ->
+            let close =
+              match find_sub "*)" after with Some c -> c | None -> len - 1
+            in
+            out := (rule, line_of at, line_of close + 2) :: !out
+        | None -> ());
+        go after
+  in
+  go 0;
+  !out
+
+let waived_by ws (f : Report.finding) =
+  List.exists
+    (fun (rule, first, last) ->
+      rule = f.Report.rule && f.Report.line >= first && f.Report.line <= last)
+    ws
+
+(* --------------------------------------------------------------- parsing *)
+
+let with_parse ~filename source k =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf filename;
+  try k lexbuf
+  with exn ->
+    let msg =
+      match exn with
+      | Syntaxerr.Error _ -> "syntax error"
+      | exn -> Printexc.to_string exn
+    in
+    [ { Report.file = filename; line = 1; col = 0; rule = "syntax"; msg } ]
+
+(* One file's worth of linting: raw findings, then waiver and allowlist
+   suppression. Returns (kept, waived, allowlisted). *)
+let lint_source ?(config = Config.empty) ~filename source =
+  let ctx = Rules.make_ctx ~config ~file:filename () in
+  let raw =
+    if Filename.check_suffix filename ".mli" then
+      with_parse ~filename source (fun lexbuf ->
+          Rules.check_interface ctx (Parse.interface lexbuf);
+          ctx.Rules.findings)
+    else
+      with_parse ~filename source (fun lexbuf ->
+          Rules.check_structure ctx (Parse.implementation lexbuf);
+          ctx.Rules.findings)
+  in
+  let ws = waivers source in
+  let waived, rest = List.partition (waived_by ws) raw in
+  let allowlisted, kept =
+    List.partition
+      (fun (f : Report.finding) ->
+        Config.allowed config ~rule:f.Report.rule ~file:f.Report.file)
+      rest
+  in
+  (kept, List.length waived, List.length allowlisted)
+
+let lint_string ?config ~filename source =
+  let kept, _, _ = lint_source ?config ~filename source in
+  List.sort Report.compare_finding kept
+
+(* ------------------------------------------------------------- tree walk *)
+
+let source_dirs = [ "lib"; "bin"; "bench" ]
+
+let walk root =
+  let files = ref [] in
+  let rec go rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs && Sys.is_directory abs then
+      Array.iter
+        (fun entry ->
+          if String.length entry > 0 && entry.[0] <> '.' && entry <> "_build"
+          then begin
+            let rel' = if rel = "" then entry else rel ^ "/" ^ entry in
+            let abs' = Filename.concat root rel' in
+            if Sys.is_directory abs' then go rel'
+            else if
+              Filename.check_suffix entry ".ml"
+              || Filename.check_suffix entry ".mli"
+            then files := rel' :: !files
+          end)
+        (Sys.readdir abs)
+  in
+  List.iter go source_dirs;
+  List.sort String.compare !files
+
+let is_lib_ml file =
+  Filename.check_suffix file ".ml"
+  && String.length file > 4
+  && String.sub file 0 4 = "lib/"
+
+let run ?(config_path = "lint.config") ?rule ~root () =
+  let config =
+    Config.load
+      (if Filename.is_relative config_path then
+         Filename.concat root config_path
+       else config_path)
+  in
+  let files = walk root in
+  let findings = ref [] in
+  let waived = ref 0 in
+  let allowlisted = ref 0 in
+  let file_set = List.sort_uniq String.compare files in
+  List.iter
+    (fun file ->
+      let source = read_file (Filename.concat root file) in
+      let kept, w, a = lint_source ~config ~filename:file source in
+      findings := kept @ !findings;
+      waived := !waived + w;
+      allowlisted := !allowlisted + a;
+      (* R5: every lib/** implementation needs a sibling interface. *)
+      if is_lib_ml file && not (List.mem (file ^ "i") file_set) then begin
+        let f = Rules.missing_mli ~file in
+        if Config.allowed config ~rule:"R5" ~file then incr allowlisted
+        else findings := f :: !findings
+      end)
+    files;
+  let findings =
+    match rule with
+    | None -> !findings
+    | Some r -> List.filter (fun f -> f.Report.rule = r) !findings
+  in
+  Report.make ~findings ~files_scanned:(List.length files) ~waived:!waived
+    ~allowlisted:!allowlisted

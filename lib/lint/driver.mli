@@ -1,0 +1,40 @@
+(** Walks the source tree, parses every [.ml]/[.mli] with compiler-libs,
+    runs the {!Rules} catalog, and applies inline waivers plus the
+    [lint.config] allowlist.
+
+    Waiver syntax: an inline comment [(* lint: <tag> reason... *)] with
+    [<tag>] one of [nondet-ok] (R1), [hash-order-ok] (R2), [compare-ok]
+    (R3), [trace-ok] (R4), [doc-ok] (R5). A waiver suppresses findings of
+    its rule from its own line through two lines past the comment's closing
+    delimiter. *)
+
+(** [(tag, rule-id)] for every recognized waiver tag. *)
+val waiver_tags : (string * string) list
+
+(** The directories scanned under the root, in order: [lib], [bin],
+    [bench]. *)
+val source_dirs : string list
+
+(** [lint_source ~config ~filename source] lints one file's content
+    ([filename] decides implementation vs interface and path-scoped rules)
+    and returns [(kept_findings, waived, allowlisted)]. Unparseable input
+    yields a single [syntax] finding. *)
+val lint_source :
+  ?config:Config.t ->
+  filename:string ->
+  string ->
+  Report.finding list * int * int
+
+(** {!lint_source} returning only the kept findings, sorted — the fixture
+    entry point used by the tests. *)
+val lint_string :
+  ?config:Config.t -> filename:string -> string -> Report.finding list
+
+(** Repo-relative paths of every [.ml]/[.mli] under {!source_dirs} of
+    [root], sorted; [_build] and dot-directories are skipped. *)
+val walk : string -> string list
+
+(** Lint the whole tree under [root]. [config_path] (default
+    ["lint.config"], resolved against [root] when relative) supplies the
+    allowlist; [rule] restricts the report to one rule id. *)
+val run : ?config_path:string -> ?rule:string -> root:string -> unit -> Report.t

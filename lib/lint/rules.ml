@@ -1,0 +1,301 @@
+(* The determinism & protocol-hygiene rule catalog. Purely syntactic: each
+   rule works on the parsetree (compiler-libs [Parse] output) plus the raw
+   source text — no typing pass. Where a rule needs type knowledge (R3) it
+   settles for a conservative, annotation-driven heuristic and says so. *)
+
+type ctx = {
+  file : string;  (** repo-relative, '/'-separated — drives path scoping *)
+  config : Config.t;
+  mutable findings : Report.finding list;
+}
+
+let make_ctx ?(config = Config.empty) ~file () = { file; config; findings = [] }
+
+let add ctx (loc : Location.t) rule msg =
+  let p = loc.Location.loc_start in
+  ctx.findings <-
+    {
+      Report.file = ctx.file;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      rule;
+      msg;
+    }
+    :: ctx.findings
+
+let all =
+  [
+    ("R1", "banned nondeterminism sources (wall clock, global RNG, \
+            Hashtbl.hash, exit)");
+    ("R2", "Hashtbl.iter/fold without a dominating sort in the same \
+            top-level binding");
+    ("R3", "polymorphic compare/equality at a deny-listed type");
+    ("R4", "unguarded trace emission on a lib/core / lib/net path");
+    ("R5", "missing .mli, undocumented export, or engine not implementing \
+            Engine_intf");
+  ]
+
+let lid_str lid = String.concat "." (Longident.flatten lid)
+
+(* ------------------------------------------------------------------ R1 *)
+
+(* The global (implicitly-seeded) RNG entry points; [Random.State.*] with an
+   explicit seeded state is the sanctioned API and never matches because its
+   flattened path carries the [State] segment. *)
+let r1_banned =
+  [
+    ("Random.self_init", "seeds the global RNG from the environment");
+    ("Random.init", "reseeds the global RNG; use Random.State.make");
+    ("Random.int", "global RNG; use a seeded Random.State");
+    ("Random.full_int", "global RNG; use a seeded Random.State");
+    ("Random.float", "global RNG; use a seeded Random.State");
+    ("Random.bool", "global RNG; use a seeded Random.State");
+    ("Random.bits", "global RNG; use a seeded Random.State");
+    ("Random.int32", "global RNG; use a seeded Random.State");
+    ("Random.int64", "global RNG; use a seeded Random.State");
+    ("Random.nativeint", "global RNG; use a seeded Random.State");
+    ("Sys.time", "wall-clock read breaks replay determinism");
+    ("Unix.gettimeofday", "wall-clock read breaks replay determinism");
+    ("Unix.time", "wall-clock read breaks replay determinism");
+    ("Unix.localtime", "wall-clock read breaks replay determinism");
+    ("Unix.gmtime", "wall-clock read breaks replay determinism");
+    ("Hashtbl.hash", "layout-dependent hash; write a structural digest");
+    ("Hashtbl.seeded_hash", "layout-dependent hash; write a structural digest");
+    ("Hashtbl.hash_param", "layout-dependent hash; write a structural digest");
+    ("Stdlib.exit", "kills the whole simulation; return a status instead");
+    ("exit", "kills the whole simulation; return a status instead");
+  ]
+
+let r1_check ctx lid loc =
+  match List.assoc_opt (lid_str lid) r1_banned with
+  | Some why -> add ctx loc "R1" (Printf.sprintf "%s: %s" (lid_str lid) why)
+  | None -> ()
+
+(* ------------------------------------------------------------------ R2 *)
+
+let r2_hash_enums = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let r2_sorts =
+  [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq" ]
+
+(* Collect, within one top-level binding, every Hashtbl enumeration and
+   whether any sort call occurs. Nested modules are split back into their
+   own items so a sort in one function cannot excuse a fold in another. *)
+let rec r2_check_item ctx (item : Parsetree.structure_item) =
+  match item.pstr_desc with
+  | Parsetree.Pstr_module mb -> r2_check_module ctx mb.Parsetree.pmb_expr
+  | Parsetree.Pstr_recmodule mbs ->
+      List.iter (fun mb -> r2_check_module ctx mb.Parsetree.pmb_expr) mbs
+  | _ ->
+      let enums = ref [] in
+      let sorted = ref false in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident { txt; loc } ->
+                  let s = lid_str txt in
+                  if List.mem s r2_hash_enums then enums := (s, loc) :: !enums;
+                  if List.mem s r2_sorts then sorted := true
+              | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      it.structure_item it item;
+      if not !sorted then
+        List.iter
+          (fun (s, loc) ->
+            add ctx loc "R2"
+              (Printf.sprintf
+                 "%s enumerates in hash order and no List.sort dominates it \
+                  in this binding; sort the result or waive with (* lint: \
+                  hash-order-ok *)"
+                 s))
+          (List.rev !enums)
+
+and r2_check_module ctx (me : Parsetree.module_expr) =
+  match me.Parsetree.pmod_desc with
+  | Parsetree.Pmod_structure items -> List.iter (r2_check_item ctx) items
+  | Parsetree.Pmod_functor (_, body) -> r2_check_module ctx body
+  | Parsetree.Pmod_constraint (me, _) -> r2_check_module ctx me
+  | _ -> ()
+
+(* ------------------------------------------------------------------ R3 *)
+
+let r3_poly_cmp = [ "="; "<>"; "compare"; "Stdlib.compare"; "Stdlib.min";
+                    "Stdlib.max"; "min"; "max" ]
+
+(* Deny markers are syntactic: an argument subtree names the denied type in
+   an annotation — [(x : Ivar.t)], [(l : Mvstore.item list)]. The rule
+   cannot see through unannotated bindings; it is a tripwire for the
+   declared cases, not a type checker. *)
+let r3_mentions_denied config (e : Parsetree.expression) =
+  let deny_tys = config.Config.deny_types in
+  let ty_hits s =
+    List.exists
+      (fun ty ->
+        s = ty
+        || String.length s > String.length ty
+           && String.sub s (String.length s - String.length ty - 1)
+                (String.length ty + 1)
+              = "." ^ ty)
+      deny_tys
+  in
+  let hit = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      typ =
+        (fun self ty ->
+          (match ty.Parsetree.ptyp_desc with
+          | Parsetree.Ptyp_constr ({ txt; _ }, _) ->
+              if ty_hits (lid_str txt) then hit := true
+          | _ -> ());
+          Ast_iterator.default_iterator.typ self ty);
+    }
+  in
+  it.expr it e;
+  !hit
+
+let r3_check ctx fn args loc =
+  match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } when List.mem (lid_str txt) r3_poly_cmp ->
+      if
+        List.exists (fun (_, arg) -> r3_mentions_denied ctx.config arg) args
+      then
+        add ctx loc "R3"
+          (Printf.sprintf
+             "polymorphic %s applied to a deny-listed type (contains \
+              functions or mutable state); write a dedicated comparison or \
+              waive with (* lint: compare-ok *)"
+             (lid_str txt))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ R4 *)
+
+let r4_in_scope file =
+  let pfx p =
+    String.length file >= String.length p && String.sub file 0 (String.length p) = p
+  in
+  pfx "lib/core/" || pfx "lib/net/"
+
+let r4_is_emit (fn : Parsetree.expression) =
+  match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match lid_str txt with
+      | "tr" -> true
+      | s ->
+          String.length s >= 10
+          && String.sub s (String.length s - 10) 10 = "Trace.emit")
+  | _ -> false
+
+let mentions_tracing (e : Parsetree.expression) =
+  let hit = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } -> (
+              match Longident.flatten txt with
+              | [] -> ()
+              | segs -> if List.nth segs (List.length segs - 1) = "tracing"
+                then hit := true)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !hit
+
+(* -------------------------------------------------------- entry points *)
+
+(* R1, R3 and R4 in one walk; R4 needs guard tracking, so the iterator
+   carries a mutable "under [if tracing ...]" flag with save/restore. *)
+let check_structure ctx (str : Parsetree.structure) =
+  let guarded = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ifthenelse (cond, then_, else_)
+            when mentions_tracing cond ->
+              self.Ast_iterator.expr self cond;
+              let saved = !guarded in
+              guarded := true;
+              self.Ast_iterator.expr self then_;
+              guarded := saved;
+              Option.iter (self.Ast_iterator.expr self) else_
+          | _ ->
+              (match e.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident { txt; loc } -> r1_check ctx txt loc
+              | Parsetree.Pexp_apply (fn, args) ->
+                  r3_check ctx fn args e.Parsetree.pexp_loc;
+                  if
+                    r4_in_scope ctx.file && r4_is_emit fn && not !guarded
+                  then
+                    add ctx e.Parsetree.pexp_loc "R4"
+                      "trace emission not guarded by [if tracing ...]: \
+                       format arguments are evaluated even in untraced \
+                       runs; guard it or waive with (* lint: trace-ok *)"
+              | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str;
+  List.iter (r2_check_item ctx) str
+
+(* ------------------------------------------------------------------ R5 *)
+
+let has_doc (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      a.Parsetree.attr_name.Location.txt = "ocaml.doc")
+    attrs
+
+let rec mty_mentions_engine_intf (mty : Parsetree.module_type) =
+  match mty.Parsetree.pmty_desc with
+  | Parsetree.Pmty_ident { txt; _ } ->
+      List.mem "Engine_intf" (Longident.flatten txt)
+  | Parsetree.Pmty_with (mty, _) -> mty_mentions_engine_intf mty
+  | _ -> false
+
+let check_interface ctx (sg : Parsetree.signature) =
+  List.iter
+    (fun (item : Parsetree.signature_item) ->
+      match item.Parsetree.psig_desc with
+      | Parsetree.Psig_value vd ->
+          if not (has_doc vd.Parsetree.pval_attributes) then
+            add ctx item.Parsetree.psig_loc "R5"
+              (Printf.sprintf "exported value '%s' has no doc comment"
+                 vd.Parsetree.pval_name.Location.txt)
+      | _ -> ())
+    sg;
+  if List.mem ctx.file ctx.config.Config.engines then begin
+    let includes_intf =
+      List.exists
+        (fun (item : Parsetree.signature_item) ->
+          match item.Parsetree.psig_desc with
+          | Parsetree.Psig_include incl ->
+              mty_mentions_engine_intf incl.Parsetree.pincl_mod
+          | _ -> false)
+        sg
+    in
+    if not includes_intf then
+      add ctx Location.none "R5"
+        "engine interface does not [include Engine_intf.S]"
+  end
+
+let missing_mli ~file =
+  {
+    Report.file;
+    line = 1;
+    col = 0;
+    rule = "R5";
+    msg = "module has no .mli interface";
+  }

@@ -1,0 +1,43 @@
+(** The determinism & protocol-hygiene rule catalog (R1–R5).
+
+    Rules are purely syntactic passes over the compiler-libs parsetree plus
+    the raw source text — no typing. R3 in particular is an
+    annotation-driven heuristic: it sees a denied type only where a type
+    constraint in the argument names it.
+
+    {ul
+    {- R1 — banned nondeterminism sources: the global RNG, wall-clock
+       reads, [Hashtbl.hash], [exit].}
+    {- R2 — [Hashtbl.iter]/[Hashtbl.fold] with no dominating sort in the
+       same top-level binding: the enumeration order is hash-layout
+       dependent.}
+    {- R3 — polymorphic [compare]/[=]/[min]/[max] applied at a deny-listed
+       type (one containing functions or mutable state).}
+    {- R4 — trace emission ([tr] / [Trace.emit]) on a [lib/core] or
+       [lib/net] path not guarded by [if tracing ...].}
+    {- R5 — interface hygiene: every [lib/**] module has an [.mli], every
+       exported value a doc comment, and engine interfaces
+       [include Engine_intf.S].}} *)
+
+(** Mutable per-file rule state: findings accumulate as the walks run. *)
+type ctx = {
+  file : string;  (** repo-relative, '/'-separated — drives path scoping *)
+  config : Config.t;
+  mutable findings : Report.finding list;
+}
+
+(** Fresh context for one file; [config] defaults to {!Config.empty}. *)
+val make_ctx : ?config:Config.t -> file:string -> unit -> ctx
+
+(** [(id, one-line description)] for every rule, in catalog order. *)
+val all : (string * string) list
+
+(** Run R1–R4 over an implementation's parsetree. *)
+val check_structure : ctx -> Parsetree.structure -> unit
+
+(** Run R5's doc-comment and engine-interface checks over an interface's
+    parsetree. *)
+val check_interface : ctx -> Parsetree.signature -> unit
+
+(** The R5 finding for a [lib/**] module with no [.mli] at all. *)
+val missing_mli : file:string -> Report.finding

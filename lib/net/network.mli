@@ -25,7 +25,10 @@ val create :
   unit ->
   'm t
 
+(** Number of nodes. *)
 val size : 'm t -> int
+
+(** The simulation the network schedules deliveries on. *)
 val sim : 'm t -> Simul.Sim.t
 
 (** [set_filter t f] installs [f] as the per-delivery filter. Every

@@ -45,7 +45,10 @@ type 'm t
     simulation for its retransmission timers. *)
 val create : ?config:config -> 'm packet Network.t -> 'm t
 
+(** The configuration the channel was created with. *)
 val config : 'm t -> config
+
+(** The wrapped network. *)
 val network : 'm t -> 'm packet Network.t
 
 (** [send t ~src ~dst body] — never blocks. *)

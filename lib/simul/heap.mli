@@ -19,7 +19,10 @@ type 'a t
     inert element used to fill empty slots; it is never returned. *)
 val create : dummy:'a -> leq:('a -> 'a -> bool) -> 'a t
 
+(** Number of elements currently in the heap. *)
 val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
 val is_empty : 'a t -> bool
 
 (** [add h x] inserts [x]. O(log n). *)

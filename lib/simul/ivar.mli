@@ -6,6 +6,7 @@
 
 type 'a t
 
+(** A fresh empty IVar. *)
 val create : unit -> 'a t
 
 (** [fill v x] sets the value and wakes all readers.
@@ -19,4 +20,5 @@ val read : Sim.t -> 'a t -> 'a
 (** [peek v] is the value if filled. *)
 val peek : 'a t -> 'a option
 
+(** [is_full v] is true once {!fill} has happened. *)
 val is_full : 'a t -> bool

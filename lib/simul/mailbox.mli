@@ -6,6 +6,7 @@
 
 type 'a t
 
+(** An empty mailbox. *)
 val create : unit -> 'a t
 
 (** [send m x] enqueues [x], waking the oldest blocked receiver if any. *)

@@ -5,6 +5,7 @@
 
 type t
 
+(** An empty counter set. *)
 val create : unit -> t
 
 (** [incr t name ?by ()] adds [by] (default 1) to [name], creating it at 0. *)
@@ -19,5 +20,8 @@ val to_list : t -> (string * int) list
 (** [merge a b] sums counters pointwise into a fresh set. *)
 val merge : t -> t -> t
 
+(** [reset t] zeroes every counter (names are kept). *)
 val reset : t -> unit
+
+(** Prints "name=value" pairs sorted by name. *)
 val pp : Format.formatter -> t -> unit

@@ -26,9 +26,16 @@ val bucket_of : t -> float -> int
     zero bucket). *)
 val bound_of : t -> int -> float
 
+(** Number of observations recorded. *)
 val count : t -> int
+
+(** Exact mean of the observations (tracked outside the buckets). *)
 val mean : t -> float
+
+(** Exact largest observation; [neg_infinity] when empty. *)
 val max : t -> float
+
+(** Exact smallest observation; [infinity] when empty. *)
 val min : t -> float
 
 (** [percentile h p] with [0. <= p <= 100.] is an upper bound on the value at

@@ -5,13 +5,17 @@
 
 type t
 
+(** [create ?name ()] is an empty series (default name [""]). *)
 val create : ?name:string -> unit -> t
+
+(** The name given at creation. *)
 val name : t -> string
 
 (** [add s ~x ~y] appends a point. [x] values are expected nondecreasing but
     this is not enforced. *)
 val add : t -> x:float -> y:float -> unit
 
+(** Number of points appended so far. *)
 val length : t -> int
 
 (** Points in insertion order. *)

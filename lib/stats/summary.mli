@@ -5,11 +5,13 @@
 
 type t
 
+(** An empty summary. *)
 val create : unit -> t
 
 (** [add s x] records observation [x]. *)
 val add : t -> float -> unit
 
+(** Number of observations recorded. *)
 val count : t -> int
 
 (** Mean of the observations; 0. when empty. *)
@@ -33,4 +35,5 @@ val total : t -> float
 (** [merge a b] is a summary equivalent to observing both streams. *)
 val merge : t -> t -> t
 
+(** "n=… mean=… sd=… min=… max=…" one-liner. *)
 val pp : Format.formatter -> t -> unit

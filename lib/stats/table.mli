@@ -23,6 +23,7 @@ val to_string : t -> string
     or newlines are quoted). The title is not included. *)
 val to_csv : t -> string
 
+(** [print t] writes {!to_string} to stdout followed by a newline. *)
 val print : t -> unit
 
 (** Format a float compactly: 4 significant digits, no trailing noise. *)

@@ -117,6 +117,8 @@ let write_exact t ~key ~version ~init ~f =
 let gc t ~new_read_version =
   let vr = new_read_version in
   if vr > t.gc_floor then t.gc_floor <- vr;
+  (* lint: hash-order-ok — each item is trimmed independently; no ordering
+     escapes the table. *)
   Hashtbl.iter
     (fun _key item ->
       if List.mem_assoc vr item.versions then

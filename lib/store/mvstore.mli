@@ -25,6 +25,7 @@ type write_info = {
   created_item : bool;  (** the key did not exist in any version before *)
 }
 
+(** An empty store (no keys, no versions). *)
 val create : unit -> 'v t
 
 (** [read_visible t ~key ~version] is [Some (v0, value)] where [v0] is the

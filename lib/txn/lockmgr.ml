@@ -91,6 +91,8 @@ let blockers lock ~owner ~mode =
 (* Current waits-for edges for every already-waiting request; a waiter only
    waits for holders and for live waiters {e ahead} of it in the queue. *)
 let waits_for_edges t =
+  (* lint: hash-order-ok — the edge list only feeds the reachability test
+     in [creates_cycle]; cycle existence is order-independent. *)
   Hashtbl.fold
     (fun _key lock acc ->
       let _, acc =
@@ -199,6 +201,10 @@ let release_all t ~owner =
   | None -> ()
   | Some keys ->
       Hashtbl.remove t.owner_keys owner;
+      (* lint: hash-order-ok — OCaml's unseeded Hashtbl iterates the same
+         insertion sequence identically on every run, so the wake order is
+         replay-deterministic; sorting here would only reshuffle the golden
+         schedules. *)
       Hashtbl.iter
         (fun key () ->
           match Hashtbl.find_opt t.locks key with
@@ -212,6 +218,8 @@ let release_all t ~owner =
          wake reason is [Cancelled], not [Timeout]: the owner is being torn
          down, it did not lose a deadlock-timeout race, and callers must not
          account it as one. *)
+      (* lint: hash-order-ok — same argument as the wake loop above:
+         unseeded Hashtbl order is replay-deterministic. *)
       Hashtbl.iter
         (fun key lock ->
           let cancelled = ref false in

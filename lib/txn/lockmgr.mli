@@ -57,4 +57,5 @@ val waiting : t -> int
     ([Cancelled] waits are not conflicts and are excluded). *)
 val conflicts_aborted : t -> int
 
+(** Prints a mode as "S", "X", "CR", "CU" or "NC". *)
 val pp_mode : Format.formatter -> mode -> unit

@@ -14,6 +14,7 @@ type t =
 (** The key the operation touches. *)
 val key : t -> string
 
+(** [is_write op] is true for every constructor except [Read]. *)
 val is_write : t -> bool
 
 (** [commuting_write op] is true for writes in the commuting class
@@ -23,4 +24,5 @@ val commuting_write : t -> bool
 (** [apply op ~txn v] is the value after the write (identity for [Read]). *)
 val apply : t -> txn:int -> Value.t -> Value.t
 
+(** Prints the constructor, key and payload, e.g. "incr(k,2.5)". *)
 val pp : Format.formatter -> t -> unit

@@ -45,13 +45,17 @@ val classify : subtxn -> kind
 (** All nodes mentioned anywhere in the tree, deduplicated, sorted. *)
 val nodes : t -> int list
 
-(** All distinct keys read (resp. written) anywhere in the tree. *)
+(** All distinct keys read anywhere in the tree. *)
 val keys_read : t -> string list
 
+(** All distinct keys written anywhere in the tree. *)
 val keys_written : t -> string list
 
 (** Total number of subtransactions in the tree (≥ 1). *)
 val size : t -> int
 
+(** Prints the kind as "RO", "C" or "NC". *)
 val pp_kind : Format.formatter -> kind -> unit
+
+(** One-line spec summary: id, label, kind, node set. *)
 val pp : Format.formatter -> t -> unit

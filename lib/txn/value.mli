@@ -29,4 +29,5 @@ val overwrite : txn:int -> amount:float -> t -> t
     by commuting updates in different orders compare equal. *)
 val equal : t -> t -> bool
 
+(** Pretty-printer for traces and failure reports. *)
 val pp : Format.formatter -> t -> unit

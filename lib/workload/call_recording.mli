@@ -19,8 +19,16 @@ type params = {
   zipf_s : float;
 }
 
+(** [default ~nodes] is the stock parameter set for [nodes] regions
+    (recording-heavy mix, a small share of audit reads). *)
 val default : nodes:int -> params
+
+(** [generator p] is the call-recording transaction stream for [p]. *)
 val generator : params -> Generator.t
 
+(** [balance_key ~customer ~region] names a customer's balance record in
+    one region. *)
 val balance_key : customer:int -> region:int -> string
+
+(** [region_total_key ~region] names a region's running-total summary. *)
 val region_total_key : region:int -> string

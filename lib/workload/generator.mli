@@ -12,7 +12,11 @@ type t = {
   make : Random.State.t -> id:int -> Txn.Spec.t;
 }
 
+(** [name t] is the generator's display name (e.g. "hospital"). *)
 val name : t -> string
+
+(** [rate t] is the open-loop arrival rate in transactions per virtual
+    second. *)
 val rate : t -> float
 
 (** [with_rate t r] is [t] at a different arrival rate. *)

@@ -25,7 +25,11 @@ type params = {
           larger values produce later stragglers *)
 }
 
+(** [default ~nodes] is the Figure-1 parameter set for [nodes]
+    departments (visit-heavy mix, uniform patients, no front end). *)
 val default : nodes:int -> params
+
+(** [generator p] is the hospital-billing transaction stream for [p]. *)
 val generator : params -> Generator.t
 
 (** [balance_key ~patient ~department] is the patient's balance record key

@@ -15,7 +15,12 @@ type params = {
   zipf_s : float;
 }
 
+(** [default ~nodes] is a moderate baseline parameter set for [nodes]
+    nodes (fanout 2, mostly commuting updates, light skew). *)
 val default : nodes:int -> params
+
+(** [generator p] is the synthetic transaction stream for [p]. *)
 val generator : params -> Generator.t
 
+(** [key ~slot ~node] names the [slot]-th counter record at [node]. *)
 val key : slot:int -> node:int -> string

@@ -14,4 +14,5 @@ val create : n:int -> s:float -> t
 (** [sample t rng] draws one index. *)
 val sample : t -> Random.State.t -> int
 
+(** [support t] is the [n] the sampler was created with. *)
 val support : t -> int

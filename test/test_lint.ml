@@ -1,0 +1,350 @@
+(* Tests for the determinism & protocol-hygiene static analyzer.
+
+   Every rule gets a firing fixture, a passing fixture and a waived
+   fixture, compiled from strings through [Lint.Driver.lint_string] — the
+   same path the tree-wide gate uses, minus the filesystem walk. *)
+
+module Driver = Lint.Driver
+module Config = Lint.Config
+module Report = Lint.Report
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let rules_of ?config ~filename source =
+  List.map
+    (fun (f : Report.finding) -> f.Report.rule)
+    (Driver.lint_string ?config ~filename source)
+
+(* [fires rule source] — linting [source] yields exactly the given rules. *)
+let check_rules msg ?config ~filename source expect =
+  Alcotest.(check (list string)) msg expect (rules_of ?config ~filename source)
+
+(* ---------------------------------------------------------------- R1 *)
+
+let r1_fires () =
+  check_rules "global RNG" ~filename:"lib/x/a.ml"
+    "let f () = Random.int 10" [ "R1" ];
+  check_rules "wall clock" ~filename:"lib/x/a.ml"
+    "let now () = Unix.gettimeofday ()" [ "R1" ];
+  check_rules "layout hash" ~filename:"lib/x/a.ml"
+    "let h x = Hashtbl.hash x" [ "R1" ];
+  check_rules "exit" ~filename:"lib/x/a.ml" "let die () = exit 1" [ "R1" ]
+
+let r1_passes () =
+  check_rules "seeded state is sanctioned" ~filename:"lib/x/a.ml"
+    "let f st = Random.State.int st 10" [];
+  check_rules "virtual clock is fine" ~filename:"lib/x/a.ml"
+    "let now sim = Sim.now sim" []
+
+let r1_waived () =
+  check_rules "inline waiver suppresses" ~filename:"lib/x/a.ml"
+    "let f () = Random.int 10 (* lint: nondet-ok fixture *)" [];
+  (* The waiver is accounted, not dropped. *)
+  let _, waived, _ =
+    Driver.lint_source ~filename:"lib/x/a.ml"
+      "let f () = Random.int 10 (* lint: nondet-ok fixture *)"
+  in
+  checki "waived count" 1 waived
+
+let r1_waiver_is_rule_scoped () =
+  (* A waiver for another rule does not suppress R1. *)
+  check_rules "wrong tag keeps firing" ~filename:"lib/x/a.ml"
+    "let f () = Random.int 10 (* lint: hash-order-ok fixture *)" [ "R1" ]
+
+(* ---------------------------------------------------------------- R2 *)
+
+let r2_fires () =
+  check_rules "unsorted iter" ~filename:"lib/x/a.ml"
+    "let f h = Hashtbl.iter (fun k _ -> print_string k) h" [ "R2" ];
+  check_rules "unsorted fold" ~filename:"lib/x/a.ml"
+    "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []" [ "R2" ]
+
+let r2_passes () =
+  check_rules "sort dominates in the same binding" ~filename:"lib/x/a.ml"
+    "let f h =\n\
+    \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []\n\
+    \  |> List.sort compare"
+    []
+
+let r2_sort_elsewhere_does_not_excuse () =
+  (* A sort in a *different* top-level binding must not excuse the fold. *)
+  check_rules "per-item granularity" ~filename:"lib/x/a.ml"
+    "let g l = List.sort compare l\n\
+     let f h = Hashtbl.iter (fun k _ -> print_string k) h"
+    [ "R2" ]
+
+let r2_waived () =
+  check_rules "hash-order-ok waiver" ~filename:"lib/x/a.ml"
+    "(* lint: hash-order-ok fixture *)\n\
+     let f h = Hashtbl.iter (fun k _ -> print_string k) h"
+    []
+
+(* The ISSUE's regression tripwire: re-introducing an unsorted fold in
+   counter_set.ml-shaped code must fail the gate. *)
+let r2_counter_set_tripwire () =
+  check_rules "unsorted to_list would fail lint-smoke"
+    ~filename:"lib/stats/counter_set.ml"
+    "let to_list t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []"
+    [ "R2" ]
+
+(* ---------------------------------------------------------------- R3 *)
+
+let deny_ivar = Config.parse "deny-type Ivar.t"
+
+let r3_fires () =
+  check_rules "compare at denied type" ~config:deny_ivar
+    ~filename:"lib/x/a.ml" "let f a b = compare (a : Ivar.t) b" [ "R3" ];
+  check_rules "equality at denied type" ~config:deny_ivar
+    ~filename:"lib/x/a.ml" "let f a b = (a : Simul.Ivar.t) = b" [ "R3" ]
+
+let r3_passes () =
+  check_rules "other annotated type" ~config:deny_ivar ~filename:"lib/x/a.ml"
+    "let f a b = compare (a : int) b" [];
+  check_rules "no deny list, no finding" ~filename:"lib/x/a.ml"
+    "let f a b = compare (a : Ivar.t) b" []
+
+let r3_waived () =
+  check_rules "compare-ok waiver" ~config:deny_ivar ~filename:"lib/x/a.ml"
+    "let f a b = compare (a : Ivar.t) b (* lint: compare-ok fixture *)" []
+
+(* ---------------------------------------------------------------- R4 *)
+
+let r4_fires () =
+  check_rules "unguarded Trace.emit in lib/core" ~filename:"lib/core/a.ml"
+    "let f trace = Trace.emit trace \"x\"" [ "R4" ];
+  check_rules "unguarded tr in lib/net" ~filename:"lib/net/a.ml"
+    "let f t = tr t \"boom\"" [ "R4" ]
+
+let r4_passes () =
+  check_rules "guarded emission" ~filename:"lib/core/a.ml"
+    "let f t trace = if tracing t then Trace.emit trace \"x\"" [];
+  check_rules "out-of-scope path" ~filename:"lib/harness/a.ml"
+    "let f trace = Trace.emit trace \"x\"" []
+
+let r4_waived () =
+  check_rules "trace-ok waiver" ~filename:"lib/core/a.ml"
+    "let f trace = Trace.emit trace \"x\" (* lint: trace-ok fixture *)" []
+
+(* ---------------------------------------------------------------- R5 *)
+
+let r5_fires () =
+  check_rules "undocumented export" ~filename:"lib/x/a.mli"
+    "val f : int -> int" [ "R5" ]
+
+let r5_passes () =
+  check_rules "documented export" ~filename:"lib/x/a.mli"
+    "(** Doubles. *)\nval f : int -> int" []
+
+let r5_waived () =
+  check_rules "doc-ok waiver" ~filename:"lib/x/a.mli"
+    "val f : int -> int (* lint: doc-ok fixture *)" []
+
+let engine_cfg = Config.parse "engine lib/eng.mli"
+
+let r5_engine_fires () =
+  check_rules "engine without Engine_intf include" ~config:engine_cfg
+    ~filename:"lib/eng.mli" "(** Engine. *)\ntype t" [ "R5" ]
+
+let r5_engine_passes () =
+  check_rules "engine including Engine_intf.S" ~config:engine_cfg
+    ~filename:"lib/eng.mli" "(** Engine. *)\ntype t\ninclude Engine_intf.S" []
+
+(* ------------------------------------------------------------- syntax *)
+
+let syntax_error_is_a_finding () =
+  check_rules "unparseable input" ~filename:"lib/x/a.ml" "let = (" [ "syntax" ]
+
+(* ----------------------------------------------------- config plumbing *)
+
+let allowlist_suppresses_and_counts () =
+  let config = Config.parse "allow R1 lib/x/** fixture" in
+  let kept, _, allowlisted =
+    Driver.lint_source ~config ~filename:"lib/x/a.ml"
+      "let f () = Random.int 10"
+  in
+  checki "kept" 0 (List.length kept);
+  checki "allowlisted" 1 allowlisted;
+  (* The allow is path-scoped: other files keep firing. *)
+  check_rules "other path still fires" ~config ~filename:"lib/y/a.ml"
+    "let f () = Random.int 10" [ "R1" ]
+
+let glob_semantics () =
+  checkb "** spans segments" true (Config.glob_match "lib/**" "lib/a/b.ml");
+  checkb "* stays in segment" true (Config.glob_match "lib/*.ml" "lib/a.ml");
+  checkb "* does not cross /" false (Config.glob_match "lib/*.ml" "lib/a/b.ml");
+  checkb "exact" true (Config.glob_match "bench/main.ml" "bench/main.ml")
+
+let unknown_directive_rejected () =
+  Alcotest.check_raises "unknown directive"
+    (Invalid_argument "lint.config: unknown directive \"frobnicate\"")
+    (fun () -> ignore (Config.parse "frobnicate x"))
+
+(* The committed lint.config + the real tree: the gate is at zero. This is
+   the in-process twin of the `threev_sim lint` runtest rule, so a
+   regression is caught even when only unit tests run. *)
+let tree_is_lint_clean () =
+  (* Tests run from test/ inside _build; the repo root is two up when the
+     source tree is present, but under dune the test cwd only has test/.
+     Guard: skip silently when the tree is not visible. *)
+  if Sys.file_exists "../lib" && Sys.file_exists "../lint.config" then begin
+    (* [config_path] is resolved against [root] by the driver. *)
+    let report = Driver.run ~config_path:"lint.config" ~root:".." () in
+    checki "non-waived findings" 0 (Report.total report)
+  end
+
+(* ------------------------------------------------------------- qcheck *)
+
+let finding_gen =
+  QCheck.Gen.(
+    let* file = oneofl [ "lib/a.ml"; "lib/b/c.ml"; "bench/d.ml" ] in
+    let* line = 1 -- 999 in
+    let* col = 0 -- 80 in
+    let* rule = oneofl (Report.rule_ids @ [ "R9" ]) in
+    let* msg = string_size ~gen:printable (0 -- 40) in
+    return { Report.file; line; col; rule; msg })
+
+let arbitrary_report =
+  QCheck.make
+    QCheck.Gen.(
+      let* findings = list_size (0 -- 30) finding_gen in
+      let* files_scanned = 0 -- 500 in
+      let* waived = 0 -- 50 in
+      let* allowlisted = 0 -- 50 in
+      return (Report.make ~findings ~files_scanned ~waived ~allowlisted))
+
+(* lint/v1 JSON round-trips: parsing [to_json] succeeds, re-serializing
+   reproduces the bytes, and the embedded counts sum to the total. *)
+let report_json_roundtrips =
+  QCheck.Test.make ~name:"report JSON round-trips, counts sum to total"
+    ~count:300 arbitrary_report (fun r ->
+      let doc = Report.to_json r in
+      let json = Report.json_of_string doc in
+      let fields = match json with Report.Obj kvs -> kvs | _ -> [] in
+      let int_field name =
+        match List.assoc_opt name fields with
+        | Some (Report.Int n) -> n
+        | _ -> -1
+      in
+      let counts_sum =
+        match List.assoc_opt "counts" fields with
+        | Some (Report.Obj kvs) ->
+            List.fold_left
+              (fun acc (_, v) ->
+                match v with Report.Int n -> acc + n | _ -> acc)
+              0 kvs
+        | _ -> -1
+      in
+      let findings_len =
+        match List.assoc_opt "findings" fields with
+        | Some (Report.List l) -> List.length l
+        | _ -> -1
+      in
+      Report.json_to_string json = doc
+      && int_field "total" = Report.total r
+      && counts_sum = Report.total r
+      && findings_len = Report.total r)
+
+(* The counts invariant holds on the OCaml side too, including findings
+   whose rule id is outside the catalog. *)
+let counts_sum_to_total =
+  QCheck.Test.make ~name:"Report.counts sums to Report.total" ~count:300
+    arbitrary_report (fun r ->
+      List.fold_left (fun acc (_, n) -> acc + n) 0 (Report.counts r)
+      = Report.total r
+      && List.for_all (fun id -> List.mem_assoc id (Report.counts r))
+           Report.rule_ids)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Report.Null;
+        map (fun b -> Report.Bool b) bool;
+        map (fun i -> Report.Int i) small_signed_int;
+        map (fun s -> Report.String s) (string_size (0 -- 12));
+      ]
+  in
+  sized_size (0 -- 3) (fun fuel ->
+      fix
+        (fun self fuel ->
+          if fuel = 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun l -> Report.List l)
+                  (list_size (0 -- 4) (self (fuel - 1)));
+                map
+                  (fun kvs -> Report.Obj kvs)
+                  (list_size (0 -- 4)
+                     (pair (string_size (0 -- 6)) (self (fuel - 1))));
+              ])
+        fuel)
+
+let json_value_roundtrips =
+  QCheck.Test.make ~name:"json value print/parse round-trips" ~count:500
+    (QCheck.make json_gen) (fun j ->
+      Report.json_of_string (Report.json_to_string j) = j)
+
+(* ---------------------------------------------------------------- run *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lint"
+    [
+      ( "r1",
+        [
+          Alcotest.test_case "fires" `Quick r1_fires;
+          Alcotest.test_case "passes" `Quick r1_passes;
+          Alcotest.test_case "waived" `Quick r1_waived;
+          Alcotest.test_case "waiver rule-scoped" `Quick
+            r1_waiver_is_rule_scoped;
+        ] );
+      ( "r2",
+        [
+          Alcotest.test_case "fires" `Quick r2_fires;
+          Alcotest.test_case "passes" `Quick r2_passes;
+          Alcotest.test_case "per-item granularity" `Quick
+            r2_sort_elsewhere_does_not_excuse;
+          Alcotest.test_case "waived" `Quick r2_waived;
+          Alcotest.test_case "counter_set tripwire" `Quick
+            r2_counter_set_tripwire;
+        ] );
+      ( "r3",
+        [
+          Alcotest.test_case "fires" `Quick r3_fires;
+          Alcotest.test_case "passes" `Quick r3_passes;
+          Alcotest.test_case "waived" `Quick r3_waived;
+        ] );
+      ( "r4",
+        [
+          Alcotest.test_case "fires" `Quick r4_fires;
+          Alcotest.test_case "passes" `Quick r4_passes;
+          Alcotest.test_case "waived" `Quick r4_waived;
+        ] );
+      ( "r5",
+        [
+          Alcotest.test_case "fires" `Quick r5_fires;
+          Alcotest.test_case "passes" `Quick r5_passes;
+          Alcotest.test_case "waived" `Quick r5_waived;
+          Alcotest.test_case "engine fires" `Quick r5_engine_fires;
+          Alcotest.test_case "engine passes" `Quick r5_engine_passes;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "syntax error" `Quick syntax_error_is_a_finding;
+          Alcotest.test_case "allowlist" `Quick allowlist_suppresses_and_counts;
+          Alcotest.test_case "glob" `Quick glob_semantics;
+          Alcotest.test_case "unknown directive" `Quick
+            unknown_directive_rejected;
+          Alcotest.test_case "tree clean" `Quick tree_is_lint_clean;
+        ] );
+      ( "report",
+        [
+          qc report_json_roundtrips;
+          qc counts_sum_to_total;
+          qc json_value_roundtrips;
+        ] );
+    ]

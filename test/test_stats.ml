@@ -189,6 +189,23 @@ let counter_set_reset () =
   Counter_set.reset c;
   checki "reset" 0 (Counter_set.get c "x")
 
+(* Determinism regression (lint rule R2's origin story): [to_list] must be
+   a pure function of the counter contents, independent of the order the
+   names were first touched — its output feeds experiment tables. *)
+let counter_set_order_independent =
+  QCheck.Test.make ~name:"to_list independent of insertion order" ~count:200
+    QCheck.(list (pair (oneofl [ "a"; "b"; "c"; "d"; "e" ]) small_nat))
+    (fun incrs ->
+      let populate incrs =
+        let c = Counter_set.create () in
+        List.iter (fun (k, by) -> Counter_set.incr c k ~by ()) incrs;
+        c
+      in
+      let forward = populate incrs and backward = populate (List.rev incrs) in
+      let l = Counter_set.to_list forward in
+      l = Counter_set.to_list backward
+      && List.sort (fun (a, _) (b, _) -> String.compare a b) l = l)
+
 (* ------------------------------------------------------------ table *)
 
 let contains s sub =
@@ -282,6 +299,7 @@ let qsuite =
     [
       summary_merge_matches_combined; histogram_percentile_monotone;
       histogram_upper_bound_property; histogram_bucket_bound_consistent;
+      counter_set_order_independent;
     ]
 
 let () =

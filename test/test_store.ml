@@ -202,9 +202,38 @@ let read_visible_property =
           | _ -> false)
         [ 0; 1; 2; 3; 4; 5; 6 ])
 
+(* Determinism regression: [keys] and [fold] enumerate in sorted key
+   order regardless of insertion order — the store backs experiment
+   reports and checker scans, so hash-layout order must never escape. *)
+let enumeration_order_independent =
+  QCheck.Test.make ~name:"keys/fold independent of insertion order" ~count:200
+    QCheck.(list (pair (int_range 0 9) (int_range 0 3)))
+    (fun writes ->
+      let populate writes =
+        let s = Mvstore.create () in
+        List.iter
+          (fun (k, v) ->
+            ignore
+              (Mvstore.write_upward s ~key:(string_of_int k) ~version:v
+                 ~init:0 ~f:succ))
+          writes;
+        s
+      in
+      let forward = populate writes and backward = populate (List.rev writes) in
+      let triples s =
+        Mvstore.fold s ~init:[] ~f:(fun acc k v value -> (k, v, value) :: acc)
+      in
+      Mvstore.keys forward = Mvstore.keys backward
+      && List.sort compare (Mvstore.keys forward) = Mvstore.keys forward
+      && List.map (fun (k, v, _) -> (k, v)) (triples forward)
+         = List.map (fun (k, v, _) -> (k, v)) (triples backward))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ versions_sorted_property; read_visible_property ]
+    [
+      versions_sorted_property; read_visible_property;
+      enumeration_order_independent;
+    ]
 
 let () =
   Alcotest.run "store"
