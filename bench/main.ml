@@ -368,6 +368,192 @@ let run_scale_smoke () =
     outcome.Harness.Runner.committed (Sim.events_executed sim)
     (Threev.Trace.length trace) (Threev.Trace.total trace) cap
 
+(* ------------------------------------------------- replication suite *)
+
+(* The BENCH repl trajectory: end-to-end runs at 64 nodes comparing k = 1
+   (replication disabled, every group a singleton) against k = 3 (every
+   commuting write mirrored to two extra replicas, reads failing over along
+   the group order). Rows record the replication overhead — mirror count,
+   message amplification, machine cost — into BENCH_repl.json. *)
+
+type repl_row = {
+  rr_nodes : int;
+  rr_replicas : int;
+  rr_rate : float;
+  rr_sim_duration : float;
+  rr_submitted : int;
+  rr_committed : int;
+  rr_advancements : int;
+  rr_mirrors : int;
+  rr_remote_msgs : int;
+  rr_events : int;
+  rr_wall : float;
+}
+
+let repl_run ~nodes ~replicas ~rate ~duration ~settle =
+  let sim = Sim.create ~seed:(2000 + nodes + replicas) () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.replicas;
+      failover_margin = (if replicas > 1 then 0.02 else 0.);
+      latency = Netsim.Latency.Exponential 0.002;
+      think_time = 0.0001;
+      policy = Threev.Policy.Periodic 0.25;
+    }
+  in
+  let engine = Engine.create sim cfg () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = rate;
+        read_ratio = 0.3;
+        fanout = 2;
+      }
+  in
+  let wall0 = Unix.gettimeofday () in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      { Harness.Runner.seed = nodes; duration; settle; max_txns = 500_000 }
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  {
+    rr_nodes = nodes;
+    rr_replicas = replicas;
+    rr_rate = rate;
+    rr_sim_duration = duration;
+    rr_submitted = outcome.Harness.Runner.submitted;
+    rr_committed = outcome.Harness.Runner.committed;
+    rr_advancements = Engine.advancements_completed engine;
+    rr_mirrors =
+      Stats.Counter_set.get outcome.Harness.Runner.stats "repl.mirrors";
+    rr_remote_msgs = Engine.remote_messages_sent engine;
+    rr_events = Sim.events_executed sim;
+    rr_wall = wall;
+  }
+
+let repl_json rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"bench_repl/v1\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"nodes\": %d, \"replicas\": %d, \"arrival_rate\": %.1f, \
+            \"sim_duration_s\": %.2f, \"submitted\": %d, \"committed\": %d, \
+            \"advancements\": %d, \"mirrors\": %d, \"remote_messages\": %d, \
+            \"events\": %d, \"wall_s\": %.3f, \
+            \"events_per_sec_wall\": %.1f }"
+           r.rr_nodes r.rr_replicas r.rr_rate r.rr_sim_duration r.rr_submitted
+           r.rr_committed r.rr_advancements r.rr_mirrors r.rr_remote_msgs
+           r.rr_events r.rr_wall
+           (float_of_int r.rr_events /. r.rr_wall)))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* `main.exe repl [--quick]`: k = 1 vs k = 3 at 64 nodes; write
+   BENCH_repl.json from the repo root. --quick shrinks to 16 nodes and
+   skips the file write. *)
+let run_repl ~quick =
+  let nodes = if quick then 16 else 64 in
+  let duration = if quick then 0.3 else 1.0 in
+  let settle = if quick then 1.5 else 3.0 in
+  let rate = 100. *. float_of_int nodes in
+  let rows =
+    List.map
+      (fun replicas ->
+        let r = repl_run ~nodes ~replicas ~rate ~duration ~settle in
+        Printf.printf
+          "repl: %3d nodes k=%d @ %7.0f txns/s sim -> %6d committed, %7d \
+           mirrors, %8d events, %6.3fs wall\n%!"
+          r.rr_nodes r.rr_replicas r.rr_rate r.rr_committed r.rr_mirrors
+          r.rr_events r.rr_wall;
+        r)
+      [ 1; 3 ]
+  in
+  if not quick then begin
+    let oc = open_out "BENCH_repl.json" in
+    output_string oc (repl_json rows);
+    close_out oc;
+    print_endline "repl: wrote BENCH_repl.json"
+  end
+
+(* `main.exe repl-smoke`: the sub-second replication CI gate — a tiny k = 3
+   run (6 nodes, two groups) that crashes one replica of group 0 across an
+   advancement window. Fails (exit 1) on any checker anomaly or on stalled
+   advancement — quorum polling must complete with the replica down — never
+   on timing. *)
+let run_repl_smoke () =
+  let nodes = 6 in
+  let sim = Sim.create ~seed:23 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.replicas = 3;
+      failover_margin = 0.02;
+      latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Periodic 0.2;
+      reliable_channel = true;
+      retransmit_timeout = 0.02;
+    }
+  in
+  let faults =
+    Fault.Injector.create sim
+      (Fault.Plan.make ~seed:23
+         ~crashes:[ Fault.Plan.crash ~node:0 ~at:0.25 ~restart:0.7 ] ())
+  in
+  let engine = Engine.create sim cfg ~faults () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = 400.;
+        read_ratio = 0.3;
+        fanout = 2;
+        keys_per_node = 15;
+      }
+  in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      { Harness.Runner.seed = 23; duration = 0.9; settle = 4.0; max_txns = 5_000 }
+  in
+  let fail msg =
+    prerr_endline ("repl-smoke: FAILED: " ^ msg);
+    exit 1
+  in
+  if outcome.Harness.Runner.committed = 0 then fail "no transactions committed";
+  if outcome.Harness.Runner.unfinished > 0 then
+    fail
+      (Printf.sprintf "%d transactions never settled"
+         outcome.Harness.Runner.unfinished);
+  if Engine.advancements_completed engine = 0 then
+    fail "advancement stalled (quorum never reached with one replica down)";
+  let srz = Checker.Serializability.certify outcome.Harness.Runner.history in
+  if not (Checker.Serializability.serializable srz) then
+    fail "history is not 1SR";
+  if
+    not
+      (Checker.Atomicity.clean
+         (Checker.Atomicity.check outcome.Harness.Runner.history))
+  then fail "atomic-visibility anomaly";
+  if
+    not
+      (Checker.Version_reads.clean
+         (Checker.Version_reads.check outcome.Harness.Runner.history))
+  then fail "version-read anomaly";
+  Printf.printf
+    "repl-smoke: ok (%d committed, %d advancements, %d failovers, %d \
+     mirrors, %d recoveries)\n"
+    outcome.Harness.Runner.committed
+    (Engine.advancements_completed engine)
+    (Stats.Counter_set.get outcome.Harness.Runner.stats "repl.failovers")
+    (Stats.Counter_set.get outcome.Harness.Runner.stats "repl.mirrors")
+    (Stats.Counter_set.get outcome.Harness.Runner.stats "repl.recoveries")
+
 (* `main.exe fuzz-smoke`: sub-second slice of the schedule-fuzz sweep —
    ten deterministic quick cases (two full engine rotations). Fails on any
    strict-engine 1SR violation, and requires the certifier to have flagged
@@ -403,8 +589,10 @@ let () =
   if args = [ "smoke" ] then (run_smoke (); exit 0);
   if args = [ "scale-smoke" ] then (run_scale_smoke (); exit 0);
   if args = [ "fuzz-smoke" ] then (run_fuzz_smoke (); exit 0);
+  if args = [ "repl-smoke" ] then (run_repl_smoke (); exit 0);
   let quick = List.mem "--quick" args in
   if List.mem "scale" args then (run_scale ~quick; exit 0);
+  if List.mem "repl" args then (run_repl ~quick; exit 0);
   let no_micro = List.mem "--no-micro" args in
   let ids =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args

@@ -32,7 +32,7 @@ let quick_flag =
 
 let experiment_cmd =
   let doc =
-    "Run one experiment by id (t1, f1, f2, e1..e13, a1..a4), or $(b,all)."
+    "Run one experiment by id (t1, f1, f2, e1..e14, a1..a4), or $(b,all)."
   in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
@@ -195,6 +195,19 @@ let coord_crash_conv =
   let print ppf (a, r) = Format.fprintf ppf "%g:%g" a r in
   Arg.conv (parse, print)
 
+let data_crash_conv =
+  let parse s =
+    match Scanf.sscanf_opt s "%d@%f:%f%!" (fun g a r -> (g, a, r)) with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad data-crash spec %S, expected GROUP@TIME:RESTART"
+                s))
+  in
+  let print ppf (g, a, r) = Format.fprintf ppf "%d@%g:%g" g a r in
+  Arg.conv (parse, print)
+
 let run_cmd =
   let doc = "Run a single engine × workload simulation and print a report." in
   let engine_arg =
@@ -209,6 +222,17 @@ let run_cmd =
   in
   let nodes_arg =
     Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Number of database nodes.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ]
+          ~doc:
+            "Replication factor k: nodes are partitioned into groups of k \
+             consecutive replicas; commuting updates mirror to every group \
+             member, reads fail over inside the group, and advancement \
+             tolerates k-1 crashed replicas per group. 3v engine only; \
+             requires --nc-ratio 0.")
   in
   let rate_arg =
     Arg.(
@@ -279,6 +303,17 @@ let run_cmd =
              log survives and the in-flight advancement is re-driven from \
              its last logged phase. Repeatable; 3v engine only.")
   in
+  let data_crash_arg =
+    Arg.(
+      value
+      & opt_all data_crash_conv []
+      & info [ "data-crash" ] ~docv:"GROUP\\@TIME:RESTART"
+          ~doc:
+            "Fail-stop all but one replica of replica group GROUP at TIME \
+             and restart them at RESTART — the E14 fault shape: quorum \
+             advancement and read failover carry the group on its last \
+             live replica. Repeatable; requires --replicas > 1.")
+  in
   let phase_deadline_arg =
     Arg.(
       value & opt float infinity
@@ -297,9 +332,9 @@ let run_cmd =
             "Seed of the dedicated fault RNG — fault decisions never \
              perturb the workload or latency RNG streams.")
   in
-  let run engine workload nodes rate duration seed period nc_ratio read_ratio
-      drop_prob dup_prob partitions crashes coord_crashes phase_deadline
-      fault_seed =
+  let run engine workload nodes replicas rate duration seed period nc_ratio
+      read_ratio drop_prob dup_prob partitions crashes coord_crashes
+      data_crashes phase_deadline fault_seed =
     let gen =
       match workload with
       | W_hospital ->
@@ -338,13 +373,21 @@ let run_cmd =
     in
     let has_faults =
       drop_prob > 0. || dup_prob > 0. || partitions <> [] || crashes <> []
-      || coord_crashes <> []
+      || coord_crashes <> [] || data_crashes <> []
     in
     match
       if has_faults && (engine = E_nocoord || engine = E_manual) then
         Error "fault-injection flags support only --engine 3v or 2pc"
       else if coord_crashes <> [] && engine <> E_3v then
         Error "--coord-crash supports only --engine 3v"
+      else if replicas <> 1 && engine <> E_3v then
+        Error "--replicas supports only --engine 3v"
+      else if replicas < 1 || replicas > nodes then
+        Error "--replicas must be in 1..nodes"
+      else if replicas > 1 && nc_ratio > 0. then
+        Error "--replicas > 1 requires --nc-ratio 0 (commuting core only)"
+      else if data_crashes <> [] && replicas <= 1 then
+        Error "--data-crash requires --replicas > 1"
       else if phase_deadline <> infinity && phase_deadline <= 0. then
         Error "--phase-deadline must be positive"
       else if not has_faults then Ok None
@@ -359,10 +402,23 @@ let run_cmd =
                   Fault.Plan.partition ~src ~dst ~from_ ~until_)
                 partitions
           in
+          let placement = Repl.Placement.create ~nodes ~replicas in
           let crashes =
             List.map
               (fun (node, at, restart) -> Fault.Plan.crash ~node ~at ~restart)
               crashes
+            @ List.concat_map
+                (fun (group, at, restart) ->
+                  if group < 0 || group >= Repl.Placement.group_count placement
+                  then
+                    invalid_arg
+                      (Printf.sprintf "--data-crash: group %d out of range"
+                         group)
+                  else
+                    Fault.Plan.crash_replicas
+                      ~members:(Repl.Placement.members placement group)
+                      ~keep:1 ~at ~restart)
+                data_crashes
           in
           let coord_crashes =
             List.map
@@ -394,6 +450,10 @@ let run_cmd =
               reliable_channel = plan <> None;
               retransmit_timeout = 0.02;
               phase_deadline;
+              replicas;
+              (* Matches the fuzz harness's replicated configuration, so
+                 rendered reproducer lines replay the same routing. *)
+              failover_margin = (if replicas > 1 then 0.02 else 0.);
             }
           in
           let eng = Engine.create sim cfg ?faults () in
@@ -464,10 +524,10 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run $ engine_arg $ workload_arg $ nodes_arg $ rate_arg
-       $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg $ drop_arg
-       $ dup_arg $ partition_arg $ crash_arg $ coord_crash_arg
-       $ phase_deadline_arg $ fault_seed_arg))
+        (const run $ engine_arg $ workload_arg $ nodes_arg $ replicas_arg
+       $ rate_arg $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg
+       $ drop_arg $ dup_arg $ partition_arg $ crash_arg $ coord_crash_arg
+       $ data_crash_arg $ phase_deadline_arg $ fault_seed_arg))
 
 (* ------------------------------------------------------------ fuzz *)
 
@@ -477,8 +537,8 @@ let fuzz_cmd =
      × engines, certify every outcome with all offline checkers \
      (serializability, atomicity, version reads, replay), shrink failing \
      fault plans and print exact reproducer command lines. Strict engines \
-     (3v, 3v-nc, 2pc) must certify clean; the no-coordination and manual \
-     baselines are expected to be flagged — that is the certifier's \
+     (3v, 3v-nc, 3v-repl, 2pc) must certify clean; the no-coordination and \
+     manual baselines are expected to be flagged — that is the certifier's \
      positive control."
   in
   let runs_arg =

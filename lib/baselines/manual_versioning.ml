@@ -118,6 +118,7 @@ let maybe_finish t node p =
         Ivar.fill rs.rs_result
           {
             Result.txn_id = p.p_txn;
+            served_by = node.id;
             outcome = Result.Committed;
             version = p.p_version;
             reads = p.p_reads;

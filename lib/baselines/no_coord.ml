@@ -75,6 +75,7 @@ let maybe_finish t node p =
         Ivar.fill rs.rs_result
           {
             Result.txn_id = p.p_txn;
+            served_by = node.id;
             outcome = Result.Committed;
             version = 0;
             reads = p.p_reads;

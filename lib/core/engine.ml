@@ -16,6 +16,18 @@ module Counter_set = Stats.Counter_set
 
 type config = {
   nodes : int;
+  replicas : int;
+      (** replication factor [k]: nodes are partitioned into groups of [k]
+          consecutive replicas ({!Repl.Placement}); commuting updates are
+          mirrored to every group member, reads fail over along the group,
+          and counter polls complete on a quorum (≥ 1 live replica per
+          group). [1] — the default — disables every replication code path,
+          keeping historical schedules byte-identical *)
+  failover_margin : float;
+      (** look-ahead used when routing under replication: a replica counts
+          as live only if it is up now {e and} stays up for this long, so
+          work is not dispatched to a replica about to enter a known crash
+          window. [0.] routes on instantaneous liveness only *)
   latency : Latency.t;
   think_time : float;
   poll_interval : float;
@@ -59,6 +71,8 @@ type config = {
 let default_config ~nodes =
   {
     nodes;
+    replicas = 1;
+    failover_margin = 0.;
     latency = Latency.Constant 0.005;
     think_time = 0.0001;
     poll_interval = 0.01;
@@ -124,6 +138,12 @@ type msg =
       r_row : int array;
       c_col : int array;
     }
+  | Mirror of { txn_id : int; version : int; source : int; op : Op.t }
+      (** group-addressed replica mirror of one committed commuting write:
+          the receiving replica applies [op] to its own store with the
+          dual-write rule and balances the counter pair the source opened.
+          Mirrors never spawn children and never reply — quiescence (R = C)
+          is what tells the coordinator they all landed *)
   | Do_gc of { keep : int }
   | Gc_ack of { from_node : int; keep : int }
   | Coord_wake
@@ -185,6 +205,9 @@ type t = {
   ch : msg Reliable.t;
   faults : Injector.t;
   nodes : node array;
+  repl : Repl.Placement.t;
+      (** replica-group placement; singleton groups when [replicas = 1] *)
+  recovery : Repl.Recovery.t;  (** readable-after-recovery gates *)
   coord_id : int;
   trigger_box : unit Ivar.t option Mailbox.t;
   trace : Trace.t option;
@@ -260,9 +283,26 @@ let version_window t =
     [] t.nodes
   |> List.sort_uniq compare
 
+(* Same, but only over replicas that are currently up. While a replica is
+   crashed its durable counters freeze, so a quorum advancement running
+   ahead of the outage transiently widens the engine-wide window with the
+   dead replica's stale versions; restart adopts the group's GC floor
+   ({!restart_recover}) and shrinks it back. The paper's three-version
+   bound is a statement about live state. *)
+let live_version_window t =
+  let now = Sim.now t.sim in
+  Array.fold_left
+    (fun acc node ->
+      if Injector.down t.faults ~node:node.id ~at:now then acc
+      else Counters.fold_versions node.cnt (fun v acc -> v :: acc) acc)
+    [] t.nodes
+  |> List.sort_uniq compare
+
 let check_version_window t =
   if t.cfg.debug_checks then begin
-    let window = version_window t in
+    let window =
+      if t.cfg.replicas > 1 then live_version_window t else version_window t
+    in
     if List.length window > 3 then
       failwith
         (Printf.sprintf
@@ -280,6 +320,70 @@ let combine_vote a b =
   match (a, b) with Vote_abort r, _ -> Vote_abort r | _, v -> v
 
 let merge_nodes a b = List.sort_uniq compare (a @ b)
+
+(* ---------------------------------------------------------- replication *)
+
+let[@inline] repl_on t = t.cfg.replicas > 1
+
+(* Routing liveness: a replica is a routing candidate only if it is up now
+   and — when a failover margin is configured — still up at the margin
+   horizon, so freshly-submitted work is not dispatched into a known
+   imminent crash window. *)
+let route_live t i =
+  let now = Sim.now t.sim in
+  (not (Injector.down t.faults ~node:i ~at:now))
+  && (t.cfg.failover_margin <= 0.
+     || not (Injector.down t.faults ~node:i ~at:(now +. t.cfg.failover_margin)))
+
+(* Readable-after-recovery: a replica whose gate is armed serves reads only
+   once (a) the reliable channel has drained every packet still owed to it —
+   the retransmitted mirrors it slept through — and (b) its read version
+   reached the recovery frontier, i.e. a full quiescence round certified the
+   suspect update version with this replica participating. Order matters:
+   the drain test runs first so the gate is not cleared while catch-up
+   traffic is still in flight. *)
+let replica_readable t m =
+  match Repl.Recovery.frontier t.recovery ~node:m with
+  | None -> true
+  | Some _ ->
+      Reliable.unacked_to t.ch ~dst:m = 0
+      && Repl.Recovery.readable t.recovery ~node:m ~vr:t.nodes.(m).vr
+
+(* Route a spec through the replica groups: each subtransaction's target is
+   replaced by the first live replica in its group's failover order (reads
+   additionally require the readable-after-recovery gate to be open). A
+   fully-dead group keeps the original target — the transaction then waits
+   for a restart, which is the correct availability statement once all k
+   replicas are gone. Non-commuting transactions are pinned to their
+   primaries: an overwrite needs inter-replica ordering, which is exactly
+   what commuting replication does not buy (§10 of PROTOCOL.md). *)
+let route_spec t (spec : Spec.t) =
+  if not (repl_on t) then spec
+  else
+    match spec.Spec.kind with
+    | Spec.Non_commuting -> spec
+    | Spec.Read_only | Spec.Commuting ->
+        let changed = ref false in
+        let choose i =
+          let ok m =
+            route_live t m
+            && (spec.Spec.kind <> Spec.Read_only || replica_readable t m)
+          in
+          match List.find_opt ok (Repl.Placement.failover_order t.repl i) with
+          | Some m ->
+              if m <> i then begin
+                changed := true;
+                cstat t "repl.failovers"
+              end;
+              m
+          | None -> i
+        in
+        let rec map (st : Spec.subtxn) =
+          let node = choose st.Spec.node in
+          { st with Spec.node; Spec.children = List.map map st.Spec.children }
+        in
+        let root = map spec.Spec.root in
+        if !changed then { spec with Spec.root = root } else spec
 
 (* Inverse of a commuting subtransaction tree, for compensation (§3.2).
    Reads are dropped; Incr is negated; Append appends an undo marker. *)
@@ -395,6 +499,29 @@ let lock_plan ~kind ops =
   Hashtbl.fold (fun k m acc -> (k, m) :: acc) tbl []
   |> List.sort compare
 
+(* Mirror one applied commuting write to every peer replica of this node's
+   group. Counters use the raw R/C pair — not [bump_r]/[bump_c] — so the
+   live-subtransaction oracle keeps counting genuine subtransactions only:
+   quiescence (R = C) is what makes the coordinator wait for mirrors, and a
+   quorum poll may excuse mirrors still owed to a crashed replica. Down
+   peers are mirrored anyway: the reliable channel retransmits until the
+   peer restarts, which {e is} the recovery catch-up path. *)
+let mirror_write t node p op =
+  if repl_on t && p.p_kind = Spec.Commuting then
+    List.iter
+      (fun peer ->
+        Counters.incr_r node.cnt ~version:p.p_version ~dst:peer;
+        cstat t "repl.mirrors";
+        if tracing t then
+          tr t node.name "mirrors %s of tx %s to %s; R%d[%s->%s]=%d"
+            (Op.key op) p.p_label (node_name t peer) p.p_version node.name
+            (node_name t peer)
+            (Counters.r node.cnt ~version:p.p_version ~dst:peer);
+        send t ~src:node.id ~dst:peer
+          (Mirror
+             { txn_id = p.p_txn; version = p.p_version; source = node.id; op }))
+      (Repl.Placement.peers t.repl node.id)
+
 (* Execute the local operations of a commuting / read-only subtransaction
    against the versioned store, collecting reads. *)
 let run_ops_commuting t node p ops =
@@ -425,6 +552,7 @@ let run_ops_commuting t node p ops =
           in
           if info.Mvstore.versions_updated >= 2 then cstat t "store.dual_write";
           note_divergence t op;
+          mirror_write t node p op;
           if tracing t then begin
             let versions =
               List.filter
@@ -565,6 +693,7 @@ let rec maybe_finish t node p =
             Result.txn_id = p.p_txn;
             outcome;
             version = p.p_version;
+            served_by = node.id;
             reads = p.p_reads;
             submit_time = rs.rs_submit_time;
             root_commit_time = rs.rs_root_commit;
@@ -636,6 +765,7 @@ let rec maybe_finish t node p =
                 Result.txn_id = p.p_txn;
                 outcome;
                 version = p.p_version;
+                served_by = node.id;
                 reads = p.p_reads;
                 submit_time = rs.rs_submit_time;
                 root_commit_time = rs.rs_root_commit;
@@ -865,6 +995,25 @@ let handle_node_msg t node = function
              r_row = Counters.snapshot_r node.cnt ~version;
              c_col = Counters.snapshot_c node.cnt ~version;
            })
+  | Mirror { txn_id; version; source; op } ->
+      (* Replica mirror of a committed commuting write: apply it to the
+         local store with the dual-write rule so a mirror landing after a
+         version switch still repairs every later version. A mirror whose
+         version has already been garbage-collected here (it retransmitted
+         across ≥ 2 advancements while this replica was down) is applied
+         from the GC floor upward — the surviving versions are exactly the
+         ones that must absorb the delta — and its counter pair is dropped,
+         matching the sender whose R row for that version is gone too. *)
+      let floor = Mvstore.gc_floor node.store in
+      ignore
+        (Mvstore.write_upward node.store ~key:(Op.key op)
+           ~version:(max version floor) ~init:Value.empty
+           ~f:(Op.apply op ~txn:txn_id));
+      if version >= floor then Counters.incr_c node.cnt ~version ~src:source;
+      cstat t "repl.mirror_applies";
+      if tracing t then
+        tr t node.name "mirror from %s applies %s at version %d (floor %d)"
+          (node_name t source) (Op.key op) version floor
   | Do_gc { keep } ->
       (* A GC notice implies every node acknowledged read version [keep] in
          phase 3, so adopting it is always safe. Normally a no-op (phase 3
@@ -966,17 +1115,37 @@ let watchdog_loop t () =
   in
   loop ()
 
-(* Await one acknowledgement from every node. [matches] returns the sender
-   for a matching ack; acks are counted per distinct node, so a duplicate
-   (watchdog re-broadcast, raw-mode duplicate) can never complete a phase
-   early — it is recorded under [proto.dup_acks]. Non-matching coordinator
-   inbox traffic (stale counter replies, acks of a superseded phase) is
-   counted under [proto.stale_msgs] instead of vanishing silently.
-   [resend i] re-sends the phase message to node [i] (watchdog path). *)
+(* Poll participation under replication: every live node is required, plus
+   every member of a fully-dead group — quorum is lost there, and the
+   coordinator must wait for one of those replicas to restart rather than
+   excuse versions no surviving replica can vouch for. With [replicas = 1]
+   every node is required, which is exactly the historical behavior (a
+   crashed node blocks the wait until the channel's retransmissions reach
+   its restart). *)
+let poll_required t =
+  if not (repl_on t) then Array.make t.cfg.nodes true
+  else begin
+    let now = Sim.now t.sim in
+    let live i = not (Injector.down t.faults ~node:i ~at:now) in
+    if not (Repl.Quorum.met t.repl ~live) then cstat t "repl.quorum_lost";
+    Repl.Quorum.required t.repl ~live
+  end
+
+(* Await one acknowledgement from every required node. [matches] returns
+   the sender for a matching ack; acks are counted per distinct node, so a
+   duplicate (watchdog re-broadcast, raw-mode duplicate) can never complete
+   a phase early — it is recorded under [proto.dup_acks]. Non-matching
+   coordinator inbox traffic (stale counter replies, acks of a superseded
+   phase) is counted under [proto.stale_msgs] instead of vanishing
+   silently. [resend i] re-sends the phase message to node [i] (watchdog
+   path). Acks from excused (crashed) replicas are still recorded if their
+   retransmitted phase message lands mid-wait. *)
 let await_acks t ~what ~resend ~matches =
   let n = t.cfg.nodes in
+  let required = poll_required t in
   let acked = Array.make n false in
-  let needed = ref n in
+  let needed = ref 0 in
+  Array.iter (fun r -> if r then incr needed) required;
   watch_begin t ~what ~resend:(fun () ->
       Array.iteri (fun i done_ -> if not done_ then resend i) acked);
   while !needed > 0 do
@@ -986,16 +1155,20 @@ let await_acks t ~what ~resend ~matches =
         match matches msg with
         | Some from when from >= 0 && from < n && not acked.(from) ->
             acked.(from) <- true;
-            decr needed
+            if required.(from) then decr needed
         | Some _ -> cstat t "proto.dup_acks"
         | None -> cstat t "proto.stale_msgs")
   done;
   watch_end t
 
 (* One asynchronous poll of all R rows / C columns for [version]. Returns
-   (r, c) with r.(p).(q) = R(version)pq and c.(p).(q) = C(version)pq.
-   Replies are matched on (epoch, round, version) — the epoch namespaces
-   rounds across coordinator restarts — and counted per distinct node. *)
+   (r, c, got) with r.(p).(q) = R(version)pq, c.(p).(q) = C(version)pq and
+   got.(i) marking the nodes whose reply was folded in. Replies are matched
+   on (epoch, round, version) — the epoch namespaces rounds across
+   coordinator restarts — and counted per distinct node. The wait completes
+   once every {e required} node (see {!poll_required}) replied; a reply
+   from an excused crashed replica that restarts mid-round is folded in
+   anyway. *)
 let poll_counters t ~version =
   t.poll_round <- t.poll_round + 1;
   cstat t "proto.polls";
@@ -1003,9 +1176,11 @@ let poll_counters t ~version =
   let query = Counter_query { version; round; epoch } in
   broadcast t query;
   let n = t.cfg.nodes in
+  let required = poll_required t in
   let r = Array.make_matrix n n 0 and c = Array.make_matrix n n 0 in
   let got = Array.make n false in
-  let needed = ref n in
+  let needed = ref 0 in
+  Array.iter (fun req -> if req then incr needed) required;
   watch_begin t
     ~what:(Printf.sprintf "counter poll round %d (version %d)" round version)
     ~resend:(fun () ->
@@ -1023,42 +1198,54 @@ let poll_counters t ~version =
           (* R(v)pq is stored at sender p; C(v)pq at executor q. *)
           Array.iteri (fun q count -> r.(from_node).(q) <- count) r_row;
           Array.iteri (fun p count -> c.(p).(from_node) <- count) c_col;
-          decr needed
+          if required.(from_node) then decr needed
         end
     | Coord_wake -> ()
     | _ -> cstat t "proto.stale_msgs"
   done;
   watch_end t;
-  (r, c)
-
-let matrices_equal a b =
-  let n = Array.length a in
-  let ok = ref true in
-  for p = 0 to n - 1 do
-    for q = 0 to n - 1 do
-      if a.(p).(q) <> b.(p).(q) then ok := false
-    done
-  done;
-  !ok
+  (r, c, got)
 
 (* Phase 2 / phase 4 core: poll until two consecutive polls are identical
    and show R = C pairwise — the repeated-snapshot stable-property
-   detection the paper cites [8, 12, 9]. *)
+   detection the paper cites [8, 12, 9]. Under replication the comparison
+   is quorum-scoped: counter pairs involving an excused crashed replica are
+   skipped, because the only traffic they can still owe is mirrors (which
+   retransmit until the replica restarts, and the readable-after-recovery
+   gate keeps it from serving reads before they land). Pairs of {e genuine}
+   subtransactions stranded at a crashed replica are a different story —
+   their roots have not committed, so retiring their version would let a
+   read miss a writer that later completes. The live-subtransaction oracle
+   detects exactly that case and defers the advancement until the replica
+   restarts and drains them. *)
 let await_quiescence t ~version =
   let rec go prev =
-    let r, c = poll_counters t ~version in
-    let settled = matrices_equal r c in
+    let r, c, got = poll_counters t ~version in
+    let settled = Repl.Quorum.matrices_agree ~considered:got r c in
     let stable =
       match prev with
-      | Some (pr, pc) -> matrices_equal pr r && matrices_equal pc c
+      | Some (pr, pc, pg) ->
+          let both = Array.mapi (fun i g -> g && got.(i)) pg in
+          Repl.Quorum.matrices_agree ~considered:both pr r
+          && Repl.Quorum.matrices_agree ~considered:both pc c
       | None -> false
     in
-    if settled && (stable || not t.cfg.two_wave_quiescence) then begin
+    let full = Array.for_all (fun g -> g) got in
+    let defer_stranded =
+      settled
+      && (stable || not t.cfg.two_wave_quiescence)
+      && (not full)
+      && live_subtxns t ~version <> 0
+    in
+    if defer_stranded then cstat t "repl.quorum_deferred";
+    if settled && (stable || not t.cfg.two_wave_quiescence) && not defer_stranded
+    then begin
       let active = live_subtxns t ~version in
       if active <> 0 then begin
-        (* The protocol is about to act on a false quiescence claim. With
-           checks on this is fatal; the A1 ablation instead records it and
-           lets the resulting corruption surface downstream. *)
+        (* Full participation and still active work: the protocol is about
+           to act on a false quiescence claim. With checks on this is
+           fatal; the A1 ablation instead records it and lets the
+           resulting corruption surface downstream. *)
         if t.cfg.debug_checks then
           failwith
             (Printf.sprintf
@@ -1071,7 +1258,7 @@ let await_quiescence t ~version =
     else begin
       Sim.sleep t.sim t.cfg.poll_interval;
       coord_check t;
-      go (Some (r, c))
+      go (Some (r, c, got))
     end
   in
   go None
@@ -1243,17 +1430,63 @@ let coordinator_loop t () =
    and the coordinator's retransmitted phase messages then catch the node up
    to the cluster's current versions. *)
 let restart_recover t node =
-  let vu = Counters.fold_versions node.cnt max initial_vu in
+  (* Group-aware seeding: the recovery handshake reads the durable frontier
+     of {e every} member of the node's replica group, not just this node —
+     a quorum advancement may have moved the cluster on while this replica
+     was down, and seeding from local state alone would re-enter with a
+     stale version pair. With [replicas = 1] the group is the singleton
+     {node} and both folds reduce to the historical single-home derivation,
+     so unreplicated recovery schedules are byte-identical. *)
+  let members =
+    Repl.Placement.members t.repl (Repl.Placement.group_of_node t.repl node.id)
+  in
+  let vu =
+    List.fold_left
+      (fun acc m -> Counters.fold_versions t.nodes.(m).cnt max acc)
+      initial_vu members
+  in
+  (* Adopt the group's GC floor before deriving the read version: a floor
+     the group certified while this replica slept is safe here too (the
+     floor version was globally readable before any GC notice went out),
+     and collecting up to it immediately keeps the ≤ 3 live-version window
+     intact even if the next advancement begins before the retransmitted
+     GC notice lands. *)
+  let floor_group =
+    List.fold_left
+      (fun acc m -> max acc (Mvstore.gc_floor t.nodes.(m).store))
+      (Mvstore.gc_floor node.store) members
+  in
+  if floor_group > Mvstore.gc_floor node.store then begin
+    Mvstore.gc node.store ~new_read_version:floor_group;
+    Counters.gc_below node.cnt floor_group
+  end;
   let vr = max initial_vr (min (Mvstore.gc_floor node.store) (vu - 1)) in
   node.vu <- vu;
   node.vr <- vr;
   Counters.ensure_version node.cnt vu;
   wake_vr_waiters node;
+  (* Readable-after-recovery: this replica may have slept through mirrors
+     of updates at (or below) the recovered update version. Arm the gate at
+     [vu]: reads are served here again only once the read version reaches
+     it — i.e. once a quiescence round certified the suspect version with
+     this replica live — and the channel's catch-up backlog has drained. *)
+  if repl_on t then begin
+    Repl.Recovery.mark t.recovery ~node:node.id ~frontier:vu;
+    cstat t "repl.recoveries"
+  end;
   if tracing t then
     tr t node.name "restarts; recovers vu=%d vr=%d from durable state" vu vr
 
 let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
   if cfg.nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
+  if cfg.replicas < 1 || cfg.replicas > cfg.nodes then
+    invalid_arg "Engine.create: replicas must be in 1..nodes";
+  if cfg.replicas > 1 && cfg.nc_mode then
+    invalid_arg
+      "Engine.create: replication requires nc_mode off (non-commuting \
+       overwrites are primary-pinned, so a failed-over read could miss them)";
+  if cfg.failover_margin < 0. then
+    invalid_arg "Engine.create: failover_margin must be non-negative";
   if cfg.phase_deadline <= 0. then
     invalid_arg "Engine.create: phase_deadline must be positive";
   let net =
@@ -1313,6 +1546,8 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       ch;
       faults;
       nodes;
+      repl = Repl.Placement.create ~nodes:cfg.nodes ~replicas:cfg.replicas;
+      recovery = Repl.Recovery.create ();
       coord_id = cfg.nodes;
       trigger_box = Mailbox.create ();
       trace;
@@ -1414,6 +1649,10 @@ let submit t (spec : Spec.t) =
           (Printf.sprintf "Engine.submit: %s targets node %d outside 0..%d"
              spec.Spec.label n (t.cfg.nodes - 1)))
     (Spec.nodes spec);
+  (* Replica routing happens once, at submission: the whole tree is pinned
+     to the serving replicas chosen now, so compensation (which inverts
+     [rs_spec]) undoes work exactly where it ran. *)
+  let spec = route_spec t spec in
   let result = Ivar.create () in
   let now = Sim.now t.sim in
   let rs =
@@ -1526,6 +1765,12 @@ let inject_coord_crash t ~at ~restart =
 let coord_log t = t.clog
 
 let injector t = t.faults
+
+let placement t = t.repl
+
+let node_readable t ~node =
+  check_node t node "node_readable";
+  replica_readable t node
 
 let advancements_completed t = t.advancements
 let messages_sent t = Network.messages_sent t.net

@@ -54,6 +54,29 @@
 
 type config = {
   nodes : int;  (** number of database nodes (≥ 1) *)
+  replicas : int;
+      (** replication factor [k] (1 ≤ k ≤ nodes): nodes are partitioned
+          into groups of [k] consecutive replicas ({!Repl.Placement});
+          commuting writes are mirrored to every group member through the
+          counter matrices, reads fail over along the group's deterministic
+          failover order (skipping replicas whose readable-after-recovery
+          gate is closed), and coordinator waits complete on a quorum of
+          ≥ 1 live replica per group — so advancement tolerates up to
+          [k - 1] crashed replicas of any group. Replication covers the
+          commuting core of the protocol only: [nc_mode] must stay off (an
+          overwrite needs inter-replica ordering, which commuting
+          replication does not provide, so a failed-over read could miss a
+          primary-pinned overwrite — {!create} rejects the combination). The
+          default [1] makes every group a singleton and disables every
+          replication code path, keeping historical schedules
+          byte-identical. Crash tolerance additionally requires
+          [reliable_channel] (mirrors owed to a down replica must
+          retransmit until its restart). *)
+  failover_margin : float;
+      (** routing look-ahead under replication: a replica is a routing
+          candidate only if it is live now {e and} at this horizon, so
+          freshly submitted work avoids replicas about to enter a known
+          crash window. [0.] (default) routes on instantaneous liveness. *)
   latency : Netsim.Latency.t;  (** inter-node message latency model *)
   think_time : float;  (** local processing time per subtransaction *)
   poll_interval : float;  (** spacing of the coordinator's counter polls *)
@@ -189,6 +212,20 @@ val coord_log : t -> Coord_log.t
     scheduling. *)
 val injector : t -> Fault.Injector.t
 
+(** The engine's replica placement (group membership and failover order),
+    derived from [config.replicas]. With [replicas = 1] every node is a
+    singleton group. *)
+val placement : t -> Repl.Placement.t
+
+(** [node_readable t ~node] — the readable-after-recovery gate: [true] iff
+    [node] may serve reads right now. A node that never crashed is always
+    readable; a recovered replica becomes readable once its catch-up
+    backlog has drained (no retransmissions still owed to it) {e and} its
+    read version has reached the frontier recorded at restart, i.e. a full
+    quiescence round has certified the suspect version with the replica
+    participating. *)
+val node_readable : t -> node:int -> bool
+
 (** Total messages sent on the underlying network so far. *)
 val messages_sent : t -> int
 
@@ -204,5 +241,9 @@ val max_versions_ever : t -> int
     implementation could re-use old version numbers, employing only three
     distinct numbers": this window never exceeds three entries, so a mod-3
     encoding of version ids would be sound. Checked on every advancement
-    step when [debug_checks] is on. *)
+    step when [debug_checks] is on. Under replication the invariant is
+    enforced over {e live} replicas only: a crashed replica's durable
+    counters freeze, so quorum advancements running ahead of an outage
+    transiently keep the dead replica's stale versions in this engine-wide
+    window until its restart adopts the group's GC floor. *)
 val version_window : t -> int list

@@ -113,6 +113,14 @@ let coord_crash ~at ~restart =
   check_coord_crash c;
   c
 
+let crash_replicas ~members ~keep ~at ~restart =
+  if keep < 1 then invalid_arg "Fault.Plan.crash_replicas: keep must be >= 1";
+  let n = List.length members in
+  if keep >= n then []
+  else
+    List.filteri (fun i _ -> i < n - keep) members
+    |> List.map (fun node -> crash ~node ~at ~restart)
+
 let pp_action ppf = function
   | Drop -> Format.fprintf ppf "drop"
   | Duplicate gap -> Format.fprintf ppf "dup(+%gs)" gap

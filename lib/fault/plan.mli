@@ -108,5 +108,15 @@ val crash : node:int -> at:float -> restart:float -> crash
 (** @raise Invalid_argument if [restart <= at]. *)
 val coord_crash : at:float -> restart:float -> coord_crash
 
+(** [crash_replicas ~members ~keep ~at ~restart] builds crash events for
+    all but the last [keep] nodes of a replica group given as [members] (in
+    placement order) — so the group's primary goes down first and reads
+    must fail over. With [keep >= length members] no crash is built (a
+    singleton group is never crashed). Used to exercise quorum advancement:
+    with [keep = 1] the group loses [k - 1] replicas yet stays available.
+    @raise Invalid_argument if [keep < 1] or [restart <= at]. *)
+val crash_replicas :
+  members:int list -> keep:int -> at:float -> restart:float -> crash list
+
 (** Multi-line plan description: seed, each rule, each scheduled event. *)
 val pp : Format.formatter -> t -> unit

@@ -6,11 +6,12 @@ module Policy = Threev.Policy
 module Mvstore = Store.Mvstore
 module Srz = Checker.Serializability
 
-type engine_kind = E3v | E3v_nc | E2pc | E_nocoord | E_manual
+type engine_kind = E3v | E3v_nc | E3v_repl | E2pc | E_nocoord | E_manual
 
 let engine_label = function
   | E3v -> "3v"
   | E3v_nc -> "3v-nc"
+  | E3v_repl -> "3v-repl"
   | E2pc -> "2pc"
   | E_nocoord -> "nocoord"
   | E_manual -> "manual"
@@ -41,6 +42,7 @@ type case = {
   engine : engine_kind;
   workload : workload_kind;
   nodes : int;
+  replicas : int;
   seed : int;
   fault_seed : int;
   rate : float;
@@ -89,17 +91,38 @@ let gen_atoms rng ~nodes ~duration =
   let n = 1 + Random.State.int rng 2 in
   List.filteri (fun i _ -> i < n) shuffled |> List.map make_kind
 
+(* Fault atoms for a replicated 3V case: always at least one data-node
+   crash (the whole point of replication), optionally compounded with
+   uniform loss. *)
+let gen_repl_atoms rng ~nodes ~duration =
+  let horizon = duration +. 1.0 in
+  let at = round3 (0.05 +. Random.State.float rng (horizon -. 0.05)) in
+  let crash =
+    Crash
+      ( Random.State.int rng nodes,
+        at,
+        round3 (at +. 0.1 +. Random.State.float rng 0.15) )
+  in
+  if Random.State.bool rng then
+    [ Loss (round3 (0.02 +. Random.State.float rng 0.04)); crash ]
+  else [ crash ]
+
 let case_of_index ~fuzz_seed ~quick index =
   let rng = Random.State.make [| fuzz_seed; index; 0xf0022 |] in
   let engine =
-    match index mod 5 with
+    match index mod 6 with
     | 0 -> E3v
     | 1 -> E3v_nc
     | 2 -> E2pc
     | 3 -> E_nocoord
-    | _ -> E_manual
+    | 4 -> E_manual
+    | _ -> E3v_repl
   in
-  let nodes = 3 + Random.State.int rng 2 in
+  (* Replicated cases run two groups of three; k <= nodes must hold. *)
+  let nodes =
+    match engine with E3v_repl -> 6 | _ -> 3 + Random.State.int rng 2
+  in
+  let replicas = match engine with E3v_repl -> 3 | _ -> 1 in
   let seed = 1 + Random.State.int rng 9999 in
   let fault_seed = 1 + Random.State.int rng 9999 in
   let duration = if quick then 0.15 else 0.4 in
@@ -110,7 +133,9 @@ let case_of_index ~fuzz_seed ~quick index =
           pick rng [ 200.; 300. ],
           pick rng [ 0.2; 0.25; 0.3 ],
           pick rng [ 0.05; 0.1; 0.2 ] )
-    | E3v | E2pc ->
+    | E3v | E3v_repl | E2pc ->
+        (* Replication covers the commuting core only, so nc_ratio stays 0
+           for E3v_repl (the engine rejects nc_mode with replicas > 1). *)
         ( pick rng [ W_synthetic; W_hospital; W_pos ],
           pick rng [ 200.; 300.; 400. ],
           pick rng [ 0.2; 0.25; 0.3 ],
@@ -127,6 +152,7 @@ let case_of_index ~fuzz_seed ~quick index =
     | E3v ->
         if Random.State.float rng 1.0 < 0.25 then []
         else gen_atoms rng ~nodes ~duration
+    | E3v_repl -> gen_repl_atoms rng ~nodes ~duration
     | E3v_nc ->
         if Random.State.bool rng then
           [ Loss (round3 (0.02 +. Random.State.float rng 0.04)) ]
@@ -134,8 +160,8 @@ let case_of_index ~fuzz_seed ~quick index =
     | _ -> []
   in
   {
-    index; engine; workload; nodes; seed; fault_seed; rate; read_ratio;
-    nc_ratio; duration; atoms;
+    index; engine; workload; nodes; replicas; seed; fault_seed; rate;
+    read_ratio; nc_ratio; duration; atoms;
   }
 
 (* --------------------------------------------------------- execution *)
@@ -238,7 +264,9 @@ type case_report = {
   reproducers : string list;
 }
 
-let strict = function E3v | E3v_nc | E2pc -> true | E_nocoord | E_manual -> false
+let strict = function
+  | E3v | E3v_nc | E3v_repl | E2pc -> true
+  | E_nocoord | E_manual -> false
 
 (* Drive [case] with fault atoms [atoms] (usually [case.atoms]; subsets
    during shrinking) and run every applicable checker. *)
@@ -257,7 +285,7 @@ let execute case atoms =
   in
   let outcome, lookup =
     match case.engine with
-    | E3v | E3v_nc ->
+    | E3v | E3v_nc | E3v_repl ->
         let cfg =
           {
             (Engine.default_config ~nodes:case.nodes) with
@@ -267,6 +295,8 @@ let execute case atoms =
             think_time = 0.0005;
             reliable_channel = plan <> None;
             retransmit_timeout = 0.02;
+            replicas = case.replicas;
+            failover_margin = (if case.replicas > 1 then 0.02 else 0.);
           }
         in
         let engine = Engine.create sim cfg ?faults () in
@@ -341,7 +371,7 @@ let execute case atoms =
       };
     ]
     @ (match case.engine with
-      | E3v | E3v_nc ->
+      | E3v | E3v_nc | E3v_repl ->
           let vr = Checker.Version_reads.check history in
           [
             {
@@ -405,7 +435,7 @@ let fuzz_reproducer ~fuzz_seed ~quick case =
 let run_reproducer case atoms =
   let engine_flag =
     match case.engine with
-    | E3v | E3v_nc -> "3v"
+    | E3v | E3v_nc | E3v_repl -> "3v"
     | E2pc -> "2pc"
     | E_nocoord -> "nocoord"
     | E_manual -> "manual"
@@ -421,6 +451,9 @@ let run_reproducer case atoms =
        Printf.sprintf "--seed %d" case.seed;
        Printf.sprintf "--read-ratio %g" case.read_ratio;
      ]
+    @ (if case.replicas > 1 then
+         [ Printf.sprintf "--replicas %d" case.replicas ]
+       else [])
     @ (if case.nc_ratio > 0. then
          [ Printf.sprintf "--nc-ratio %g" case.nc_ratio ]
        else [])

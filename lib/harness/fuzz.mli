@@ -4,8 +4,8 @@
     checker (serializability certifier, atomic visibility, exact version
     reads, commuting-sum replay, staleness) on each outcome, and classifies:
 
-    - {e strict} engines (3V, NC3V, global-2PC) must certify clean on every
-      applicable checker — any violation is a [failure];
+    - {e strict} engines (3V, NC3V, replicated 3V, global-2PC) must certify
+      clean on every applicable checker — any violation is a [failure];
     - {e expected-anomaly} baselines (no-coordination, manual versioning)
       may be flagged; the cycle witness is recorded, demonstrating that the
       certifier has teeth on histories known to be broken.
@@ -18,7 +18,7 @@
     removal keeps the case failing) and renders a standalone
     [threev_sim run ...] command line for the shrunk plan. *)
 
-type engine_kind = E3v | E3v_nc | E2pc | E_nocoord | E_manual
+type engine_kind = E3v | E3v_nc | E3v_repl | E2pc | E_nocoord | E_manual
 
 (** Short engine label for reports and reproducer command lines
     (e.g. "3v", "2pc"). *)
@@ -43,6 +43,9 @@ type case = {
   engine : engine_kind;
   workload : workload_kind;
   nodes : int;
+  replicas : int;
+      (** replication factor; [> 1] only for [E3v_repl] cases, which always
+          carry at least one data-node crash atom *)
   seed : int;  (** simulation + workload RNG seed *)
   fault_seed : int;
   rate : float;
@@ -53,7 +56,7 @@ type case = {
 }
 
 (** Pure derivation: same [(fuzz_seed, index, quick)] → same case. Engines
-    rotate with [index mod 5] so every 5 consecutive indices cover the full
+    rotate with [index mod 6] so every 6 consecutive indices cover the full
     matrix. *)
 val case_of_index : fuzz_seed:int -> quick:bool -> int -> case
 

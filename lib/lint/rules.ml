@@ -30,7 +30,8 @@ let all =
     ("R2", "Hashtbl.iter/fold without a dominating sort in the same \
             top-level binding");
     ("R3", "polymorphic compare/equality at a deny-listed type");
-    ("R4", "unguarded trace emission on a lib/core / lib/net path");
+    ("R4", "unguarded trace emission on a lib/core / lib/net / lib/repl \
+            path");
     ("R5", "missing .mli, undocumented export, or engine not implementing \
             Engine_intf");
   ]
@@ -179,7 +180,7 @@ let r4_in_scope file =
   let pfx p =
     String.length file >= String.length p && String.sub file 0 (String.length p) = p
   in
-  pfx "lib/core/" || pfx "lib/net/"
+  pfx "lib/core/" || pfx "lib/net/" || pfx "lib/repl/"
 
 let r4_is_emit (fn : Parsetree.expression) =
   match fn.Parsetree.pexp_desc with

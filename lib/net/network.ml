@@ -11,6 +11,9 @@ type 'm t = {
   link_latency : src:int -> dst:int -> Latency.t option;
   links : int array;  (** per-link send counts, keyed [src * n + dst] *)
   mutable filter : filter option;
+  mutable delivery_key : ('m -> (int * int) option) option;
+  delivered_seen : (int * int * int, unit) Hashtbl.t;
+      (** (key-src, key-seq, dst) triples already counted in [delivered] *)
   mutable sent : int;
   mutable remote_sent : int;
   mutable delivered : int;
@@ -29,6 +32,8 @@ let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
     link_latency;
     links = Array.make (size * size) 0;
     filter = None;
+    delivery_key = None;
+    delivered_seen = Hashtbl.create 256;
     sent = 0;
     remote_sent = 0;
     delivered = 0;
@@ -39,6 +44,7 @@ let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
 let size t = t.n
 let sim t = t.simulation
 let set_filter t f = t.filter <- Some f
+let set_delivery_key t f = t.delivery_key <- Some f
 
 let check_node t n ctx =
   if n < 0 || n >= t.n then
@@ -46,10 +52,23 @@ let check_node t n ctx =
 
 (* One closure per delivered copy — the event itself. [delivered] is bumped
    when the copy actually lands in the destination mailbox, so messages
-   still in flight when a run ends are never reported as delivered. *)
+   still in flight when a run ends are never reported as delivered.
+   Messages carrying a delivery key are counted once per (key, dst): a
+   retransmission landing after the original — routine under group-addressed
+   sends, where a crashed replica's mirrors retransmit until it restarts —
+   is the same logical delivery, not a second one. *)
 let schedule_delivery t ~dst ~delay msg =
   Sim.schedule t.simulation ~delay (fun () ->
-      t.delivered <- t.delivered + 1;
+      (match t.delivery_key with
+      | Some keyer -> (
+          match keyer msg with
+          | Some (ks, kq) ->
+              if not (Hashtbl.mem t.delivered_seen (ks, kq, dst)) then begin
+                Hashtbl.replace t.delivered_seen (ks, kq, dst) ();
+                t.delivered <- t.delivered + 1
+              end
+          | None -> t.delivered <- t.delivered + 1)
+      | None -> t.delivered <- t.delivered + 1);
       Mailbox.send t.inboxes.(dst) msg)
 
 let send t ~src ~dst msg =

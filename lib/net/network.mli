@@ -35,6 +35,14 @@ val sim : 'm t -> Simul.Sim.t
     subsequent send — including self-sends — is routed through it. *)
 val set_filter : 'm t -> filter -> unit
 
+(** [set_delivery_key t keyer] teaches delivery accounting to recognise
+    logical re-sends: a delivered message for which [keyer] returns
+    [Some (src, seq)] bumps {!messages_delivered} only the first time that
+    [(src, seq)] lands at a given destination. A reliable channel installs
+    this so a retransmission arriving after the original is not counted as
+    a second delivery. [None]-keyed messages count once per copy. *)
+val set_delivery_key : 'm t -> ('m -> (int * int) option) -> unit
+
 (** [send t ~src ~dst msg] schedules delivery of [msg] into [dst]'s inbox.
     Returns immediately (never suspends). Messages from a node to itself
     have zero base delay (no latency sample is drawn) but still pass

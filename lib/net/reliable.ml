@@ -27,6 +27,13 @@ type 'm t = {
 let create ?(config = default_config) net =
   if config.acks && (config.timeout <= 0. || config.backoff < 1.) then
     invalid_arg "Reliable.create: timeout must be positive and backoff >= 1";
+  (* Sequenced data packets are logical messages: however many times the
+     channel retransmits one, the network reports at most one delivery per
+     (src, seq, dst). Acks and raw-mode packets (seq = 0) keep per-copy
+     accounting. *)
+  Network.set_delivery_key net (function
+    | Data { src; seq; body = _ } when seq > 0 -> Some (src, seq)
+    | Data _ | Ack _ -> None);
   {
     net;
     cfg = config;
@@ -44,6 +51,13 @@ let retransmissions t = t.retransmissions
 let dup_dropped t = t.dup_dropped
 let acks_sent t = t.acks_sent
 let unacked t = Hashtbl.length t.pending
+
+let unacked_to t ~dst =
+  (* lint: hash-order-ok — a commutative integer count; the fold's result
+     is independent of enumeration order. *)
+  Hashtbl.fold
+    (fun (_, d, _) _ acc -> if d = dst then acc + 1 else acc)
+    t.pending 0
 
 let rec arm_retransmit t ~src ~dst ~seq ~delay =
   Sim.schedule (Network.sim t.net) ~delay (fun () ->

@@ -1,0 +1,61 @@
+type t = { nodes : int; k : int }
+
+let create ~nodes ~replicas =
+  if nodes <= 0 then invalid_arg "Placement.create: nodes must be positive";
+  if replicas <= 0 then
+    invalid_arg "Placement.create: replicas must be positive";
+  if replicas > nodes then
+    invalid_arg "Placement.create: replicas must not exceed nodes";
+  { nodes; k = replicas }
+
+let nodes t = t.nodes
+let replicas t = t.k
+let group_count t = (t.nodes + t.k - 1) / t.k
+let group_of_node t node =
+  if node < 0 || node >= t.nodes then
+    invalid_arg (Printf.sprintf "Placement.group_of_node: node %d out of range" node);
+  node / t.k
+
+let members t group =
+  if group < 0 || group >= group_count t then
+    invalid_arg (Printf.sprintf "Placement.members: group %d out of range" group);
+  let lo = group * t.k and hi = min ((group + 1) * t.k) t.nodes in
+  List.init (hi - lo) (fun i -> lo + i)
+
+let peers t node =
+  List.filter (fun m -> m <> node) (members t (group_of_node t node))
+
+let failover_order t node =
+  (* Rotate the member list so it starts at [node]: every replica agrees on
+     the same cyclic order, so two routers with the same liveness view pick
+     the same serving replica. *)
+  let ms = members t (group_of_node t node) in
+  let after, before = List.partition (fun m -> m >= node) ms in
+  after @ before
+
+(* FNV-1a over the key bytes: deterministic across runs and OCaml versions
+   (unlike [Hashtbl.hash], whose output is version-defined but which the
+   project reserves for unordered-container internals). *)
+let key_hash key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch ->
+      h := !h lxor Char.code ch;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h
+
+let group_of_key t key = key_hash key mod group_count t
+
+let home_of_key t key = group_of_key t key * t.k
+
+let serving_replica t ~live node =
+  let rec first = function
+    | [] -> None
+    | m :: rest -> if live m then Some m else first rest
+  in
+  first (failover_order t node)
+
+let pp ppf t =
+  Format.fprintf ppf "placement(n=%d k=%d groups=%d)" t.nodes t.k
+    (group_count t)

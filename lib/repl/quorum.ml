@@ -1,0 +1,34 @@
+let met placement ~live =
+  let rec groups g =
+    g >= Placement.group_count placement
+    || List.exists live (Placement.members placement g)
+       && groups (g + 1)
+  in
+  groups 0
+
+let dead_groups placement ~live =
+  List.filter
+    (fun g -> not (List.exists live (Placement.members placement g)))
+    (List.init (Placement.group_count placement) (fun g -> g))
+
+let required placement ~live =
+  let n = Placement.nodes placement in
+  let req = Array.init n live in
+  (* A fully-dead group has no live representative; the poll must then wait
+     for one of its members to restart rather than excuse them all, so every
+     member stays required. *)
+  List.iter
+    (fun g -> List.iter (fun m -> req.(m) <- true) (Placement.members placement g))
+    (dead_groups placement ~live);
+  req
+
+let matrices_agree ~considered a b =
+  let n = Array.length a in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if considered.(p) && considered.(q) && a.(p).(q) <> b.(p).(q) then
+        ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,27 @@
+(** Quorum rules for group-aware counter polling.
+
+    Version advancement tolerates up to [k-1] crashed replicas per group: a
+    counter poll completes once every {e required} node replied, where a
+    node is required iff it is live or its whole group is down (a fully-dead
+    group blocks advancement — excusing it would declare versions consistent
+    that no surviving replica can vouch for). Counter-matrix agreement is
+    likewise restricted to pairs of considered nodes: an R bump at a live
+    sender whose mirrored update is still in flight to a crashed replica is
+    excused, because the reliable channel retransmits the mirror until the
+    replica restarts and the readable-after-recovery rule keeps that replica
+    from serving reads before its counters balance again. *)
+
+(** [met placement ~live] holds when every group has ≥ 1 live member. *)
+val met : Placement.t -> live:(int -> bool) -> bool
+
+(** Groups with zero live members, ascending. *)
+val dead_groups : Placement.t -> live:(int -> bool) -> int list
+
+(** [required placement ~live] is the per-node poll-participation vector:
+    [req.(i)] iff node [i]'s reply must be awaited (live, or member of a
+    fully-dead group). *)
+val required : Placement.t -> live:(int -> bool) -> bool array
+
+(** [matrices_agree ~considered a b] compares [a.(p).(q) = b.(p).(q)] only
+    over pairs with [considered.(p) && considered.(q)]. *)
+val matrices_agree : considered:bool array -> int array array -> int array array -> bool

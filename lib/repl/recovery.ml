@@ -1,0 +1,30 @@
+type t = { frontiers : (int, int) Hashtbl.t; mutable recoveries : int }
+
+let create () = { frontiers = Hashtbl.create 8; recoveries = 0 }
+
+let mark t ~node ~frontier =
+  t.recoveries <- t.recoveries + 1;
+  let cur =
+    match Hashtbl.find_opt t.frontiers node with
+    | Some f -> max f frontier
+    | None -> frontier
+  in
+  Hashtbl.replace t.frontiers node cur
+
+let frontier t ~node = Hashtbl.find_opt t.frontiers node
+
+let readable t ~node ~vr =
+  match Hashtbl.find_opt t.frontiers node with
+  | None -> true
+  | Some f ->
+      if vr >= f then begin
+        (* Caught up: the read version reached the frontier, which means a
+           full quiescence round completed with this node live — every
+           mirrored update it slept through has landed. The gate clears
+           permanently (until the next crash re-arms it). *)
+        Hashtbl.remove t.frontiers node;
+        true
+      end
+      else false
+
+let recoveries t = t.recoveries

@@ -1,0 +1,31 @@
+(** Readable-after-recovery gate for restarted replicas.
+
+    A replica that crashes may miss mirrored updates for the update version
+    that was open while it was down; the reliable channel retransmits them,
+    but until they all land the replica's copy of that version is
+    incomplete. On restart the engine records the recovered update version
+    as the node's {e frontier}; the node may serve reads again only once its
+    read version reaches the frontier — i.e. once a full quiescence round
+    (which now requires this node's counters to balance) has certified the
+    suspect version, which in turn implies every retransmitted mirror
+    arrived. This is SNIPPETS.md Snippet 1's [readable_after_recovery]
+    condition expressed in 3V terms. *)
+
+type t
+
+(** Empty gate set (every node readable). *)
+val create : unit -> t
+
+(** [mark t ~node ~frontier] arms the gate after a restart; repeated marks
+    keep the highest frontier. *)
+val mark : t -> node:int -> frontier:int -> unit
+
+(** Currently armed frontier for [node], if any. *)
+val frontier : t -> node:int -> int option
+
+(** [readable t ~node ~vr] tests whether [node] with read version [vr] may
+    serve reads; the gate auto-clears the first time it is satisfied. *)
+val readable : t -> node:int -> vr:int -> bool
+
+(** Total number of {!mark} calls (restarts observed), for reports. *)
+val recoveries : t -> int

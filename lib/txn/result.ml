@@ -4,6 +4,7 @@ type t = {
   txn_id : int;
   outcome : outcome;
   version : int;
+  served_by : int;
   reads : (string * Value.t) list;
   submit_time : float;
   root_commit_time : float;

@@ -10,6 +10,11 @@ type t = {
   version : int;
       (** version the transaction executed against (engine-specific meaning
           for baselines; -1 when not applicable) *)
+  served_by : int;
+      (** node that executed the root subtransaction — under replication the
+          serving replica the router chose, which checkers use to resolve
+          reads-from through the replica that actually answered; equals the
+          spec's root node for unreplicated engines (-1 when unknown) *)
   reads : (string * Value.t) list;
       (** key, value-as-seen — in subtransaction execution order; the
           [writers] inside each value feed the atomic-visibility checker *)

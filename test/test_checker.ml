@@ -37,6 +37,7 @@ let committed_result ~id ?(version = 1) ?(reads = []) ?(submit = 0.)
     ?(complete = 1.) () =
   {
     Result.txn_id = id;
+    served_by = 0;
     outcome = Result.Committed;
     version;
     reads;

@@ -34,12 +34,22 @@ let engines_rotate () =
   let kinds =
     List.map
       (fun i -> (Fuzz.case_of_index ~fuzz_seed:1 ~quick:true i).Fuzz.engine)
-      [ 0; 1; 2; 3; 4 ]
+      [ 0; 1; 2; 3; 4; 5 ]
   in
-  checkb "indices 0-4 cover the engine matrix" true
+  checkb "indices 0-5 cover the engine matrix" true
     (List.sort_uniq compare kinds
     = List.sort_uniq compare
-        [ Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E2pc; Fuzz.E_nocoord; Fuzz.E_manual ])
+        [
+          Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E3v_repl; Fuzz.E2pc; Fuzz.E_nocoord;
+          Fuzz.E_manual;
+        ]);
+  (* Replicated cases always carry at least one data-node crash. *)
+  let repl_case = Fuzz.case_of_index ~fuzz_seed:1 ~quick:true 5 in
+  checkb "replicated case is k=3" true (repl_case.Fuzz.replicas = 3);
+  checkb "replicated case crashes a replica" true
+    (List.exists
+       (function Fuzz.Crash _ -> true | _ -> false)
+       repl_case.Fuzz.atoms)
 
 let verdict_tag = function
   | Fuzz.Clean -> "clean"
@@ -69,7 +79,7 @@ let sweep_deterministic () =
 
 let strict engine =
   match engine with
-  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E2pc -> true
+  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E3v_repl | Fuzz.E2pc -> true
   | Fuzz.E_nocoord | Fuzz.E_manual -> false
 
 let small_sweep_strict_clean () =
@@ -199,7 +209,7 @@ let () =
         [
           Alcotest.test_case "case_of_index replays" `Quick
             case_of_index_deterministic;
-          Alcotest.test_case "engines rotate over 5 indices" `Quick
+          Alcotest.test_case "engines rotate over 6 indices" `Quick
             engines_rotate;
           Alcotest.test_case "sweep replays" `Quick sweep_deterministic;
         ] );

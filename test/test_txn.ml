@@ -108,6 +108,7 @@ let result_latencies () =
   let r =
     {
       Result.txn_id = 1;
+      served_by = 0;
       outcome = Result.Committed;
       version = 1;
       reads = [];
