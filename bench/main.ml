@@ -322,9 +322,66 @@ let run_scale ~quick =
     print_endline "scale: wrote BENCH_scale.json"
   end
 
+(* Scan [line] for [name]: and parse the float that follows. The BENCH
+   files are written by [scale_json] above with one row per line, so a
+   substring scan is an exact parser for our own output and avoids a JSON
+   dependency. *)
+let json_float_field line name =
+  let needle = "\"" ^ name ^ "\": " in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then
+      let j = ref (i + nlen) in
+      while
+        !j < llen
+        && (match line.[!j] with '0' .. '9' | '.' | '-' | 'e' -> true | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub line (i + nlen) (!j - i - nlen))
+    else find (i + 1)
+  in
+  find 0
+
+(* The recorded events/sec-wall of the BENCH_scale.json row matching
+   [nodes] and [rate], if the trajectory file exists next to the cwd. *)
+let scale_baseline ~nodes ~rate =
+  match open_in "BENCH_scale.json" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let target_n = Printf.sprintf "\"nodes\": %d," nodes in
+      let contains line sub =
+        let sl = String.length sub and ll = String.length line in
+        let rec go i =
+          i + sl <= ll && (String.sub line i sl = sub || go (i + 1))
+        in
+        go 0
+      in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            None
+        | line ->
+            if
+              contains line target_n
+              && json_float_field line "arrival_rate" = Some rate
+            then begin
+              close_in ic;
+              json_float_field line "events_per_sec_wall"
+            end
+            else scan ()
+      in
+      scan ()
+
 (* `main.exe scale-smoke`: the sub-second CI gate. Fails (exit 1) on crash
    or on the unbounded-memory sentinel — a trace ring that exceeded its
-   capacity — never on timing, so it is safe on loaded CI machines. *)
+   capacity. When BENCH_scale.json is present it additionally re-runs the
+   16-node top row (shortened) best-of-three and fails on an events/sec
+   regression worse than 15% against the recorded trajectory; absent the
+   file, the throughput leg is skipped so fresh clones still gate on the
+   memory sentinel alone. *)
 let run_scale_smoke () =
   let cap = 64 in
   let sim = Sim.create ~seed:7 () in
@@ -363,6 +420,29 @@ let run_scale_smoke () =
     fail "trace length disagrees with materialized events";
   if Threev.Trace.total trace <= cap then
     fail "run too small to exercise ring eviction";
+  (match scale_baseline ~nodes:16 ~rate:4800. with
+  | None ->
+      print_endline
+        "scale-smoke: no BENCH_scale.json baseline, throughput leg skipped"
+  | Some baseline ->
+      let best = ref 0. in
+      for _ = 1 to 3 do
+        let r = scale_run ~nodes:16 ~rate:4800. ~duration:0.4 ~settle:1.0 in
+        let eps = float_of_int r.sr_events /. r.sr_wall in
+        if eps > !best then best := eps
+      done;
+      let floor_ = 0.85 *. baseline in
+      if !best < floor_ then
+        fail
+          (Printf.sprintf
+             "throughput regression: best-of-3 %.0f events/s vs recorded \
+              %.0f (floor %.0f); refresh with `dune exec bench/main.exe -- \
+              scale` if intentional"
+             !best baseline floor_);
+      Printf.printf
+        "scale-smoke: throughput ok (best-of-3 %.2f Mev/s vs recorded %.2f, \
+         floor 85%%)\n"
+        (!best /. 1e6) (baseline /. 1e6));
   Printf.printf
     "scale-smoke: ok (%d committed, %d sim events, trace %d/%d, cap %d)\n"
     outcome.Harness.Runner.committed (Sim.events_executed sim)
@@ -396,7 +476,6 @@ let repl_run ~nodes ~replicas ~rate ~duration ~settle =
     {
       (Engine.default_config ~nodes) with
       Engine.replicas;
-      failover_margin = (if replicas > 1 then 0.02 else 0.);
       latency = Netsim.Latency.Exponential 0.002;
       think_time = 0.0001;
       policy = Threev.Policy.Periodic 0.25;
@@ -493,7 +572,6 @@ let run_repl_smoke () =
     {
       (Engine.default_config ~nodes) with
       Engine.replicas = 3;
-      failover_margin = 0.02;
       latency = Netsim.Latency.Exponential 0.003;
       think_time = 0.0005;
       policy = Threev.Policy.Periodic 0.2;
@@ -554,6 +632,228 @@ let run_repl_smoke () =
     (Stats.Counter_set.get outcome.Harness.Runner.stats "repl.mirrors")
     (Stats.Counter_set.get outcome.Harness.Runner.stats "repl.recoveries")
 
+(* -------------------------------------------- failure-detector suite *)
+
+(* The BENCH fd trajectory: 16-node k = 3 runs measuring what oracle-free
+   liveness costs. Three rows into BENCH_fd.json: detector off (baseline),
+   detector on (heartbeat overhead: side-network messages, extra simulator
+   events, machine cost), and detector on under a false-suspicion storm
+   (one node's outbound heartbeats dropped across the middle of the run —
+   suspicion, failover and recovery traffic on top of the heartbeats). *)
+
+type fd_row = {
+  fr_label : string;
+  fr_nodes : int;
+  fr_rate : float;
+  fr_sim_duration : float;
+  fr_submitted : int;
+  fr_committed : int;
+  fr_advancements : int;
+  fr_hb_sent : int;
+  fr_hb_dropped : int;
+  fr_suspicions : int;
+  fr_confirmed : int;
+  fr_recoveries : int;
+  fr_failovers : int;
+  fr_events : int;
+  fr_wall : float;
+}
+
+let fd_run ~label ~nodes ~rate ~duration ~settle ~fd ~storm =
+  let sim = Sim.create ~seed:(3000 + nodes) () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.replicas = 3;
+      latency = Netsim.Latency.Exponential 0.002;
+      think_time = 0.0001;
+      policy = Threev.Policy.Periodic 0.25;
+      reliable_channel = true;
+      retransmit_timeout = 0.02;
+      hb_period = (if fd then 0.02 else 0.);
+      hb_timeout = 0.08;
+      phase_deadline = (if fd then 0.5 else infinity);
+    }
+  in
+  let plan =
+    if storm then
+      Fault.Plan.make ~seed:(3000 + nodes)
+        ~rules:
+          (Fault.Plan.heartbeat_loss ~src:1 ~from_:(0.3 *. duration)
+             ~until_:(0.7 *. duration) ())
+        ()
+    else Fault.Plan.none
+  in
+  let faults = Fault.Injector.create sim plan in
+  let engine = Engine.create sim cfg ~faults () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = rate;
+        read_ratio = 0.3;
+        fanout = 2;
+      }
+  in
+  let wall0 = Unix.gettimeofday () in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      { Harness.Runner.seed = nodes; duration; settle; max_txns = 500_000 }
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let c name = Stats.Counter_set.get outcome.Harness.Runner.stats name in
+  {
+    fr_label = label;
+    fr_nodes = nodes;
+    fr_rate = rate;
+    fr_sim_duration = duration;
+    fr_submitted = outcome.Harness.Runner.submitted;
+    fr_committed = outcome.Harness.Runner.committed;
+    fr_advancements = Engine.advancements_completed engine;
+    fr_hb_sent = c "fd.heartbeats_sent";
+    fr_hb_dropped = c "fd.heartbeats_dropped";
+    fr_suspicions = c "fd.suspicions";
+    fr_confirmed = c "fd.confirmed";
+    fr_recoveries = c "fd.recoveries";
+    fr_failovers = c "repl.failovers";
+    fr_events = Sim.events_executed sim;
+    fr_wall = wall;
+  }
+
+let fd_json rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"bench_fd/v1\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"case\": \"%s\", \"nodes\": %d, \"arrival_rate\": %.1f, \
+            \"sim_duration_s\": %.2f, \"submitted\": %d, \"committed\": %d, \
+            \"advancements\": %d, \"heartbeats_sent\": %d, \
+            \"heartbeats_dropped\": %d, \"suspicions\": %d, \
+            \"confirmed_down\": %d, \"recoveries\": %d, \"failovers\": %d, \
+            \"events\": %d, \"wall_s\": %.3f, \
+            \"events_per_sec_wall\": %.1f }"
+           r.fr_label r.fr_nodes r.fr_rate r.fr_sim_duration r.fr_submitted
+           r.fr_committed r.fr_advancements r.fr_hb_sent r.fr_hb_dropped
+           r.fr_suspicions r.fr_confirmed r.fr_recoveries r.fr_failovers
+           r.fr_events r.fr_wall
+           (float_of_int r.fr_events /. r.fr_wall)))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* `main.exe fd [--quick]`: detector off / on / on-under-storm at 16 nodes;
+   write BENCH_fd.json from the repo root. --quick shrinks to 8 nodes and
+   skips the file write. *)
+let run_fd ~quick =
+  let nodes = if quick then 8 else 16 in
+  let duration = if quick then 0.4 else 1.0 in
+  let settle = if quick then 1.5 else 3.0 in
+  let rate = 100. *. float_of_int nodes in
+  let rows =
+    List.map
+      (fun (label, fd, storm) ->
+        let r = fd_run ~label ~nodes ~rate ~duration ~settle ~fd ~storm in
+        Printf.printf
+          "fd: %-9s %3d nodes @ %6.0f txns/s sim -> %6d committed, %6d \
+           heartbeats, %3d suspicions, %8d events, %6.3fs wall\n%!"
+          r.fr_label r.fr_nodes r.fr_rate r.fr_committed r.fr_hb_sent
+          r.fr_suspicions r.fr_events r.fr_wall;
+        r)
+      [ ("fd-off", false, false); ("fd-on", true, false);
+        ("fd-storm", true, true) ]
+  in
+  if not quick then begin
+    let oc = open_out "BENCH_fd.json" in
+    output_string oc (fd_json rows);
+    close_out oc;
+    print_endline "fd: wrote BENCH_fd.json"
+  end
+
+(* `main.exe fd-smoke`: the sub-second liveness CI gate — a tiny k = 3 run
+   with the failure detector on, a real replica crash across an advancement
+   window AND a false-suspicion storm against a live node. Fails (exit 1)
+   if the detector never suspected, the falsely-suspected node never
+   re-earned trust, advancement stalled, any transaction failed to settle,
+   or any checker flagged the history — never on timing. *)
+let run_fd_smoke () =
+  let nodes = 6 in
+  let sim = Sim.create ~seed:29 () in
+  let cfg =
+    {
+      (Engine.default_config ~nodes) with
+      Engine.replicas = 3;
+      latency = Netsim.Latency.Exponential 0.003;
+      think_time = 0.0005;
+      policy = Threev.Policy.Periodic 0.2;
+      reliable_channel = true;
+      retransmit_timeout = 0.02;
+      hb_period = 0.02;
+      hb_timeout = 0.08;
+      phase_deadline = 0.5;
+    }
+  in
+  let faults =
+    Fault.Injector.create sim
+      (Fault.Plan.make ~seed:29
+         ~rules:(Fault.Plan.heartbeat_loss ~src:3 ~from_:0.2 ~until_:0.6 ())
+         ~crashes:[ Fault.Plan.crash ~node:0 ~at:0.25 ~restart:0.7 ] ())
+  in
+  let engine = Engine.create sim cfg ~faults () in
+  let gen =
+    Workload.Synthetic.generator
+      {
+        (Workload.Synthetic.default ~nodes) with
+        Workload.Synthetic.arrival_rate = 400.;
+        read_ratio = 0.3;
+        fanout = 2;
+        keys_per_node = 15;
+      }
+  in
+  let outcome =
+    Harness.Runner.drive sim (Engine.packed engine) gen
+      { Harness.Runner.seed = 29; duration = 0.9; settle = 4.0; max_txns = 5_000 }
+  in
+  let fail msg =
+    prerr_endline ("fd-smoke: FAILED: " ^ msg);
+    exit 1
+  in
+  let c name = Stats.Counter_set.get outcome.Harness.Runner.stats name in
+  if outcome.Harness.Runner.committed = 0 then fail "no transactions committed";
+  if outcome.Harness.Runner.unfinished > 0 then
+    fail
+      (Printf.sprintf "%d transactions never settled"
+         outcome.Harness.Runner.unfinished);
+  if Engine.advancements_completed engine = 0 then
+    fail "advancement stalled under suspicion";
+  if c "fd.heartbeats_sent" = 0 then fail "no heartbeats sent";
+  if c "fd.suspicions" = 0 then
+    fail "crash + storm provoked no suspicion";
+  if c "fd.recoveries" = 0 then
+    fail "no suspected node ever re-earned trust";
+  let srz = Checker.Serializability.certify outcome.Harness.Runner.history in
+  if not (Checker.Serializability.serializable srz) then
+    fail "history is not 1SR";
+  if
+    not
+      (Checker.Atomicity.clean
+         (Checker.Atomicity.check outcome.Harness.Runner.history))
+  then fail "atomic-visibility anomaly";
+  if
+    not
+      (Checker.Version_reads.clean
+         (Checker.Version_reads.check outcome.Harness.Runner.history))
+  then fail "version-read anomaly";
+  Printf.printf
+    "fd-smoke: ok (%d committed, %d advancements, %d heartbeats, %d \
+     suspicions, %d confirmed, %d recoveries, %d failovers)\n"
+    outcome.Harness.Runner.committed
+    (Engine.advancements_completed engine)
+    (c "fd.heartbeats_sent") (c "fd.suspicions") (c "fd.confirmed")
+    (c "fd.recoveries") (c "repl.failovers")
+
 (* `main.exe fuzz-smoke`: sub-second slice of the schedule-fuzz sweep —
    ten deterministic quick cases (two full engine rotations). Fails on any
    strict-engine 1SR violation, and requires the certifier to have flagged
@@ -590,9 +890,11 @@ let () =
   if args = [ "scale-smoke" ] then (run_scale_smoke (); exit 0);
   if args = [ "fuzz-smoke" ] then (run_fuzz_smoke (); exit 0);
   if args = [ "repl-smoke" ] then (run_repl_smoke (); exit 0);
+  if args = [ "fd-smoke" ] then (run_fd_smoke (); exit 0);
   let quick = List.mem "--quick" args in
   if List.mem "scale" args then (run_scale ~quick; exit 0);
   if List.mem "repl" args then (run_repl ~quick; exit 0);
+  if List.mem "fd" args then (run_fd ~quick; exit 0);
   let no_micro = List.mem "--no-micro" args in
   let ids =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args

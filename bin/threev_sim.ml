@@ -32,7 +32,7 @@ let quick_flag =
 
 let experiment_cmd =
   let doc =
-    "Run one experiment by id (t1, f1, f2, e1..e14, a1..a4), or $(b,all)."
+    "Run one experiment by id (t1, f1, f2, e1..e15, a1..a4), or $(b,all)."
   in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
@@ -154,21 +154,81 @@ let workload_conv =
     ]
 
 (* Fault-injection flags, shared syntax with lib/fault's plan builders:
-   --partition SRC:DST:FROM:UNTIL drops every message on a directed link
-   during a window; --crash NODE@TIME:RESTART fail-stops a node. *)
+   --partition takes either the legacy directed link SRC:DST:FROM:UNTIL or
+   the set form SET@FROM:UNTIL[:oneway] (SET comma-separated node ids cut
+   off from the rest of the cluster, [:oneway] silences only the set's
+   outbound direction); --crash NODE@TIME:RESTART fail-stops a node. *)
+type partition_spec =
+  | P_link of int * int * float * float  (** legacy SRC:DST:FROM:UNTIL *)
+  | P_set of int list * float * float * bool  (** SET@FROM:UNTIL[:oneway] *)
+
 let partition_conv =
   let parse s =
     match
-      Scanf.sscanf_opt s "%d:%d:%f:%f%!" (fun a b c d -> (a, b, c, d))
+      Scanf.sscanf_opt s "%d:%d:%f:%f%!" (fun a b c d -> P_link (a, b, c, d))
     with
     | Some v -> Ok v
-    | None ->
-        Error
-          (`Msg
-             (Printf.sprintf "bad partition spec %S, expected SRC:DST:FROM:UNTIL"
-                s))
+    | None -> (
+        let err () =
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "bad partition spec %S, expected SRC:DST:FROM:UNTIL or \
+                   SET@FROM:UNTIL[:oneway]"
+                  s))
+        in
+        match String.index_opt s '@' with
+        | None -> err ()
+        | Some i -> (
+            try
+              let set =
+                String.sub s 0 i |> String.split_on_char ','
+                |> List.map (fun x -> int_of_string (String.trim x))
+              in
+              let rest =
+                String.sub s (i + 1) (String.length s - i - 1)
+                |> String.split_on_char ':'
+              in
+              match rest with
+              | [ f; u ] ->
+                  Ok (P_set (set, float_of_string f, float_of_string u, false))
+              | [ f; u; "oneway" ] ->
+                  Ok (P_set (set, float_of_string f, float_of_string u, true))
+              | _ -> err ()
+            with Failure _ -> err ()))
   in
-  let print ppf (a, b, c, d) = Format.fprintf ppf "%d:%d:%g:%g" a b c d in
+  let print ppf = function
+    | P_link (a, b, c, d) -> Format.fprintf ppf "%d:%d:%g:%g" a b c d
+    | P_set (set, f, u, oneway) ->
+        Format.fprintf ppf "%s@%g:%g%s"
+          (String.concat "," (List.map string_of_int set))
+          f u
+          (if oneway then ":oneway" else "")
+  in
+  Arg.conv (parse, print)
+
+(* --hb-loss NODE@FROM:UNTIL[:PROB] drops NODE's outgoing heartbeats during
+   a window — the false-suspicion provocation: protocol traffic is
+   untouched, only the detector's evidence stream is cut. *)
+let hb_loss_conv =
+  let parse s =
+    match
+      Scanf.sscanf_opt s "%d@%f:%f:%f%!" (fun n f u p -> (n, f, u, p))
+    with
+    | Some v -> Ok v
+    | None -> (
+        match Scanf.sscanf_opt s "%d@%f:%f%!" (fun n f u -> (n, f, u, 1.)) with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "bad hb-loss spec %S, expected NODE@FROM:UNTIL[:PROB]" s)))
+  in
+  let print ppf (n, f, u, p) =
+    if p >= 1. then Format.fprintf ppf "%d@%g:%g" n f u
+    else Format.fprintf ppf "%d@%g:%g:%g" n f u p
+  in
   Arg.conv (parse, print)
 
 let crash_conv =
@@ -277,10 +337,47 @@ let run_cmd =
     Arg.(
       value
       & opt_all partition_conv []
-      & info [ "partition" ] ~docv:"SRC:DST:FROM:UNTIL"
+      & info [ "partition" ] ~docv:"SPEC"
           ~doc:
-            "Drop every message on the directed link SRC->DST during \
-             [FROM, UNTIL) virtual seconds. Repeatable.")
+            "Either SRC:DST:FROM:UNTIL — drop every message on one directed \
+             link during [FROM, UNTIL) virtual seconds — or \
+             SET\\@FROM:UNTIL[:oneway] — cut the comma-separated node set \
+             SET off from the rest of the cluster for the window, both \
+             directions by default, only the set's outbound links with \
+             :oneway (an asymmetric partition: the set still hears the \
+             cluster but is never heard). Repeatable.")
+  in
+  let hb_period_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "hb-period" ]
+          ~doc:
+            "Heartbeat period in virtual seconds: every node beats to the \
+             coordinator's failure detector and all liveness decisions \
+             (read failover, quorum participation, watchdog excusal) come \
+             from heartbeat suspicion instead of ground truth. 0 (default) \
+             disables the detector. 3v engine only.")
+  in
+  let hb_timeout_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "hb-timeout" ]
+          ~doc:
+            "Base suspicion horizon (virtual seconds): a node whose \
+             heartbeat is this overdue — adaptively stretched by observed \
+             inter-arrival times — becomes suspected. Must exceed \
+             --hb-period; used only when --hb-period > 0.")
+  in
+  let hb_loss_arg =
+    Arg.(
+      value
+      & opt_all hb_loss_conv []
+      & info [ "hb-loss" ] ~docv:"NODE\\@FROM:UNTIL[:PROB]"
+          ~doc:
+            "Drop NODE's outgoing heartbeats during [FROM, UNTIL) with \
+             probability PROB (default 1) — provokes false suspicion of a \
+             live node without touching protocol traffic. Repeatable; \
+             requires --hb-period > 0.")
   in
   let crash_arg =
     Arg.(
@@ -334,7 +431,7 @@ let run_cmd =
   in
   let run engine workload nodes replicas rate duration seed period nc_ratio
       read_ratio drop_prob dup_prob partitions crashes coord_crashes
-      data_crashes phase_deadline fault_seed =
+      data_crashes phase_deadline fault_seed hb_period hb_timeout hb_losses =
     let gen =
       match workload with
       | W_hospital ->
@@ -373,7 +470,7 @@ let run_cmd =
     in
     let has_faults =
       drop_prob > 0. || dup_prob > 0. || partitions <> [] || crashes <> []
-      || coord_crashes <> [] || data_crashes <> []
+      || coord_crashes <> [] || data_crashes <> [] || hb_losses <> []
     in
     match
       if has_faults && (engine = E_nocoord || engine = E_manual) then
@@ -390,6 +487,13 @@ let run_cmd =
         Error "--data-crash requires --replicas > 1"
       else if phase_deadline <> infinity && phase_deadline <= 0. then
         Error "--phase-deadline must be positive"
+      else if hb_period < 0. then Error "--hb-period must be non-negative"
+      else if hb_period > 0. && engine <> E_3v then
+        Error "--hb-period supports only --engine 3v"
+      else if hb_period > 0. && hb_timeout <= hb_period then
+        Error "--hb-timeout must exceed --hb-period"
+      else if hb_losses <> [] && hb_period <= 0. then
+        Error "--hb-loss requires --hb-period > 0"
       else if not has_faults then Ok None
       else
         try
@@ -397,10 +501,20 @@ let run_cmd =
             (if drop_prob > 0. || dup_prob > 0. then
                Fault.Plan.uniform_loss ~dup:dup_prob ~drop:drop_prob ()
              else [])
-            @ List.map
-                (fun (src, dst, from_, until_) ->
-                  Fault.Plan.partition ~src ~dst ~from_ ~until_)
+            @ List.concat_map
+                (function
+                  | P_link (src, dst, from_, until_) ->
+                      [ Fault.Plan.partition ~src ~dst ~from_ ~until_ ]
+                  | P_set (set, from_, until_, oneway) ->
+                      (* The engine's endpoint space is nodes + the
+                         coordinator at id [nodes]. *)
+                      Fault.Plan.partition_set ~universe:(nodes + 1) ~set
+                        ~oneway ~from_ ~until_ ())
                 partitions
+            @ List.concat_map
+                (fun (node, from_, until_, prob) ->
+                  Fault.Plan.heartbeat_loss ~src:node ~prob ~from_ ~until_ ())
+                hb_losses
           in
           let placement = Repl.Placement.create ~nodes ~replicas in
           let crashes =
@@ -451,9 +565,10 @@ let run_cmd =
               retransmit_timeout = 0.02;
               phase_deadline;
               replicas;
+              hb_period;
+              hb_timeout;
               (* Matches the fuzz harness's replicated configuration, so
                  rendered reproducer lines replay the same routing. *)
-              failover_margin = (if replicas > 1 then 0.02 else 0.);
             }
           in
           let eng = Engine.create sim cfg ?faults () in
@@ -527,7 +642,8 @@ let run_cmd =
         (const run $ engine_arg $ workload_arg $ nodes_arg $ replicas_arg
        $ rate_arg $ duration_arg $ seed_arg $ period_arg $ nc_arg $ read_arg
        $ drop_arg $ dup_arg $ partition_arg $ crash_arg $ coord_crash_arg
-       $ data_crash_arg $ phase_deadline_arg $ fault_seed_arg))
+       $ data_crash_arg $ phase_deadline_arg $ fault_seed_arg $ hb_period_arg
+       $ hb_timeout_arg $ hb_loss_arg))
 
 (* ------------------------------------------------------------ fuzz *)
 
@@ -580,7 +696,7 @@ let fuzz_cmd =
 
 let lint_cmd =
   let doc =
-    "Run the determinism & protocol-hygiene static analyzer (rules R1-R5) \
+    "Run the determinism & protocol-hygiene static analyzer (rules R1-R6) \
      over lib/, bin/ and bench/. Exits non-zero on any non-waived finding; \
      the same gate runs as lint-smoke inside `dune runtest`."
   in
@@ -594,7 +710,7 @@ let lint_cmd =
       value
       & opt (some string) None
       & info [ "rule" ] ~docv:"ID"
-          ~doc:"Restrict the report to one rule id (R1..R5).")
+          ~doc:"Restrict the report to one rule id (R1..R6).")
   in
   let root_arg =
     Arg.(

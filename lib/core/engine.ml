@@ -5,6 +5,8 @@ module Semaphore = Simul.Semaphore
 module Network = Netsim.Network
 module Latency = Netsim.Latency
 module Reliable = Netsim.Reliable
+module Heartbeat = Netsim.Heartbeat
+module Detector = Fd.Detector
 module Injector = Fault.Injector
 module Mvstore = Store.Mvstore
 module Spec = Txn.Spec
@@ -23,11 +25,19 @@ type config = {
           and counter polls complete on a quorum (≥ 1 live replica per
           group). [1] — the default — disables every replication code path,
           keeping historical schedules byte-identical *)
-  failover_margin : float;
-      (** look-ahead used when routing under replication: a replica counts
-          as live only if it is up now {e and} stays up for this long, so
-          work is not dispatched to a replica about to enter a known crash
-          window. [0.] routes on instantaneous liveness only *)
+  hb_period : float;
+      (** heartbeat send cadence; [0.] — the default — disables the failure
+          detector entirely: no side network is created, no daemons are
+          spawned, no messages are sent, and every liveness decision falls
+          back to the injector's instantaneous ground truth, keeping
+          historical schedules byte-identical. When positive, every node
+          beats the coordinator this often over a dedicated side network
+          and all protocol liveness (routing, quorum participation,
+          watchdog excusal) is derived from heartbeat arrival deadlines
+          ({!Fd.Detector}) — suspicion, not omniscience *)
+  hb_timeout : float;
+      (** minimum heartbeat silence before the detector first suspects a
+          node; must exceed [hb_period] when the detector is on *)
   latency : Latency.t;
   think_time : float;
   poll_interval : float;
@@ -72,7 +82,8 @@ let default_config ~nodes =
   {
     nodes;
     replicas = 1;
-    failover_margin = 0.;
+    hb_period = 0.;
+    hb_timeout = 0.1;
     latency = Latency.Constant 0.005;
     think_time = 0.0001;
     poll_interval = 0.01;
@@ -198,6 +209,10 @@ type watch = {
   w_resend : unit -> unit;
 }
 
+(* The failure-detector subsystem, present only when [hb_period > 0]: the
+   heartbeat side network plus the suspicion state machine fed from it. *)
+type fd_state = { hb : Heartbeat.t; det : Detector.t }
+
 type t = {
   sim : Sim.t;
   cfg : config;
@@ -208,6 +223,7 @@ type t = {
   repl : Repl.Placement.t;
       (** replica-group placement; singleton groups when [replicas = 1] *)
   recovery : Repl.Recovery.t;  (** readable-after-recovery gates *)
+  fd : fd_state option;  (** heartbeat failure detector; [None] when off *)
   coord_id : int;
   trigger_box : unit Ivar.t option Mailbox.t;
   trace : Trace.t option;
@@ -293,6 +309,9 @@ let live_version_window t =
   let now = Sim.now t.sim in
   Array.fold_left
     (fun acc node ->
+      (* lint: oracle-ok — a debug-check assertion about genuinely live
+         state (the paper's three-version bound), not a protocol decision:
+         ground truth is the point here. *)
       if Injector.down t.faults ~node:node.id ~at:now then acc
       else Counters.fold_versions node.cnt (fun v acc -> v :: acc) acc)
     [] t.nodes
@@ -325,15 +344,26 @@ let merge_nodes a b = List.sort_uniq compare (a @ b)
 
 let[@inline] repl_on t = t.cfg.replicas > 1
 
-(* Routing liveness: a replica is a routing candidate only if it is up now
-   and — when a failover margin is configured — still up at the margin
-   horizon, so freshly-submitted work is not dispatched into a known
-   imminent crash window. *)
-let route_live t i =
-  let now = Sim.now t.sim in
-  (not (Injector.down t.faults ~node:i ~at:now))
-  && (t.cfg.failover_margin <= 0.
-     || not (Injector.down t.faults ~node:i ~at:(now +. t.cfg.failover_margin)))
+(* Liveness as the protocol sees it. With the failure detector on, a node
+   is "live" iff it is not under heartbeat suspicion — inferred state that
+   can be wrong in both directions, which is exactly what a deployable
+   system has to work with: a falsely-suspected node's late replies still
+   fold in idempotently, and an unsuspected-but-dead node degrades to the
+   watchdog/retransmit path. With the detector off (legacy configurations),
+   liveness falls back to the injector's {e instantaneous} ground truth;
+   the future-peek at [now +. margin] that earlier revisions used is gone —
+   no deployable system can evaluate a fault plan at a future instant. *)
+let node_live t i =
+  match t.fd with
+  | Some fd -> not (Detector.suspected fd.det ~node:i ~now:(Sim.now t.sim))
+  | None ->
+      (* lint: oracle-ok — legacy fallback for detector-less configs; the
+         only remaining protocol-path ground-truth read, and it is
+         instantaneous. *)
+      not (Injector.down t.faults ~node:i ~at:(Sim.now t.sim))
+
+(* Routing liveness is plain protocol liveness. *)
+let route_live = node_live
 
 (* Readable-after-recovery: a replica whose gate is armed serves reads only
    once (a) the reliable channel has drained every packet still owed to it —
@@ -1125,10 +1155,34 @@ let watchdog_loop t () =
 let poll_required t =
   if not (repl_on t) then Array.make t.cfg.nodes true
   else begin
-    let now = Sim.now t.sim in
-    let live i = not (Injector.down t.faults ~node:i ~at:now) in
+    let live i = node_live t i in
     if not (Repl.Quorum.met t.repl ~live) then cstat t "repl.quorum_lost";
     Repl.Quorum.required t.repl ~live
+  end
+
+(* Watchdog-time suspicion excusal: under replication with the failure
+   detector on, a node that fell under suspicion {e after} a coordinator
+   wait began is excused at the next watchdog firing — provided its group
+   still has an unsuspected member ({!poll_required} keeps every member of
+   a fully-suspect group required, so quorum is never excused away).
+   Excusing a false suspicion is safe: the node is alive, its late ack or
+   counter reply arrives anyway and folds in idempotently, and any counter
+   pairs it owes are quorum-scoped out of the comparison exactly as for a
+   genuinely crashed replica. Excusal is monotone within one wait. If the
+   requirement drops to zero the parked wait fiber is woken with the same
+   zero-payload self-send a restarting coordinator uses. *)
+let excuse_suspected t ~required ~answered ~needed =
+  if repl_on t && t.fd <> None then begin
+    let req_now = poll_required t in
+    Array.iteri
+      (fun i was ->
+        if was && (not req_now.(i)) && not answered.(i) then begin
+          required.(i) <- false;
+          decr needed;
+          cstat t "proto.suspicion_excused"
+        end)
+      required;
+    if !needed <= 0 then send t ~src:t.coord_id ~dst:t.coord_id Coord_wake
   end
 
 (* Await one acknowledgement from every required node. [matches] returns
@@ -1147,6 +1201,7 @@ let await_acks t ~what ~resend ~matches =
   let needed = ref 0 in
   Array.iter (fun r -> if r then incr needed) required;
   watch_begin t ~what ~resend:(fun () ->
+      excuse_suspected t ~required ~answered:acked ~needed;
       Array.iteri (fun i done_ -> if not done_ then resend i) acked);
   while !needed > 0 do
     match coord_recv t with
@@ -1184,6 +1239,7 @@ let poll_counters t ~version =
   watch_begin t
     ~what:(Printf.sprintf "counter poll round %d (version %d)" round version)
     ~resend:(fun () ->
+      excuse_suspected t ~required ~answered:got ~needed;
       Array.iteri
         (fun i done_ -> if not done_ then send t ~src:t.coord_id ~dst:i query)
         got);
@@ -1485,8 +1541,10 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
     invalid_arg
       "Engine.create: replication requires nc_mode off (non-commuting \
        overwrites are primary-pinned, so a failed-over read could miss them)";
-  if cfg.failover_margin < 0. then
-    invalid_arg "Engine.create: failover_margin must be non-negative";
+  if cfg.hb_period < 0. then
+    invalid_arg "Engine.create: hb_period must be non-negative";
+  if cfg.hb_period > 0. && cfg.hb_timeout <= cfg.hb_period then
+    invalid_arg "Engine.create: hb_timeout must exceed hb_period";
   if cfg.phase_deadline <= 0. then
     invalid_arg "Engine.create: phase_deadline must be positive";
   let net =
@@ -1512,6 +1570,34 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
     match faults with Some f -> f | None -> Injector.create sim Fault.Plan.none
   in
   Injector.install faults net;
+  (* Failure-detector subsystem (opt-in): a dedicated heartbeat side
+     network with the fault injector's heartbeat-class filter installed,
+     plus the suspicion state machine the coordinator's monitor daemon
+     feeds. Nothing here exists when [hb_period = 0]. *)
+  let fd =
+    if cfg.hb_period <= 0. then None
+    else begin
+      let hb =
+        Heartbeat.create sim ~size:(cfg.nodes + 1) ~monitor:cfg.nodes
+          ~period:cfg.hb_period ~latency:cfg.latency ()
+      in
+      Injector.install_hb faults (Heartbeat.network hb);
+      let det =
+        Detector.create
+          ~config:
+            {
+              Detector.default_config with
+              Detector.period = cfg.hb_period;
+              timeout = cfg.hb_timeout;
+              max_horizon =
+                Float.max Detector.default_config.Detector.max_horizon
+                  (8. *. cfg.hb_timeout);
+            }
+          ~nodes:cfg.nodes ~now:(Sim.now sim) ()
+      in
+      Some { hb; det }
+    end
+  in
   let name_of i =
     match node_names with
     | Some names when i < Array.length names -> names.(i)
@@ -1548,6 +1634,7 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       nodes;
       repl = Repl.Placement.create ~nodes:cfg.nodes ~replicas:cfg.replicas;
       recovery = Repl.Recovery.create ();
+      fd;
       coord_id = cfg.nodes;
       trigger_box = Mailbox.create ();
       trace;
@@ -1618,6 +1705,36 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
           in
           loop ()))
     nodes;
+  (* Heartbeat daemons: one sender per node and the coordinator-side
+     monitor. A crashed node's sender keeps firing into the heartbeat
+     filter, which drops everything from inside a crash window — exactly a
+     real process that stops being heard, without the engine telling the
+     detector anything. Pauses intentionally do {e not} silence heartbeats:
+     a frozen-but-alive node is the classic false-suspicion hazard only
+     when its beats are lost, which fault plans express directly
+     ({!Fault.Plan.heartbeat_loss}). *)
+  (match fd with
+  | None -> ()
+  | Some fd ->
+      Array.iter
+        (fun node ->
+          Sim.spawn sim ~daemon:true ~name:(Printf.sprintf "hb-%s" node.name)
+            (fun () ->
+              let rec loop () =
+                Heartbeat.beat fd.hb ~node:node.id;
+                Sim.sleep sim cfg.hb_period;
+                loop ()
+              in
+              loop ()))
+        nodes;
+      Sim.spawn sim ~daemon:true ~name:"hb-monitor" (fun () ->
+          let rec loop () =
+            let src = Heartbeat.recv fd.hb in
+            if src >= 0 && src < cfg.nodes then
+              Detector.heartbeat fd.det ~node:src ~now:(Sim.now sim);
+            loop ()
+          in
+          loop ()));
   (* Coordinator. *)
   Sim.spawn sim ~daemon:true ~name:"coordinator" (coordinator_loop t);
   (* Stall watchdog — only spawned when a finite deadline is configured, so
@@ -1713,6 +1830,19 @@ let stats t =
   Counter_set.incr out "net.retransmissions" ~by:(Reliable.retransmissions t.ch) ();
   Counter_set.incr out "net.chan_acks" ~by:(Reliable.acks_sent t.ch) ();
   Counter_set.incr out "net.dedup_dropped" ~by:(Reliable.dup_dropped t.ch) ();
+  (* Failure-detector accounting; absent entirely when the detector is off. *)
+  (match t.fd with
+  | None -> ()
+  | Some fd ->
+      Counter_set.incr out "fd.heartbeats_sent" ~by:(Heartbeat.sent fd.hb) ();
+      Counter_set.incr out "fd.heartbeats_received"
+        ~by:(Heartbeat.received fd.hb) ();
+      Counter_set.incr out "fd.heartbeats_dropped"
+        ~by:(Heartbeat.dropped fd.hb) ();
+      Counter_set.incr out "fd.suspicions" ~by:(Detector.suspicions fd.det) ();
+      Counter_set.incr out "fd.confirmed"
+        ~by:(Detector.confirmations fd.det) ();
+      Counter_set.incr out "fd.recoveries" ~by:(Detector.recoveries fd.det) ());
   Counter_set.merge out (Injector.stats t.faults)
 
 let packed t =
@@ -1771,6 +1901,14 @@ let placement t = t.repl
 let node_readable t ~node =
   check_node t node "node_readable";
   replica_readable t node
+
+let detector t = Option.map (fun fd -> fd.det) t.fd
+
+let node_suspected t ~node =
+  check_node t node "node_suspected";
+  match t.fd with
+  | Some fd -> Detector.suspected fd.det ~node ~now:(Sim.now t.sim)
+  | None -> false
 
 let advancements_completed t = t.advancements
 let messages_sent t = Network.messages_sent t.net

@@ -72,11 +72,27 @@ type config = {
           byte-identical. Crash tolerance additionally requires
           [reliable_channel] (mirrors owed to a down replica must
           retransmit until its restart). *)
-  failover_margin : float;
-      (** routing look-ahead under replication: a replica is a routing
-          candidate only if it is live now {e and} at this horizon, so
-          freshly submitted work avoids replicas about to enter a known
-          crash window. [0.] (default) routes on instantaneous liveness. *)
+  hb_period : float;
+      (** heartbeat send cadence for the failure-detector subsystem. [0.]
+          (the default) disables it entirely — no heartbeat network, no
+          daemons, no messages, byte-identical historical schedules — and
+          liveness decisions fall back to the fault injector's
+          {e instantaneous} ground truth (a legacy/testing convenience: no
+          deployable system has that oracle). When positive, every node
+          sends a beacon to the coordinator this often over a dedicated
+          side network ({!Netsim.Heartbeat}) and {e all} protocol liveness
+          — read-failover routing, quorum poll participation, watchdog-time
+          excusal — is derived from per-node {e suspicion} computed from
+          heartbeat arrival deadlines ({!Fd.Detector}). Suspicion can be
+          wrong in both directions and the protocol stays safe either way:
+          a falsely-suspected live node's late replies fold in
+          idempotently, and an unsuspected-but-dead node degrades to the
+          watchdog/retransmit path (PROTOCOL.md §11). *)
+  hb_timeout : float;
+      (** minimum heartbeat silence before the detector first suspects a
+          node; must exceed [hb_period] when the detector is on. Confirmation
+          and back-off beyond the first suspicion follow
+          {!Fd.Detector.default_config}. *)
   latency : Netsim.Latency.t;  (** inter-node message latency model *)
   think_time : float;  (** local processing time per subtransaction *)
   poll_interval : float;  (** spacing of the coordinator's counter polls *)
@@ -216,6 +232,17 @@ val injector : t -> Fault.Injector.t
     derived from [config.replicas]. With [replicas = 1] every node is a
     singleton group. *)
 val placement : t -> Repl.Placement.t
+
+(** The failure detector's suspicion state machine, when the heartbeat
+    subsystem is on ([config.hb_period > 0]); [None] otherwise. For
+    inspection by tests and experiments (suspicion/recovery accounting also
+    surfaces in {!stats} under ["fd.*"]). *)
+val detector : t -> Fd.Detector.t option
+
+(** [node_suspected t ~node] — is [node] currently under heartbeat
+    suspicion? Always [false] when the detector is off. This is exactly the
+    liveness signal routing and quorum polls consume (negated). *)
+val node_suspected : t -> node:int -> bool
 
 (** [node_readable t ~node] — the readable-after-recovery gate: [true] iff
     [node] may serve reads right now. A node that never crashed is always

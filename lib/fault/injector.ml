@@ -16,6 +16,11 @@ type t = {
   rng : Random.State.t;  (** dedicated: fault draws never touch [Sim.rng] *)
   rules : Plan.rule array;
   rule_hits : int array;  (** per-rule matching-delivery counts, for [nth] *)
+  hb_rule_hits : int array;
+      (** separate [nth] counters for the heartbeat class, so scripted
+          protocol rules never consume hits on heartbeat deliveries (and
+          vice versa) — protocol schedules are unchanged by enabling
+          heartbeats *)
   mutable crash_windows : (int * float * float) list;  (** (node, at, restart) *)
   mutable coord_windows : (float * float) list;  (** (at, restart) *)
   mutable coord_id : int option;
@@ -91,25 +96,38 @@ let rule_matches (r : Plan.rule) ~src ~dst ~now =
   && now >= r.Plan.r_from
   && now < r.Plan.r_until
 
-let filter t ~src ~dst ~delay =
+(* The shared rule-application core. [hb] selects the message class: the
+   protocol filter skips heartbeat-only rules without consuming a random
+   draw or an [nth] hit, so a plan whose rules are all heartbeat-scoped
+   leaves protocol schedules byte-identical to the fault-free run. The
+   heartbeat filter applies every rule — a partition cuts heartbeats too —
+   but keeps its own [nth] hit counters. Crash windows silence both
+   classes: a crashed node neither sends protocol traffic nor beats. *)
+let filter_class t ~hb ~src ~dst ~delay =
   if Array.length t.rules = 0 && t.crash_windows = [] && t.coord_windows = []
   then [ delay ]
   else begin
+    let pfx = if hb then "fault.hb_" else "fault." in
     let now = Sim.now t.sim in
     if down t ~node:src ~at:now then begin
-      count t "fault.crash_drop" ~src ~dst;
+      count t (pfx ^ "crash_drop") ~src ~dst;
       []
     end
     else begin
       let delays = ref [ delay ] in
       Array.iteri
         (fun idx r ->
-          if !delays <> [] && rule_matches r ~src ~dst ~now then begin
+          if
+            !delays <> []
+            && (hb || not r.Plan.r_hb_only)
+            && rule_matches r ~src ~dst ~now
+          then begin
             let fire =
               match r.Plan.r_nth with
               | Some n ->
-                  t.rule_hits.(idx) <- t.rule_hits.(idx) + 1;
-                  t.rule_hits.(idx) = n
+                  let hits = if hb then t.hb_rule_hits else t.rule_hits in
+                  hits.(idx) <- hits.(idx) + 1;
+                  hits.(idx) = n
               | None ->
                   r.Plan.r_prob >= 1.
                   || Random.State.float t.rng 1. < r.Plan.r_prob
@@ -117,13 +135,13 @@ let filter t ~src ~dst ~delay =
             if fire then
               match r.Plan.r_action with
               | Plan.Drop ->
-                  count t "fault.drop" ~src ~dst;
+                  count t (pfx ^ "drop") ~src ~dst;
                   delays := []
               | Plan.Delay d ->
-                  count t "fault.delay" ~src ~dst;
+                  count t (pfx ^ "delay") ~src ~dst;
                   delays := List.map (fun x -> x +. d) !delays
               | Plan.Duplicate gap ->
-                  count t "fault.dup" ~src ~dst;
+                  count t (pfx ^ "dup") ~src ~dst;
                   delays := !delays @ List.map (fun x -> x +. gap) !delays
           end)
         t.rules;
@@ -131,14 +149,20 @@ let filter t ~src ~dst ~delay =
       List.filter
         (fun d ->
           let arrives = not (down t ~node:dst ~at:(now +. d)) in
-          if not arrives then count t "fault.crash_drop" ~src ~dst;
+          if not arrives then count t (pfx ^ "crash_drop") ~src ~dst;
           arrives)
         !delays
     end
   end
 
+let filter t ~src ~dst ~delay = filter_class t ~hb:false ~src ~dst ~delay
+let filter_hb t ~src ~dst ~delay = filter_class t ~hb:true ~src ~dst ~delay
+
 let install t net =
   Network.set_filter net (fun ~src ~dst ~delay -> filter t ~src ~dst ~delay)
+
+let install_hb t net =
+  Network.set_filter net (fun ~src ~dst ~delay -> filter_hb t ~src ~dst ~delay)
 
 let set_node_hooks t ?pause ?crash ?restart () =
   (match pause with Some f -> t.hooks.h_pause <- f | None -> ());
@@ -158,6 +182,7 @@ let create sim (plan : Plan.t) =
       rng = Random.State.make [| plan.Plan.seed; 0xfa017 |];
       rules = Array.of_list plan.Plan.rules;
       rule_hits = Array.make (List.length plan.Plan.rules) 0;
+      hb_rule_hits = Array.make (List.length plan.Plan.rules) 0;
       crash_windows = [];
       coord_windows = [];
       coord_id = None;

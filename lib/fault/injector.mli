@@ -40,11 +40,25 @@ val create : Simul.Sim.t -> Plan.t -> t
 (** The plan the injector was created with. *)
 val plan : t -> Plan.t
 
-(** The per-delivery filter (what {!install} plugs into the network). *)
+(** The per-delivery filter for protocol traffic (what {!install} plugs
+    into the network). Skips heartbeat-only rules without consuming a
+    random draw or an [nth] hit, so a purely heartbeat-scoped plan leaves
+    protocol schedules byte-identical to the fault-free run. *)
 val filter : t -> src:int -> dst:int -> delay:float -> float list
 
-(** [install t net] sets [t]'s filter on [net]. *)
+(** The per-delivery filter for the heartbeat class (what {!install_hb}
+    plugs into the heartbeat side network): applies {e every} rule —
+    heartbeat-only ones and general ones, so a partition cuts heartbeats
+    too — plus the crash windows, with heartbeat-class [nth] hit counters
+    of its own. Accounting lands under ["fault.hb_*"]. *)
+val filter_hb : t -> src:int -> dst:int -> delay:float -> float list
+
+(** [install t net] sets [t]'s protocol filter on [net]. *)
 val install : t -> 'm Netsim.Network.t -> unit
+
+(** [install_hb t net] sets [t]'s heartbeat-class filter on [net]
+    (intended for {!Netsim.Heartbeat.network}). *)
+val install_hb : t -> 'm Netsim.Network.t -> unit
 
 (** Register the engine-side effects of node events. Hooks not provided
     keep their previous value (initially no-ops). [pause] receives the

@@ -4,6 +4,7 @@ type rule = {
   r_src : int option;
   r_dst : int option;
   r_remote_only : bool;
+  r_hb_only : bool;
   r_from : float;
   r_until : float;
   r_prob : float;
@@ -72,13 +73,14 @@ let make ?(seed = 0x5eed) ?(rules = []) ?(pauses = []) ?(crashes = [])
   List.iter check_coord_crash coord_crashes;
   { seed; rules; pauses; crashes; coord_crashes }
 
-let rule ?src ?dst ?(remote_only = false) ?(from_ = 0.) ?(until_ = infinity)
-    ?(prob = 1.) ?nth action =
+let rule ?src ?dst ?(remote_only = false) ?(hb_only = false) ?(from_ = 0.)
+    ?(until_ = infinity) ?(prob = 1.) ?nth action =
   let r =
     {
       r_src = src;
       r_dst = dst;
       r_remote_only = remote_only;
+      r_hb_only = hb_only;
       r_from = from_;
       r_until = until_;
       r_prob = prob;
@@ -97,6 +99,33 @@ let uniform_loss ?(dup = 0.) ?(dup_gap = 0.002) ?(spike_prob = 0.)
   maybe drop Drop @ maybe dup (Duplicate dup_gap) @ maybe spike_prob (Delay spike)
 
 let partition ~src ~dst ~from_ ~until_ = rule ~src ~dst ~from_ ~until_ Drop
+
+let heartbeat_loss ?src ?(prob = 1.) ~from_ ~until_ () =
+  [ rule ?src ~hb_only:true ~prob ~from_ ~until_ Drop ]
+
+let partition_set ~universe ~set ?(oneway = false) ~from_ ~until_ () =
+  if set = [] then invalid_arg "Fault.Plan.partition_set: empty node set";
+  List.iter
+    (fun n ->
+      if n < 0 || n >= universe then
+        invalid_arg
+          (Printf.sprintf
+             "Fault.Plan.partition_set: node %d outside universe 0..%d" n
+             (universe - 1)))
+    set;
+  let inside = Array.make universe false in
+  List.iter (fun n -> inside.(n) <- true) set;
+  let rest =
+    List.filter (fun n -> not inside.(n)) (List.init universe (fun n -> n))
+  in
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun d ->
+          rule ~src:s ~dst:d ~from_ ~until_ Drop
+          :: (if oneway then [] else [ rule ~src:d ~dst:s ~from_ ~until_ Drop ]))
+        rest)
+    set
 
 let pause ~node ~at ~duration =
   let p = { pause_node = node; pause_at = at; pause_duration = duration } in
@@ -137,9 +166,10 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>plan seed=%d" t.seed;
   List.iter
     (fun r ->
-      Format.fprintf ppf "@,rule %a->%a%s [%g,%a) p=%g%s %a" pp_opt r.r_src
+      Format.fprintf ppf "@,rule %a->%a%s%s [%g,%a) p=%g%s %a" pp_opt r.r_src
         pp_opt r.r_dst
         (if r.r_remote_only then " remote" else "")
+        (if r.r_hb_only then " hb" else "")
         r.r_from pp_end r.r_until r.r_prob
         (match r.r_nth with Some n -> Printf.sprintf " nth=%d" n | None -> "")
         pp_action r.r_action)

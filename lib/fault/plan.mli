@@ -21,7 +21,12 @@ type action =
 
 (** One per-link message rule. [None] for [src]/[dst] is a wildcard;
     [remote_only] restricts a wildcard to [src <> dst] links (self-sends
-    pass through untouched). The rule applies inside the half-open virtual
+    pass through untouched). [hb_only] restricts the rule to the heartbeat
+    message class: the protocol-traffic filter skips it entirely, while the
+    heartbeat-class filter ({!Injector.install_hb}) applies it — the knob
+    that provokes {e false} suspicion without losing protocol messages.
+    General rules (hb_only false) apply to both classes, so a partition cuts
+    heartbeats too. The rule applies inside the half-open virtual
     time window [[from_, until_)). Either probabilistically — each matching
     delivery fires with probability [prob] — or scripted: [nth = Some k]
     fires on exactly the k-th (1-based) matching delivery, ignoring
@@ -30,6 +35,7 @@ type rule = {
   r_src : int option;
   r_dst : int option;
   r_remote_only : bool;
+  r_hb_only : bool;
   r_from : float;
   r_until : float;
   r_prob : float;
@@ -79,10 +85,10 @@ val make :
   ?coord_crashes:coord_crash list -> unit -> t
 
 (** [rule action] builds one rule; defaults: wildcard link, all of virtual
-    time, probability 1, not scripted, [remote_only] false. *)
+    time, probability 1, not scripted, [remote_only] and [hb_only] false. *)
 val rule :
-  ?src:int -> ?dst:int -> ?remote_only:bool -> ?from_:float -> ?until_:float ->
-  ?prob:float -> ?nth:int -> action -> rule
+  ?src:int -> ?dst:int -> ?remote_only:bool -> ?hb_only:bool -> ?from_:float ->
+  ?until_:float -> ?prob:float -> ?nth:int -> action -> rule
 
 (** [uniform_loss ~drop ()] — the standard lossy-network rule set: every
     remote delivery is dropped with probability [drop], duplicated with
@@ -97,6 +103,27 @@ val uniform_loss :
     directed link [src -> dst] during the window — a one-way partition that
     heals at [until_]. *)
 val partition : src:int -> dst:int -> from_:float -> until_:float -> rule
+
+(** [heartbeat_loss ~from_ ~until_ ()] drops heartbeats — and only
+    heartbeats — during the window, from [src] when given (wildcard
+    otherwise), each with probability [prob] (default 1). Protocol traffic
+    is untouched: this is the canonical false-suspicion storm, because the
+    monitored node is alive and doing work the whole time. *)
+val heartbeat_loss :
+  ?src:int -> ?prob:float -> from_:float -> until_:float -> unit -> rule list
+
+(** [partition_set ~universe ~set ~from_ ~until_ ()] isolates the nodes of
+    [set] from every other endpoint of [0 .. universe - 1] during the
+    window: messages from the set to the rest are dropped, and — unless
+    [oneway] is true — the reverse direction too. [oneway] gives the
+    {e asymmetric} partition: the set's outbound traffic (heartbeats
+    included) is lost while inbound still flows, so the rest of the cluster
+    suspects the set even though it keeps receiving work. Applies to both
+    message classes. Pass the engine's full endpoint count (data nodes + 1
+    for the coordinator) as [universe] to cut coordinator links too. *)
+val partition_set :
+  universe:int -> set:int list -> ?oneway:bool -> from_:float ->
+  until_:float -> unit -> rule list
 
 (** [pause ~node ~at ~duration] builds a node-freeze event. *)
 val pause : node:int -> at:float -> duration:float -> pause

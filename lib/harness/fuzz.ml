@@ -6,29 +6,47 @@ module Policy = Threev.Policy
 module Mvstore = Store.Mvstore
 module Srz = Checker.Serializability
 
-type engine_kind = E3v | E3v_nc | E3v_repl | E2pc | E_nocoord | E_manual
+type engine_kind = E3v | E3v_nc | E3v_repl | E3v_fd | E2pc | E_nocoord | E_manual
 
 let engine_label = function
   | E3v -> "3v"
   | E3v_nc -> "3v-nc"
   | E3v_repl -> "3v-repl"
+  | E3v_fd -> "3v-fd"
   | E2pc -> "2pc"
   | E_nocoord -> "nocoord"
   | E_manual -> "manual"
+
+(* The failure-detector cases pin these; the rendered reproducer lines
+   carry the same values so `threev_sim run` replays the same suspicion
+   schedule. *)
+let fd_hb_period = 0.02
+let fd_hb_timeout = 0.08
+let fd_phase_deadline = 0.5
 
 type atom =
   | Loss of float
   | Dup of float
   | Partition of int * int * float * float
+  | Partition_set of int list * float * float * bool
   | Crash of int * float * float
   | Coord_crash of float * float
+  | Hb_loss of int * float * float * float
 
 let atom_flag = function
   | Loss p -> Printf.sprintf "--drop-prob %g" p
   | Dup p -> Printf.sprintf "--dup-prob %g" p
   | Partition (s, d, f, u) -> Printf.sprintf "--partition %d:%d:%g:%g" s d f u
+  | Partition_set (set, f, u, oneway) ->
+      Printf.sprintf "--partition %s@%g:%g%s"
+        (String.concat "," (List.map string_of_int set))
+        f u
+        (if oneway then ":oneway" else "")
   | Crash (n, a, r) -> Printf.sprintf "--crash %d@%g:%g" n a r
   | Coord_crash (a, r) -> Printf.sprintf "--coord-crash %g:%g" a r
+  | Hb_loss (n, f, u, p) ->
+      if p >= 1. then Printf.sprintf "--hb-loss %d@%g:%g" n f u
+      else Printf.sprintf "--hb-loss %d@%g:%g:%g" n f u p
 
 type workload_kind = W_synthetic | W_hospital | W_pos
 
@@ -107,22 +125,49 @@ let gen_repl_atoms rng ~nodes ~duration =
     [ Loss (round3 (0.02 +. Random.State.float rng 0.04)); crash ]
   else [ crash ]
 
+(* Fault atoms for a failure-detector case: always a heartbeat-loss storm
+   on some node (the false-suspicion provocation — protocol traffic
+   untouched, only the detector's evidence cut), optionally compounded
+   with a real replica crash or a one-way single-node partition. These are
+   the three liveness shapes E15 certifies. *)
+let gen_fd_atoms rng ~nodes ~duration =
+  let horizon = duration +. 1.0 in
+  let window ~len =
+    let from_ = round3 (0.05 +. Random.State.float rng (horizon -. 0.05)) in
+    (from_, round3 (from_ +. 0.1 +. Random.State.float rng len))
+  in
+  let from_, until_ = window ~len:0.2 in
+  let storm =
+    Hb_loss (Random.State.int rng nodes, from_, until_, pick rng [ 1.; 1.; 0.8 ])
+  in
+  match Random.State.int rng 3 with
+  | 0 -> [ storm ]
+  | 1 ->
+      let at, restart = window ~len:0.15 in
+      [ storm; Crash (Random.State.int rng nodes, at, restart) ]
+  | _ ->
+      let f, u = window ~len:0.15 in
+      [ storm; Partition_set ([ Random.State.int rng nodes ], f, u, true) ]
+
 let case_of_index ~fuzz_seed ~quick index =
   let rng = Random.State.make [| fuzz_seed; index; 0xf0022 |] in
   let engine =
-    match index mod 6 with
+    match index mod 7 with
     | 0 -> E3v
     | 1 -> E3v_nc
     | 2 -> E2pc
     | 3 -> E_nocoord
     | 4 -> E_manual
-    | _ -> E3v_repl
+    | 5 -> E3v_repl
+    | _ -> E3v_fd
   in
   (* Replicated cases run two groups of three; k <= nodes must hold. *)
   let nodes =
-    match engine with E3v_repl -> 6 | _ -> 3 + Random.State.int rng 2
+    match engine with
+    | E3v_repl | E3v_fd -> 6
+    | _ -> 3 + Random.State.int rng 2
   in
-  let replicas = match engine with E3v_repl -> 3 | _ -> 1 in
+  let replicas = match engine with E3v_repl | E3v_fd -> 3 | _ -> 1 in
   let seed = 1 + Random.State.int rng 9999 in
   let fault_seed = 1 + Random.State.int rng 9999 in
   let duration = if quick then 0.15 else 0.4 in
@@ -133,9 +178,10 @@ let case_of_index ~fuzz_seed ~quick index =
           pick rng [ 200.; 300. ],
           pick rng [ 0.2; 0.25; 0.3 ],
           pick rng [ 0.05; 0.1; 0.2 ] )
-    | E3v | E3v_repl | E2pc ->
+    | E3v | E3v_repl | E3v_fd | E2pc ->
         (* Replication covers the commuting core only, so nc_ratio stays 0
-           for E3v_repl (the engine rejects nc_mode with replicas > 1). *)
+           for E3v_repl / E3v_fd (the engine rejects nc_mode with
+           replicas > 1). *)
         ( pick rng [ W_synthetic; W_hospital; W_pos ],
           pick rng [ 200.; 300.; 400. ],
           pick rng [ 0.2; 0.25; 0.3 ],
@@ -153,6 +199,7 @@ let case_of_index ~fuzz_seed ~quick index =
         if Random.State.float rng 1.0 < 0.25 then []
         else gen_atoms rng ~nodes ~duration
     | E3v_repl -> gen_repl_atoms rng ~nodes ~duration
+    | E3v_fd -> gen_fd_atoms rng ~nodes ~duration
     | E3v_nc ->
         if Random.State.bool rng then
           [ Loss (round3 (0.02 +. Random.State.float rng 0.04)) ]
@@ -166,7 +213,7 @@ let case_of_index ~fuzz_seed ~quick index =
 
 (* --------------------------------------------------------- execution *)
 
-let plan_of_atoms ~fault_seed atoms =
+let plan_of_atoms ~fault_seed ~nodes atoms =
   if atoms = [] then None
   else
     let drop = List.find_map (function Loss p -> Some p | _ -> None) atoms in
@@ -176,11 +223,18 @@ let plan_of_atoms ~fault_seed atoms =
        else
          Fault.Plan.uniform_loss
            ?dup ~drop:(Option.value drop ~default:0.) ())
-      @ List.filter_map
+      @ List.concat_map
           (function
             | Partition (src, dst, from_, until_) ->
-                Some (Fault.Plan.partition ~src ~dst ~from_ ~until_)
-            | _ -> None)
+                [ Fault.Plan.partition ~src ~dst ~from_ ~until_ ]
+            | Partition_set (set, from_, until_, oneway) ->
+                (* The engine's endpoint space is the data nodes plus the
+                   coordinator at id [nodes]. *)
+                Fault.Plan.partition_set ~universe:(nodes + 1) ~set ~oneway
+                  ~from_ ~until_ ()
+            | Hb_loss (src, from_, until_, prob) ->
+                Fault.Plan.heartbeat_loss ~src ~prob ~from_ ~until_ ()
+            | _ -> [])
           atoms
     in
     let crashes =
@@ -265,14 +319,14 @@ type case_report = {
 }
 
 let strict = function
-  | E3v | E3v_nc | E3v_repl | E2pc -> true
+  | E3v | E3v_nc | E3v_repl | E3v_fd | E2pc -> true
   | E_nocoord | E_manual -> false
 
 (* Drive [case] with fault atoms [atoms] (usually [case.atoms]; subsets
    during shrinking) and run every applicable checker. *)
 let execute case atoms =
   let sim = Sim.create ~seed:case.seed () in
-  let plan = plan_of_atoms ~fault_seed:case.fault_seed atoms in
+  let plan = plan_of_atoms ~fault_seed:case.fault_seed ~nodes:case.nodes atoms in
   let faults = Option.map (Fault.Injector.create sim) plan in
   let gen = gen_of case in
   let setup =
@@ -285,7 +339,8 @@ let execute case atoms =
   in
   let outcome, lookup =
     match case.engine with
-    | E3v | E3v_nc | E3v_repl ->
+    | E3v | E3v_nc | E3v_repl | E3v_fd ->
+        let fd = case.engine = E3v_fd in
         let cfg =
           {
             (Engine.default_config ~nodes:case.nodes) with
@@ -293,10 +348,12 @@ let execute case atoms =
             policy = Policy.Periodic 0.2;
             nc_mode = case.engine = E3v_nc;
             think_time = 0.0005;
-            reliable_channel = plan <> None;
+            reliable_channel = plan <> None || fd;
             retransmit_timeout = 0.02;
             replicas = case.replicas;
-            failover_margin = (if case.replicas > 1 then 0.02 else 0.);
+            hb_period = (if fd then fd_hb_period else 0.);
+            hb_timeout = (if fd then fd_hb_timeout else 0.1);
+            phase_deadline = (if fd then fd_phase_deadline else infinity);
           }
         in
         let engine = Engine.create sim cfg ?faults () in
@@ -371,7 +428,7 @@ let execute case atoms =
       };
     ]
     @ (match case.engine with
-      | E3v | E3v_nc | E3v_repl ->
+      | E3v | E3v_nc | E3v_repl | E3v_fd ->
           let vr = Checker.Version_reads.check history in
           [
             {
@@ -435,7 +492,7 @@ let fuzz_reproducer ~fuzz_seed ~quick case =
 let run_reproducer case atoms =
   let engine_flag =
     match case.engine with
-    | E3v | E3v_nc | E3v_repl -> "3v"
+    | E3v | E3v_nc | E3v_repl | E3v_fd -> "3v"
     | E2pc -> "2pc"
     | E_nocoord -> "nocoord"
     | E_manual -> "manual"
@@ -456,6 +513,13 @@ let run_reproducer case atoms =
        else [])
     @ (if case.nc_ratio > 0. then
          [ Printf.sprintf "--nc-ratio %g" case.nc_ratio ]
+       else [])
+    @ (if case.engine = E3v_fd then
+         [
+           Printf.sprintf "--hb-period %g" fd_hb_period;
+           Printf.sprintf "--hb-timeout %g" fd_hb_timeout;
+           Printf.sprintf "--phase-deadline %g" fd_phase_deadline;
+         ]
        else [])
     @
     if atoms = [] then []

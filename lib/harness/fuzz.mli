@@ -4,8 +4,9 @@
     checker (serializability certifier, atomic visibility, exact version
     reads, commuting-sum replay, staleness) on each outcome, and classifies:
 
-    - {e strict} engines (3V, NC3V, replicated 3V, global-2PC) must certify
-      clean on every applicable checker — any violation is a [failure];
+    - {e strict} engines (3V, NC3V, replicated 3V, replicated 3V with the
+      heartbeat failure detector, global-2PC) must certify clean on every
+      applicable checker — any violation is a [failure];
     - {e expected-anomaly} baselines (no-coordination, manual versioning)
       may be flagged; the cycle witness is recorded, demonstrating that the
       certifier has teeth on histories known to be broken.
@@ -18,7 +19,7 @@
     removal keeps the case failing) and renders a standalone
     [threev_sim run ...] command line for the shrunk plan. *)
 
-type engine_kind = E3v | E3v_nc | E3v_repl | E2pc | E_nocoord | E_manual
+type engine_kind = E3v | E3v_nc | E3v_repl | E3v_fd | E2pc | E_nocoord | E_manual
 
 (** Short engine label for reports and reproducer command lines
     (e.g. "3v", "2pc"). *)
@@ -30,8 +31,14 @@ type atom =
   | Loss of float  (** uniform remote-message drop probability *)
   | Dup of float  (** uniform duplication probability *)
   | Partition of int * int * float * float  (** src, dst, from, until *)
+  | Partition_set of int list * float * float * bool
+      (** set, from, until, oneway: the set is cut off from the rest of the
+          cluster for the window — only its outbound links when [oneway] *)
   | Crash of int * float * float  (** node, at, restart *)
   | Coord_crash of float * float  (** at, restart *)
+  | Hb_loss of int * float * float * float
+      (** node, from, until, prob: drop the node's outgoing heartbeats —
+          false-suspicion provocation, protocol traffic untouched *)
 
 (** Renders an atom as the [threev_sim run] flag that reproduces it. *)
 val atom_flag : atom -> string
@@ -44,8 +51,9 @@ type case = {
   workload : workload_kind;
   nodes : int;
   replicas : int;
-      (** replication factor; [> 1] only for [E3v_repl] cases, which always
-          carry at least one data-node crash atom *)
+      (** replication factor; [> 1] only for [E3v_repl] cases (always at
+          least one data-node crash atom) and [E3v_fd] cases (heartbeat
+          failure detector on, always at least one heartbeat-loss atom) *)
   seed : int;  (** simulation + workload RNG seed *)
   fault_seed : int;
   rate : float;
@@ -56,7 +64,7 @@ type case = {
 }
 
 (** Pure derivation: same [(fuzz_seed, index, quick)] → same case. Engines
-    rotate with [index mod 6] so every 6 consecutive indices cover the full
+    rotate with [index mod 7] so every 7 consecutive indices cover the full
     matrix. *)
 val case_of_index : fuzz_seed:int -> quick:bool -> int -> case
 

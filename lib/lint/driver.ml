@@ -14,6 +14,7 @@ let waiver_tags =
     ("compare-ok", "R3");
     ("trace-ok", "R4");
     ("doc-ok", "R5");
+    ("oracle-ok", "R6");
   ]
 
 (* A waiver is an inline comment of the form "lint: <tag> reason...". It

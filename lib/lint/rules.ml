@@ -34,6 +34,8 @@ let all =
             path");
     ("R5", "missing .mli, undocumented export, or engine not implementing \
             Engine_intf");
+    ("R6", "ground-truth liveness oracle (Injector.down / coord_down) \
+            consulted from a lib/core / lib/repl path");
   ]
 
 let lid_str lid = String.concat "." (Longident.flatten lid)
@@ -71,6 +73,31 @@ let r1_check ctx lid loc =
   match List.assoc_opt (lid_str lid) r1_banned with
   | Some why -> add ctx loc "R1" (Printf.sprintf "%s: %s" (lid_str lid) why)
   | None -> ()
+
+(* ------------------------------------------------------------------ R6 *)
+
+(* Protocol code deciding anything from the injector's crash-window
+   tables is consulting an oracle no deployable system has: the plan is
+   script, not observation. Routing, quorum and watchdog decisions must
+   come from the failure detector (observed heartbeats). The injector's
+   own modules, the harness and tests are out of scope — they legitimately
+   own or assert against the ground truth. *)
+let r6_in_scope file =
+  let pfx p =
+    String.length file >= String.length p && String.sub file 0 (String.length p) = p
+  in
+  pfx "lib/core/" || pfx "lib/repl/"
+
+let r6_check ctx lid loc =
+  match List.rev (Longident.flatten lid) with
+  | ("down" | "coord_down") :: "Injector" :: _ ->
+      add ctx loc "R6"
+        (Printf.sprintf
+           "%s reads the fault plan's ground truth from protocol code; \
+            decide liveness from the failure detector (Fd.Detector) or \
+            waive a genuine debug assertion with (* lint: oracle-ok *)"
+           (lid_str lid))
+  | _ -> ()
 
 (* ------------------------------------------------------------------ R2 *)
 
@@ -234,7 +261,9 @@ let check_structure ctx (str : Parsetree.structure) =
               Option.iter (self.Ast_iterator.expr self) else_
           | _ ->
               (match e.Parsetree.pexp_desc with
-              | Parsetree.Pexp_ident { txt; loc } -> r1_check ctx txt loc
+              | Parsetree.Pexp_ident { txt; loc } ->
+                  r1_check ctx txt loc;
+                  if r6_in_scope ctx.file then r6_check ctx txt loc
               | Parsetree.Pexp_apply (fn, args) ->
                   r3_check ctx fn args e.Parsetree.pexp_loc;
                   if

@@ -1,4 +1,4 @@
-(** The determinism & protocol-hygiene rule catalog (R1–R5).
+(** The determinism & protocol-hygiene rule catalog (R1–R6).
 
     Rules are purely syntactic passes over the compiler-libs parsetree plus
     the raw source text — no typing. R3 in particular is an
@@ -17,7 +17,11 @@
        [lib/net] path not guarded by [if tracing ...].}
     {- R5 — interface hygiene: every [lib/**] module has an [.mli], every
        exported value a doc comment, and engine interfaces
-       [include Engine_intf.S].}} *)
+       [include Engine_intf.S].}
+    {- R6 — liveness-oracle hygiene: [Injector.down]/[coord_down] (the
+       fault plan's ground truth) consulted from a [lib/core] or
+       [lib/repl] path; protocol code must decide liveness from the
+       failure detector.}} *)
 
 (** Mutable per-file rule state: findings accumulate as the walks run. *)
 type ctx = {
@@ -32,7 +36,7 @@ val make_ctx : ?config:Config.t -> file:string -> unit -> ctx
 (** [(id, one-line description)] for every rule, in catalog order. *)
 val all : (string * string) list
 
-(** Run R1–R4 over an implementation's parsetree. *)
+(** Run R1–R4 and R6 over an implementation's parsetree. *)
 val check_structure : ctx -> Parsetree.structure -> unit
 
 (** Run R5's doc-comment and engine-interface checks over an interface's

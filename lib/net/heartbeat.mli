@@ -1,0 +1,50 @@
+(** Heartbeat transport: a dedicated side network carrying liveness beacons
+    from every node to one monitor endpoint.
+
+    Kept separate from the protocol network so (a) heartbeats never contend
+    with — or wake — the coordinator's protocol inbox, and (b) fault plans
+    can target the heartbeat class independently (a heartbeat-only loss storm
+    provokes false suspicion without touching protocol traffic). The payload
+    is just the sender id: the failure detector ({!Fd.Detector}) consumes
+    arrival {e times}, not contents. *)
+
+type t
+
+(** [create sim ~size ~monitor ~period ~latency ()] builds the side network
+    with [size] endpoints, delivering beats to [monitor]. [period] is the
+    intended send cadence (recorded for introspection; the owner runs the
+    send loops). *)
+val create :
+  Simul.Sim.t ->
+  size:int ->
+  monitor:int ->
+  period:float ->
+  latency:Latency.t ->
+  unit ->
+  t
+
+(** The underlying network — exposed so a fault injector can install its
+    heartbeat-class filter on it. *)
+val network : t -> int Network.t
+
+(** The monitor endpoint id beats are addressed to. *)
+val monitor : t -> int
+
+(** The intended send cadence. *)
+val period : t -> float
+
+(** [beat t ~node] sends one heartbeat from [node] to the monitor. *)
+val beat : t -> node:int -> unit
+
+(** [recv t] takes the next heartbeat at the monitor endpoint, suspending
+    until one arrives; returns the sender id. *)
+val recv : t -> int
+
+(** Heartbeats sent so far (including ones the fault filter later drops). *)
+val sent : t -> int
+
+(** Heartbeats delivered to — and consumed by — the monitor so far. *)
+val received : t -> int
+
+(** Heartbeats whose every copy was suppressed by the installed filter. *)
+val dropped : t -> int

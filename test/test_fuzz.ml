@@ -34,14 +34,14 @@ let engines_rotate () =
   let kinds =
     List.map
       (fun i -> (Fuzz.case_of_index ~fuzz_seed:1 ~quick:true i).Fuzz.engine)
-      [ 0; 1; 2; 3; 4; 5 ]
+      [ 0; 1; 2; 3; 4; 5; 6 ]
   in
-  checkb "indices 0-5 cover the engine matrix" true
+  checkb "indices 0-6 cover the engine matrix" true
     (List.sort_uniq compare kinds
     = List.sort_uniq compare
         [
-          Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E3v_repl; Fuzz.E2pc; Fuzz.E_nocoord;
-          Fuzz.E_manual;
+          Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E3v_repl; Fuzz.E3v_fd; Fuzz.E2pc;
+          Fuzz.E_nocoord; Fuzz.E_manual;
         ]);
   (* Replicated cases always carry at least one data-node crash. *)
   let repl_case = Fuzz.case_of_index ~fuzz_seed:1 ~quick:true 5 in
@@ -49,7 +49,15 @@ let engines_rotate () =
   checkb "replicated case crashes a replica" true
     (List.exists
        (function Fuzz.Crash _ -> true | _ -> false)
-       repl_case.Fuzz.atoms)
+       repl_case.Fuzz.atoms);
+  (* Failure-detector cases always carry a heartbeat-loss storm. *)
+  let fd_case = Fuzz.case_of_index ~fuzz_seed:1 ~quick:true 6 in
+  checkb "fd case is 3v-fd" true (fd_case.Fuzz.engine = Fuzz.E3v_fd);
+  checkb "fd case is k=3" true (fd_case.Fuzz.replicas = 3);
+  checkb "fd case storms heartbeats" true
+    (List.exists
+       (function Fuzz.Hb_loss _ -> true | _ -> false)
+       fd_case.Fuzz.atoms)
 
 let verdict_tag = function
   | Fuzz.Clean -> "clean"
@@ -79,7 +87,7 @@ let sweep_deterministic () =
 
 let strict engine =
   match engine with
-  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E3v_repl | Fuzz.E2pc -> true
+  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E3v_repl | Fuzz.E3v_fd | Fuzz.E2pc -> true
   | Fuzz.E_nocoord | Fuzz.E_manual -> false
 
 let small_sweep_strict_clean () =
@@ -209,7 +217,7 @@ let () =
         [
           Alcotest.test_case "case_of_index replays" `Quick
             case_of_index_deterministic;
-          Alcotest.test_case "engines rotate over 6 indices" `Quick
+          Alcotest.test_case "engines rotate over 7 indices" `Quick
             engines_rotate;
           Alcotest.test_case "sweep replays" `Quick sweep_deterministic;
         ] );

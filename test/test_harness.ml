@@ -171,7 +171,8 @@ let registry_complete () =
     (ids
     = [
         "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8";
-        "e10"; "e11"; "e12"; "e13"; "e14"; "e9"; "a1"; "a2"; "a3"; "a4";
+        "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e9"; "a1"; "a2"; "a3";
+        "a4";
       ])
 
 let registry_find () =

@@ -175,7 +175,6 @@ let repl_cfg ~nodes ~replicas ~policy =
   {
     (Engine.default_config ~nodes) with
     Engine.replicas;
-    failover_margin = 0.02;
     latency = Latency.Exponential 0.003;
     think_time = 0.0005;
     policy;
