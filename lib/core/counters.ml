@@ -1,56 +1,179 @@
+(* Windowed flat layout. The engine's GC keeps at most 3 consecutive
+   versions live anywhere (§4's "three distinct numbers suffice"), so the
+   common case is a dense window of [window] consecutive versions starting
+   at the GC floor [base]. Each in-window version owns one slot
+   ([version mod window]); its R and C rows are contiguous [nodes]-wide
+   slices of two flat int arrays, so an incr is a tag compare plus one
+   array store — no hashing, no per-version boxes. Versions outside
+   [base, base + window) — a late completion for a GC'd version, or a
+   version opened before the floor caught up — fall back to a spill
+   hashtable with the old boxed-row representation. [gc_below] advances
+   [base], retires dead slots, and adopts spill rows the window now
+   covers, so the slot invariant (slots hold in-window versions only)
+   is re-established at every GC edge. *)
+
+let window = 4
+
 type row = { req : int array; comp : int array }
-type t = { nodes : int; table : (int, row) Hashtbl.t }
+
+type t = {
+  nodes : int;
+  mutable base : int;  (* window covers versions in [base, base + window) *)
+  slot_ver : int array;  (* slot -> version held there, or -1 when free *)
+  req : int array;  (* window * nodes, slot-major: R rows for slot versions *)
+  comp : int array;  (* window * nodes, slot-major: C rows for slot versions *)
+  spill : (int, row) Hashtbl.t;  (* out-of-window versions only *)
+  zero : int array;  (* shared all-zero row; never mutated, never written *)
+}
 
 let create ~nodes =
   if nodes <= 0 then invalid_arg "Counters.create: nodes must be positive";
-  { nodes; table = Hashtbl.create 8 }
+  {
+    nodes;
+    base = 0;
+    slot_ver = Array.make window (-1);
+    req = Array.make (window * nodes) 0;
+    comp = Array.make (window * nodes) 0;
+    spill = Hashtbl.create 8;
+    zero = Array.make nodes 0;
+  }
+
+let[@inline] in_window t v = v >= t.base && v - t.base < window
+let[@inline] slot_of v = v land (window - 1)
+
+(* Claim the slot for an in-window version. Two distinct versions inside a
+   [window]-wide range cannot share a residue mod [window], and [gc_below]
+   clears tags below [base] before advancing it, so the slot is either
+   free or a stale dead tag — never another live in-window version. *)
+let claim_slot t v =
+  let s = slot_of v in
+  Array.fill t.req (s * t.nodes) t.nodes 0;
+  Array.fill t.comp (s * t.nodes) t.nodes 0;
+  t.slot_ver.(s) <- v;
+  s
+
+let spill_row t v =
+  match Hashtbl.find_opt t.spill v with
+  | Some r -> r
+  | None ->
+      let r = { req = Array.make t.nodes 0; comp = Array.make t.nodes 0 } in
+      Hashtbl.replace t.spill v r;
+      r
 
 let ensure_version t v =
-  if not (Hashtbl.mem t.table v) then
-    Hashtbl.replace t.table v
-      { req = Array.make t.nodes 0; comp = Array.make t.nodes 0 }
-
-let get_row t v =
-  ensure_version t v;
-  Hashtbl.find t.table v
+  if in_window t v then begin
+    if t.slot_ver.(slot_of v) <> v then ignore (claim_slot t v)
+  end
+  else ignore (spill_row t v)
 
 let incr_r t ~version ~dst =
-  let row = get_row t version in
-  row.req.(dst) <- row.req.(dst) + 1
+  if in_window t version then begin
+    let s = slot_of version in
+    let s = if t.slot_ver.(s) = version then s else claim_slot t version in
+    let i = (s * t.nodes) + dst in
+    t.req.(i) <- t.req.(i) + 1
+  end
+  else begin
+    let r = spill_row t version in
+    r.req.(dst) <- r.req.(dst) + 1
+  end
 
 let incr_c t ~version ~src =
-  let row = get_row t version in
-  row.comp.(src) <- row.comp.(src) + 1
+  if in_window t version then begin
+    let s = slot_of version in
+    let s = if t.slot_ver.(s) = version then s else claim_slot t version in
+    let i = (s * t.nodes) + src in
+    t.comp.(i) <- t.comp.(i) + 1
+  end
+  else begin
+    let r = spill_row t version in
+    r.comp.(src) <- r.comp.(src) + 1
+  end
+
+(* Reads: a matching slot tag implies the version is in-window and
+   allocated, so no range check is needed on the fast path. *)
 
 let r t ~version ~dst =
-  match Hashtbl.find_opt t.table version with
-  | None -> 0
-  | Some row -> row.req.(dst)
+  let s = slot_of version in
+  if t.slot_ver.(s) = version then t.req.((s * t.nodes) + dst)
+  else
+    match Hashtbl.find_opt t.spill version with
+    | None -> 0
+    | Some row -> row.req.(dst)
 
 let c t ~version ~src =
-  match Hashtbl.find_opt t.table version with
-  | None -> 0
-  | Some row -> row.comp.(src)
+  let s = slot_of version in
+  if t.slot_ver.(s) = version then t.comp.((s * t.nodes) + src)
+  else
+    match Hashtbl.find_opt t.spill version with
+    | None -> 0
+    | Some row -> row.comp.(src)
 
 let snapshot_r t ~version =
-  match Hashtbl.find_opt t.table version with
-  | None -> Array.make t.nodes 0
-  | Some row -> Array.copy row.req
+  let s = slot_of version in
+  if t.slot_ver.(s) = version then Array.sub t.req (s * t.nodes) t.nodes
+  else
+    match Hashtbl.find_opt t.spill version with
+    | None -> t.zero
+    | Some row -> Array.copy row.req
 
 let snapshot_c t ~version =
-  match Hashtbl.find_opt t.table version with
-  | None -> Array.make t.nodes 0
-  | Some row -> Array.copy row.comp
+  let s = slot_of version in
+  if t.slot_ver.(s) = version then Array.sub t.comp (s * t.nodes) t.nodes
+  else
+    match Hashtbl.find_opt t.spill version with
+    | None -> t.zero
+    | Some row -> Array.copy row.comp
 
 let versions t =
-  Hashtbl.fold (fun v _ acc -> v :: acc) t.table [] |> List.sort compare
+  (* Hash order is erased by the sort below. *)
+  let acc = Hashtbl.fold (fun v _ acc -> v :: acc) t.spill [] in
+  let acc =
+    Array.fold_left (fun acc v -> if v >= 0 then v :: acc else acc) acc t.slot_ver
+  in
+  List.sort Int.compare acc
 
-(* lint: hash-order-ok — callers must fold with a commutative [f] (min/max
-   over the version set); see the .mli contract. *)
-let fold_versions t f init = Hashtbl.fold (fun v _ acc -> f v acc) t.table init
+let fold_versions t f init =
+  let acc =
+    Array.fold_left (fun acc v -> if v >= 0 then f v acc else acc) init t.slot_ver
+  in
+  (* lint: hash-order-ok — callers must fold with a commutative [f] (min/max
+     over the version set); see the .mli contract. *)
+  Hashtbl.fold (fun v _ acc -> f v acc) t.spill acc
 
 let gc_below t v =
-  (* Collect-then-remove without sorting: removal order is irrelevant, and
-     mutating a Hashtbl during fold is unspecified, so stage the dead keys. *)
-  let dead = fold_versions t (fun v0 acc -> if v0 < v then v0 :: acc else acc) [] in
-  List.iter (Hashtbl.remove t.table) dead
+  (* Drop spill rows below the floor. Collect-then-remove: removals are
+     per-version independent, so staging order is irrelevant, and mutating
+     a Hashtbl mid-fold is unspecified. *)
+  if Hashtbl.length t.spill > 0 then begin
+    let dead =
+      (* lint: hash-order-ok — independent removals, commutative collection. *)
+      Hashtbl.fold (fun w _ acc -> if w < v then w :: acc else acc) t.spill []
+    in
+    List.iter (Hashtbl.remove t.spill) dead
+  end;
+  if v > t.base then begin
+    for s = 0 to window - 1 do
+      let w = t.slot_ver.(s) in
+      if w >= 0 && w < v then t.slot_ver.(s) <- -1
+    done;
+    t.base <- v;
+    (* Adopt spill rows the advanced window now covers. Distinct in-window
+       versions land in distinct slots, so adoption order is irrelevant. *)
+    if Hashtbl.length t.spill > 0 then begin
+      let adopt =
+        (* lint: hash-order-ok — per-version independent slot moves. *)
+        Hashtbl.fold
+          (fun w (row : row) acc -> if in_window t w then (w, row) :: acc else acc)
+          t.spill []
+      in
+      List.iter
+        (fun (w, (row : row)) ->
+          let s = slot_of w in
+          Array.blit row.req 0 t.req (s * t.nodes) t.nodes;
+          Array.blit row.comp 0 t.comp (s * t.nodes) t.nodes;
+          t.slot_ver.(s) <- w;
+          Hashtbl.remove t.spill w)
+        adopt
+    end
+  end

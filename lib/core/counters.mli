@@ -15,9 +15,24 @@
 
     All operations are plain (non-suspending) OCaml: the paper's only
     concurrency assumption for counters is that individual reads and writes
-    are atomic, which single-threaded simulation gives for free. *)
+    are atomic, which single-threaded simulation gives for free.
+
+    Representation: the engine's GC keeps at most 3 consecutive versions
+    live (§4), so rows for versions inside a {!window}-wide sliding window
+    starting at the GC floor live in dense flat int arrays indexed by
+    [(version mod window) * nodes + peer] — an incr is a tag compare plus
+    one array store. Versions outside the window (late completions for
+    GC'd versions, or versions opened ahead of the floor) spill to a
+    hashtable with boxed rows; {!gc_below} advances the window and adopts
+    spill rows it newly covers. Observable behaviour is identical to a
+    plain per-version hash table (see test/test_counters_equiv.ml). *)
 
 type t
+
+(** Width of the dense version window (a power of two): 3 live versions
+    plus one slot of slack for the version opened before the GC floor
+    advances. *)
+val window : int
 
 (** [create ~nodes] is a counter table for a node in an [nodes]-node system,
     with no versions allocated yet. *)
@@ -43,15 +58,18 @@ val r : t -> version:int -> dst:int -> int
 val c : t -> version:int -> src:int -> int
 
 (** [snapshot_r t ~version] is the R row for this node: index [q] holds
-    [R(version) self→q]. Zeroes when the version was never allocated. *)
+    [R(version) self→q]. When the version was never allocated this is a
+    {e shared} all-zero row — treat every snapshot as immutable (the poll
+    path only ever reads them); allocated versions still return a fresh
+    copy because the live row keeps mutating after the snapshot. *)
 val snapshot_r : t -> version:int -> int array
 
 (** [snapshot_c t ~version] is the C column for this node: index [o] holds
-    [C(version) o→self]. *)
+    [C(version) o→self]. Same sharing contract as {!snapshot_r}. *)
 val snapshot_c : t -> version:int -> int array
 
-(** Versions currently allocated, ascending. Allocates and sorts; prefer
-    {!fold_versions} on hot paths. *)
+(** Versions currently allocated, ascending ([Int.compare]). Allocates and
+    sorts; prefer {!fold_versions} on hot paths. *)
 val versions : t -> int list
 
 (** [fold_versions t f init] folds [f] over the allocated versions in

@@ -76,6 +76,10 @@ type config = {
           [reliable_channel]; ablation A4 turns it off) *)
   retransmit_timeout : float;  (** first retransmission delay *)
   retransmit_backoff : float;  (** per-retry delay multiplier *)
+  expected_inbox_depth : int;
+      (** pre-size for each node's network inbox ring (messages); derive
+          from the configured arrival rate for steady-state benches. Purely
+          a capacity hint — never affects schedules. *)
 }
 
 let default_config ~nodes =
@@ -100,6 +104,7 @@ let default_config ~nodes =
     retransmit = true;
     retransmit_timeout = 0.05;
     retransmit_backoff = 2.0;
+    expected_inbox_depth = 16;
   }
 
 type vote = Vote_commit | Vote_abort of string
@@ -227,7 +232,7 @@ type t = {
   coord_id : int;
   trigger_box : unit Ivar.t option Mailbox.t;
   trace : Trace.t option;
-  live : (int, int) Hashtbl.t;  (** version -> requested-but-unterminated *)
+  live : Vwindow.t;  (** version -> requested-but-unterminated *)
   counters_live : Counter_set.t;
   clog : Coord_log.t;  (** durable: survives coordinator crashes *)
   mutable coord_epoch : int;  (** bumped on each coordinator recovery *)
@@ -240,6 +245,15 @@ type t = {
   mutable coord_vu : int;
   mutable coord_vr : int;
   mutable poll_round : int;
+  poll_bufs : (int array array * int array array) array;
+      (** two (r, c) matrix pairs, alternated by poll-round parity. The
+          quiescence loop only ever compares a round against the previous
+          one, so exactly two generations are live at once; reusing two
+          pre-allocated pairs removes the 2·n² fresh-matrix allocation per
+          poll round (megabytes of major-heap churn per round at 512+
+          nodes). No zeroing between rounds: a reply folds in by fully
+          rewriting its R row and C column, and [matrices_agree
+          ~considered] reads only rows/columns of nodes that replied. *)
   mutable advancements : int;
   mutable updates_since_trigger : int;
   mutable divergence_since_trigger : float;
@@ -249,15 +263,34 @@ type t = {
 
 (* -------------------------------------------------------------- tracing *)
 
+(* [Printf.ksprintf] rather than [Format.kasprintf]: every [tr] format uses
+   only %s/%d/%g, where the two render identically, and Printf skips the
+   pretty-printing engine — measured ~3x cheaper per emission, which is the
+   difference between tracing costing ~40%% of a traced bench run and ~15%%. *)
 let tr t site fmt =
   match t.trace with
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | None -> Printf.ikfprintf (fun () -> ()) () fmt
   | Some trace ->
-      Format.kasprintf
+      Printf.ksprintf
         (* lint: trace-ok — [tr] is itself the guard: this branch only
            exists when a trace is attached. *)
         (fun what -> Trace.emit trace ~time:(Sim.now t.sim) ~site what)
         fmt
+
+(* Deferred variant for the hottest emission sites: even on a traced run,
+   the ring retains only the final [capacity] events, so rendering at
+   emission time formats strings that are overwhelmingly evicted unread.
+   [trl] hands {!Trace.emit_deferred} a thunk instead; only retained events
+   ever pay the sprintf. The thunk must be pure — call sites let-bind any
+   mutable reads (counter values, version fields) {e before} building the
+   closure so the rendered text reflects emission-time state. *)
+let trl t site msg =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+      (* lint: trace-ok — [trl] is itself the guard: this branch only
+         exists when a trace is attached. *)
+      Trace.emit_deferred trace ~time:(Sim.now t.sim) ~site msg
 
 (* Hot-path guard: [tr] discards the format string without rendering it, but
    its {e arguments} are still evaluated at the call site. Per-operation and
@@ -271,12 +304,8 @@ let node_name t i = if i = t.cfg.nodes then "coord" else t.nodes.(i).name
 
 (* ------------------------------------------------- oracle & counters *)
 
-let live_bump t version delta =
-  let cur = match Hashtbl.find_opt t.live version with Some v -> v | None -> 0 in
-  Hashtbl.replace t.live version (cur + delta)
-
-let live_subtxns t ~version =
-  match Hashtbl.find_opt t.live version with Some v -> v | None -> 0
+let live_bump t version delta = Vwindow.add t.live version delta
+let live_subtxns t ~version = Vwindow.get t.live version
 
 (* R(v) node->dst : incremented before a request is issued. *)
 let bump_r t node ~version ~dst =
@@ -292,12 +321,17 @@ let cstat t name = Counter_set.incr t.counters_live name ()
 
 (* Distinct version numbers with live counter state anywhere — the paper's
    "three distinct numbers suffice" observation (§4). *)
+(* Dedup while folding: the union holds ≤ 4-ish versions, so linear
+   membership beats building a 3n-element list and sort_uniq-ing it —
+   this runs on every Start_advancement/Do_gc receipt under debug_checks,
+   i.e. O(nodes) times per advancement. *)
+let add_distinct v acc = if List.exists (fun w -> w = v) acc then acc else v :: acc
+
 let version_window t =
   Array.fold_left
-    (fun acc node ->
-      Counters.fold_versions node.cnt (fun v acc -> v :: acc) acc)
+    (fun acc node -> Counters.fold_versions node.cnt add_distinct acc)
     [] t.nodes
-  |> List.sort_uniq compare
+  |> List.sort Int.compare
 
 (* Same, but only over replicas that are currently up. While a replica is
    crashed its durable counters freeze, so a quorum advancement running
@@ -313,9 +347,9 @@ let live_version_window t =
          state (the paper's three-version bound), not a protocol decision:
          ground truth is the point here. *)
       if Injector.down t.faults ~node:node.id ~at:now then acc
-      else Counters.fold_versions node.cnt (fun v acc -> v :: acc) acc)
+      else Counters.fold_versions node.cnt add_distinct acc)
     [] t.nodes
-  |> List.sort_uniq compare
+  |> List.sort Int.compare
 
 let check_version_window t =
   if t.cfg.debug_checks then begin
@@ -338,7 +372,7 @@ let send t ~src ~dst msg = Reliable.send t.ch ~src ~dst msg
 let combine_vote a b =
   match (a, b) with Vote_abort r, _ -> Vote_abort r | _, v -> v
 
-let merge_nodes a b = List.sort_uniq compare (a @ b)
+let merge_nodes a b = List.sort_uniq Int.compare (a @ b)
 
 (* ---------------------------------------------------------- replication *)
 
@@ -477,11 +511,15 @@ let apply_decision t node ~txn_id ~commit =
                     note_divergence t op)
                   (List.rev p.p_buffered);
               bump_c t node ~version:p.p_version ~src:p.p_source;
-              if tracing t then
-                tr t node.name "nc subtx %s %s; C%d[%s->%s]=%d" p.p_label
-                  (if commit then "commits" else "aborts")
-                  p.p_version (node_name t p.p_source) node.name
-                  (Counters.c node.cnt ~version:p.p_version ~src:p.p_source))
+              if tracing t then begin
+                let cv =
+                  Counters.c node.cnt ~version:p.p_version ~src:p.p_source
+                in
+                trl t node.name (fun () ->
+                    Printf.sprintf "nc subtx %s %s; C%d[%s->%s]=%d" p.p_label
+                      (if commit then "commits" else "aborts")
+                      p.p_version (node_name t p.p_source) node.name cv)
+              end)
         (List.rev !ids);
       Lockmgr.release_all node.locks ~owner:txn_id
 
@@ -542,11 +580,13 @@ let mirror_write t node p op =
       (fun peer ->
         Counters.incr_r node.cnt ~version:p.p_version ~dst:peer;
         cstat t "repl.mirrors";
-        if tracing t then
-          tr t node.name "mirrors %s of tx %s to %s; R%d[%s->%s]=%d"
-            (Op.key op) p.p_label (node_name t peer) p.p_version node.name
-            (node_name t peer)
-            (Counters.r node.cnt ~version:p.p_version ~dst:peer);
+        if tracing t then begin
+          let rv = Counters.r node.cnt ~version:p.p_version ~dst:peer in
+          trl t node.name (fun () ->
+              Printf.sprintf "mirrors %s of tx %s to %s; R%d[%s->%s]=%d"
+                (Op.key op) p.p_label (node_name t peer) p.p_version node.name
+                (node_name t peer) rv)
+        end;
         send t ~src:node.id ~dst:peer
           (Mirror
              { txn_id = p.p_txn; version = p.p_version; source = node.id; op }))
@@ -566,8 +606,9 @@ let run_ops_commuting t node p ops =
             | None -> (-1, Value.empty)
           in
           if tracing t then
-            tr t node.name "tx %s reads %s version %d" p.p_label key
-              version_seen;
+            trl t node.name (fun () ->
+                Printf.sprintf "tx %s reads %s version %d" p.p_label key
+                  version_seen);
           p.p_reads <- p.p_reads @ [ (key, value) ]
       | Op.Incr _ | Op.Append _ | Op.Overwrite _ ->
           let info =
@@ -589,10 +630,11 @@ let run_ops_commuting t node p ops =
                 (fun v -> v >= p.p_version)
                 (Mvstore.versions_of node.store ~key:(Op.key op))
             in
-            tr t node.name "tx %s updates %s version%s %s" p.p_label
-              (Op.key op)
-              (if List.length versions > 1 then "s" else "")
-              (pp_int_list (List.sort compare versions))
+            trl t node.name (fun () ->
+                Printf.sprintf "tx %s updates %s version%s %s" p.p_label
+                  (Op.key op)
+                  (if List.length versions > 1 then "s" else "")
+                  (pp_int_list (List.sort compare versions)))
           end)
     ops
 
@@ -631,11 +673,15 @@ let spawn_children t node p (children : Spec.subtxn list) ~compensating =
   List.iter
     (fun (child : Spec.subtxn) ->
       bump_r t node ~version:p.p_version ~dst:child.Spec.node;
-      if tracing t then
-        tr t node.name "subtx of %s issued to %s; R%d[%s->%s]=%d" p.p_label
-          (node_name t child.Spec.node) p.p_version node.name
-          (node_name t child.Spec.node)
-          (Counters.r node.cnt ~version:p.p_version ~dst:child.Spec.node);
+      if tracing t then begin
+        let rv =
+          Counters.r node.cnt ~version:p.p_version ~dst:child.Spec.node
+        in
+        trl t node.name (fun () ->
+            Printf.sprintf "subtx of %s issued to %s; R%d[%s->%s]=%d" p.p_label
+              (node_name t child.Spec.node) p.p_version node.name
+              (node_name t child.Spec.node) rv)
+      end;
       p.p_outstanding <- p.p_outstanding + 1;
       send t ~src:node.id ~dst:child.Spec.node
         (Subtxn
@@ -707,8 +753,9 @@ let rec maybe_finish t node p =
               send t ~src:node.id ~dst:n (Decision { txn_id = p.p_txn; commit }))
           p.p_nodes;
         if tracing t then
-          tr t node.name "nc tx %s decision: %s" p.p_label
-            (if commit then "commit" else "abort");
+          trl t node.name (fun () ->
+              Printf.sprintf "nc tx %s decision: %s" p.p_label
+                (if commit then "commit" else "abort"));
         cstat t (if commit then "txn.committed" else "txn.aborted");
         let outcome =
           if commit then Result.Committed
@@ -743,7 +790,7 @@ let rec maybe_finish t node p =
         p.p_outstanding <- p.p_outstanding + 1 (* hold the root open *);
         let tree = rs.rs_spec.Spec.root in
         Sim.spawn t.sim ~daemon:false
-          ~name:(Printf.sprintf "%s/%s-compensation" node.name p.p_label)
+          ~namef:(fun () -> Printf.sprintf "%s/%s-compensation" node.name p.p_label)
           (fun () ->
             let inverse = invert_tree tree in
             Semaphore.with_permit t.sim node.local_cc (fun () ->
@@ -759,10 +806,15 @@ let rec maybe_finish t node p =
         bump_c t node ~version:p.p_version ~src:p.p_source;
         (match p.p_parent with
         | Some (parent_node, parent_pid) ->
-            if tracing t then
-              tr t node.name "subtx %s terminates; C%d[%s->%s]=%d" p.p_label
-                p.p_version (node_name t p.p_source) node.name
-                (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
+            if tracing t then begin
+              let cv =
+                Counters.c node.cnt ~version:p.p_version ~src:p.p_source
+              in
+              trl t node.name (fun () ->
+                  Printf.sprintf "subtx %s terminates; C%d[%s->%s]=%d"
+                    p.p_label p.p_version (node_name t p.p_source) node.name
+                    cv)
+            end;
             send t ~src:node.id ~dst:parent_node
               (Completion
                  {
@@ -774,10 +826,14 @@ let rec maybe_finish t node p =
                  })
         | None ->
             let rs = match p.p_root with Some rs -> rs | None -> assert false in
-            if tracing t then
-              tr t node.name "tx %s is complete; C%d[%s->%s]=%d" p.p_label
-                p.p_version node.name node.name
-                (Counters.c node.cnt ~version:p.p_version ~src:p.p_source);
+            if tracing t then begin
+              let cv =
+                Counters.c node.cnt ~version:p.p_version ~src:p.p_source
+              in
+              trl t node.name (fun () ->
+                  Printf.sprintf "tx %s is complete; C%d[%s->%s]=%d" p.p_label
+                    p.p_version node.name node.name cv)
+            end;
             (* Asynchronous clean-up of commute locks (§5). *)
             if t.cfg.nc_mode && p.p_kind = Spec.Commuting then
               List.iter
@@ -811,7 +867,8 @@ and handle_completion t node ~pending_id ~child_label ~reads ~vote ~nodes =
            pending_id node.id)
   | Some p ->
       if tracing t then
-        tr t node.name "completion notice for subtx %s arrives" child_label;
+        trl t node.name (fun () ->
+            Printf.sprintf "completion notice for subtx %s arrives" child_label);
       p.p_reads <- p.p_reads @ reads;
       p.p_vote <- combine_vote p.p_vote vote;
       p.p_nodes <- merge_nodes p.p_nodes nodes;
@@ -903,23 +960,28 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
     | None, Spec.Read_only ->
         let v = node.vr in
         bump_r t node ~version:v ~dst:node.id;
-        if tracing t then
-          tr t node.name "read tx %s arrives; version %d; R%d[%s->%s]=%d" label
-            v v node.name node.name
-            (Counters.r node.cnt ~version:v ~dst:node.id);
+        if tracing t then begin
+          let rv = Counters.r node.cnt ~version:v ~dst:node.id in
+          trl t node.name (fun () ->
+              Printf.sprintf "read tx %s arrives; version %d; R%d[%s->%s]=%d"
+                label v v node.name node.name rv)
+        end;
         v
     | None, (Spec.Commuting | Spec.Non_commuting) ->
         let v = node.vu in
         bump_r t node ~version:v ~dst:node.id;
-        if tracing t then
-          tr t node.name "update tx %s arrives; version %d; R%d[%s->%s]=%d"
-            label v v node.name node.name
-            (Counters.r node.cnt ~version:v ~dst:node.id);
+        if tracing t then begin
+          let rv = Counters.r node.cnt ~version:v ~dst:node.id in
+          trl t node.name (fun () ->
+              Printf.sprintf "update tx %s arrives; version %d; R%d[%s->%s]=%d"
+                label v v node.name node.name rv)
+        end;
         v
     | Some _, _ ->
         if tracing t then
-          tr t node.name "subtx of %s arrives from %s (version %d)" label
-            (node_name t source) version;
+          trl t node.name (fun () ->
+              Printf.sprintf "subtx of %s arrives from %s (version %d)" label
+                (node_name t source) version);
         (* Version-codec precondition (paper §4's mod-3 reuse remark): every
            arriving version is within distance 1 of the receiver's anchor —
            [vr] on the read path, [vu] on the update path. *)
@@ -979,8 +1041,10 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
     }
   in
   Hashtbl.replace node.pendings p.p_id p;
+  (* [namef]: one subtransaction fiber per subtxn makes this the hottest
+     spawn in the system — the name is only rendered on stall/failure. *)
   Sim.spawn t.sim ~daemon:false
-    ~name:(Printf.sprintf "%s/%s#%d" node.name label p.p_id)
+    ~namef:(fun () -> Printf.sprintf "%s/%s#%d" node.name label p.p_id)
     (fun () -> exec_subtxn t node p tree ~compensating)
 
 let handle_node_msg t node = function
@@ -1042,8 +1106,9 @@ let handle_node_msg t node = function
       if version >= floor then Counters.incr_c node.cnt ~version ~src:source;
       cstat t "repl.mirror_applies";
       if tracing t then
-        tr t node.name "mirror from %s applies %s at version %d (floor %d)"
-          (node_name t source) (Op.key op) version floor
+        trl t node.name (fun () ->
+            Printf.sprintf "mirror from %s applies %s at version %d (floor %d)"
+              (node_name t source) (Op.key op) version floor)
   | Do_gc { keep } ->
       (* A GC notice implies every node acknowledged read version [keep] in
          phase 3, so adopting it is always safe. Normally a no-op (phase 3
@@ -1232,7 +1297,7 @@ let poll_counters t ~version =
   broadcast t query;
   let n = t.cfg.nodes in
   let required = poll_required t in
-  let r = Array.make_matrix n n 0 and c = Array.make_matrix n n 0 in
+  let r, c = t.poll_bufs.(t.poll_round land 1) in
   let got = Array.make n false in
   let needed = ref 0 in
   Array.iter (fun req -> if req then incr needed) required;
@@ -1399,6 +1464,12 @@ let run_advancement t =
      the next advancement overlap an in-flight GC notice would transiently
      yield a fourth version, breaking the paper's ≤3 bound (§4.4, 2a). *)
   enter Coord_log.Retire_read;
+  (* Advance the live-tally window with the engine-wide GC floor. Quiescence
+     on [vr_old] means tallies below [vr_new] are back to zero (a crashed
+     replica's excused subtransactions can leave a stale nonzero tally, but
+     [live_subtxns] is only ever consulted for the advancement's current
+     versions, never below the floor). *)
+  Vwindow.gc_below t.live vr_new;
   broadcast t (Do_gc { keep = vr_new });
   if t.cfg.await_gc_acks then
     await_acks t ~what:"phase 4 (gc acks)"
@@ -1547,12 +1618,15 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
     invalid_arg "Engine.create: hb_timeout must exceed hb_period";
   if cfg.phase_deadline <= 0. then
     invalid_arg "Engine.create: phase_deadline must be positive";
+  let inbox_capacity = max cfg.expected_inbox_depth 1 in
   let net =
     match link_latency with
-    | None -> Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency ()
+    | None ->
+        Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency
+          ~inbox_capacity ()
     | Some f ->
         Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency
-          ~link_latency:f ()
+          ~link_latency:f ~inbox_capacity ()
   in
   let ch =
     Reliable.create
@@ -1638,7 +1712,7 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       coord_id = cfg.nodes;
       trigger_box = Mailbox.create ();
       trace;
-      live = Hashtbl.create 8;
+      live = Vwindow.create ();
       counters_live = Counter_set.create ();
       clog;
       coord_epoch = 0;
@@ -1649,6 +1723,10 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       coord_vu = initial_vu;
       coord_vr = initial_vr;
       poll_round = 0;
+      poll_bufs =
+        Array.init 2 (fun _ ->
+            ( Array.make_matrix cfg.nodes cfg.nodes 0,
+              Array.make_matrix cfg.nodes cfg.nodes 0 ));
       advancements = 0;
       updates_since_trigger = 0;
       divergence_since_trigger = 0.;
@@ -1913,6 +1991,7 @@ let node_suspected t ~node =
 let advancements_completed t = t.advancements
 let messages_sent t = Network.messages_sent t.net
 let remote_messages_sent t = Network.remote_messages_sent t.net
+let delivered_seen_size t = Network.delivered_seen_size t.net
 
 let max_versions_ever t =
   Array.fold_left (fun acc n -> max acc (Mvstore.max_versions_ever n.store)) 1

@@ -137,6 +137,10 @@ type config = {
           Only meaningful with [reliable_channel]. *)
   retransmit_timeout : float;  (** first retransmission delay (virtual s) *)
   retransmit_backoff : float;  (** per-retry delay multiplier (≥ 1) *)
+  expected_inbox_depth : int;
+      (** pre-size for each node's network inbox ring (messages); derive
+          from the configured arrival rate for steady-state benches. Purely
+          a capacity hint — never affects schedules. *)
 }
 
 (** A sensible default: constant 5 ms links, 0.1 ms think time, 10 ms poll
@@ -258,6 +262,12 @@ val messages_sent : t -> int
 
 (** Remote (inter-node) messages only. *)
 val remote_messages_sent : t -> int
+
+(** Number of (src, dst, seq) records currently held by the protocol
+    network's duplicate-delivery filter. Only the reliable channel feeds
+    the filter; ack-floor pruning must keep it bounded by the in-flight
+    window rather than by run length. Exposed so CI can assert that. *)
+val delivered_seen_size : t -> int
 
 (** Largest number of simultaneous versions of any item on any node so far
     (the paper bounds this by 3). *)

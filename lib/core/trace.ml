@@ -3,18 +3,27 @@ type event = { time : float; site : string; what : string }
 (* Bounded ring buffer. [buf] grows geometrically up to [cap]; once full,
    [emit] overwrites the oldest slot in O(1). [start] is the index of the
    oldest retained event, [len] the retained count, [total] every event ever
-   emitted (retained or evicted). The dummy event fills unused slots so they
-   never pin evicted events against the GC. *)
+   emitted (retained or evicted). The dummy cell fills unused slots so they
+   never pin evicted events against the GC.
+
+   Cells hold the message as a [string Lazy.t]: a traced bench run emits
+   orders of magnitude more events than the ring retains, so rendering at
+   emission time would mostly format strings that are evicted unread.
+   [emit_deferred] stores the closure and only the retained suffix ever
+   pays the sprintf — readers force on access (memoised, so repeated reads
+   render once). [emit] keeps strict semantics via [Lazy.from_val]. *)
+type cell = { c_time : float; c_site : string; c_msg : string Lazy.t }
+
 type t = {
   cap : int;
   sink : (event -> unit) option;
-  mutable buf : event array;
+  mutable buf : cell array;
   mutable start : int;
   mutable len : int;
   mutable total : int;
 }
 
-let dummy_event = { time = 0.; site = ""; what = "" }
+let dummy_cell = { c_time = 0.; c_site = ""; c_msg = Lazy.from_val "" }
 let default_capacity = 65_536
 
 let create ?(capacity = default_capacity) ?sink () =
@@ -30,34 +39,47 @@ let dropped t = t.total - t.len
 let grow t =
   let old = Array.length t.buf in
   let ncap = if old = 0 then min t.cap 256 else min t.cap (old * 2) in
-  let nbuf = Array.make ncap dummy_event in
+  let nbuf = Array.make ncap dummy_cell in
   for i = 0 to t.len - 1 do
     nbuf.(i) <- t.buf.((t.start + i) mod old)
   done;
   t.buf <- nbuf;
   t.start <- 0
 
-let emit t ~time ~site what =
-  let e = { time; site; what } in
-  (match t.sink with Some f -> f e | None -> ());
+let store t c =
   let size = Array.length t.buf in
   if t.len = size && size < t.cap then grow t;
   let size = Array.length t.buf in
   if t.len < size then begin
-    t.buf.((t.start + t.len) mod size) <- e;
+    t.buf.((t.start + t.len) mod size) <- c;
     t.len <- t.len + 1
   end
   else begin
     (* Full at capacity: overwrite the oldest slot. *)
-    t.buf.(t.start) <- e;
+    t.buf.(t.start) <- c;
     t.start <- (t.start + 1) mod size
   end;
   t.total <- t.total + 1
 
+let emit t ~time ~site what =
+  (match t.sink with Some f -> f { time; site; what } | None -> ());
+  store t { c_time = time; c_site = site; c_msg = Lazy.from_val what }
+
+let emit_deferred t ~time ~site msg =
+  match t.sink with
+  | Some _ ->
+      (* A sink observes every event at emission time, evicted or not, so
+         deferral buys nothing here: render now and keep the contract. *)
+      emit t ~time ~site (msg ())
+  | None -> store t { c_time = time; c_site = site; c_msg = Lazy.from_fun msg }
+
+let[@inline] force_cell c =
+  { time = c.c_time; site = c.c_site; what = Lazy.force c.c_msg }
+
 let iter t f =
   let size = Array.length t.buf in
   for i = 0 to t.len - 1 do
-    f t.buf.((t.start + i) mod size)
+    f (force_cell t.buf.((t.start + i) mod size))
   done
 
 let events t =
@@ -66,7 +88,7 @@ let events t =
   List.rev !acc
 
 let clear t =
-  Array.fill t.buf 0 (Array.length t.buf) dummy_event;
+  Array.fill t.buf 0 (Array.length t.buf) dummy_cell;
   t.start <- 0;
   t.len <- 0;
   t.total <- 0
@@ -112,5 +134,6 @@ let render t ~sites =
           else Buffer.add_string buf (pad ""))
         columns;
       if not !matched then Buffer.add_string buf (e.site ^ ": " ^ e.what);
-      Buffer.add_char buf '\n');
+      Buffer.add_char buf '\n')
+  ;
   Buffer.contents buf

@@ -37,6 +37,16 @@ val capacity : t -> int
     ring is full. O(1). *)
 val emit : t -> time:float -> site:string -> string -> unit
 
+(** [emit_deferred t ~time ~site msg] appends an event whose message is
+    rendered by [msg ()] only if the event is still retained when read —
+    evicted events never pay the formatting cost, which is most of them on
+    a traced bench run. [msg] must be pure: capture the values it formats
+    at the call site (not mutable state), because it runs later, at most
+    once, and only for retained events. With a [sink] attached the message
+    is rendered immediately (the sink observes every event at emission),
+    so deferral never changes what a sink sees. *)
+val emit_deferred : t -> time:float -> site:string -> (unit -> string) -> unit
+
 (** Retained events in emission order (oldest first). Allocates a fresh
     list; prefer {!iter} in loops. *)
 val events : t -> event list

@@ -1,0 +1,77 @@
+(* Same sliding-window trick as {!Counters}, for a single int per version
+   instead of R/C rows: in-window versions live in a 4-slot tag/value pair
+   of arrays, everything else spills to a hashtable. The engine uses this
+   for its per-version live-subtransaction tallies, which are bumped twice
+   per subtransaction — the hottest non-counter table in the kernel. *)
+
+let window = 4
+
+type t = {
+  slot_ver : int array;  (* slot -> version held there, or -1 when free *)
+  slot_val : int array;
+  mutable base : int;  (* window covers versions in [base, base + window) *)
+  spill : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    slot_ver = Array.make window (-1);
+    slot_val = Array.make window 0;
+    base = 0;
+    spill = Hashtbl.create 8;
+  }
+
+let[@inline] slot_of v = v land (window - 1)
+let[@inline] in_window t v = v >= t.base && v - t.base < window
+
+let get t v =
+  let s = slot_of v in
+  if t.slot_ver.(s) = v then t.slot_val.(s)
+  else match Hashtbl.find_opt t.spill v with Some n -> n | None -> 0
+
+let add t v delta =
+  if in_window t v then begin
+    let s = slot_of v in
+    if t.slot_ver.(s) = v then t.slot_val.(s) <- t.slot_val.(s) + delta
+    else begin
+      (* Free or dead-tag slot: claim it (see {!Counters.claim_slot} for
+         why a live collision is impossible). *)
+      t.slot_ver.(s) <- v;
+      t.slot_val.(s) <- delta
+    end
+  end
+  else begin
+    let cur = match Hashtbl.find_opt t.spill v with Some n -> n | None -> 0 in
+    Hashtbl.replace t.spill v (cur + delta)
+  end
+
+let gc_below t v =
+  if Hashtbl.length t.spill > 0 then begin
+    (* lint: hash-order-ok — independent removals, commutative collection. *)
+    let dead =
+      Hashtbl.fold (fun w _ acc -> if w < v then w :: acc else acc) t.spill []
+    in
+    List.iter (Hashtbl.remove t.spill) dead
+  end;
+  if v > t.base then begin
+    for s = 0 to window - 1 do
+      let w = t.slot_ver.(s) in
+      if w >= 0 && w < v then t.slot_ver.(s) <- -1
+    done;
+    t.base <- v;
+    if Hashtbl.length t.spill > 0 then begin
+      (* lint: hash-order-ok — distinct versions land in distinct slots. *)
+      let adopt =
+        Hashtbl.fold
+          (fun w n acc -> if in_window t w then (w, n) :: acc else acc)
+          t.spill []
+      in
+      List.iter
+        (fun (w, n) ->
+          let s = slot_of w in
+          t.slot_ver.(s) <- w;
+          t.slot_val.(s) <- n;
+          Hashtbl.remove t.spill w)
+        adopt
+    end
+  end

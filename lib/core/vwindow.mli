@@ -1,0 +1,28 @@
+(** Windowed per-version int tally.
+
+    A sliding-window map from version number to an int, laid out like
+    {!Counters}: versions inside a {!window}-wide window starting at the
+    GC floor live in flat slot arrays (tag compare + array store per
+    update), versions outside it spill to a hashtable. Semantically
+    equivalent to an [(int, int) Hashtbl.t] defaulting to 0 — the window
+    is purely a representation choice for the engine's hottest tallies
+    (live subtransactions per version, bumped twice per subtransaction). *)
+
+type t
+
+(** Dense window width (a power of two); matches {!Counters.window}. *)
+val window : int
+
+(** [create ()] is an all-zero tally with the window floor at 0. *)
+val create : unit -> t
+
+(** [get t v] is the tally for version [v] (0 if never touched). *)
+val get : t -> int -> int
+
+(** [add t v delta] adds [delta] to version [v]'s tally. *)
+val add : t -> int -> int -> unit
+
+(** [gc_below t v] forgets tallies for versions < [v] and advances the
+    dense window to start at [v], adopting any spilled versions the
+    window now covers. *)
+val gc_below : t -> int -> unit

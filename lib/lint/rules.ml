@@ -213,10 +213,14 @@ let r4_is_emit (fn : Parsetree.expression) =
   match fn.Parsetree.pexp_desc with
   | Parsetree.Pexp_ident { txt; _ } -> (
       match lid_str txt with
-      | "tr" -> true
+      | "tr" | "trl" -> true
       | s ->
-          String.length s >= 10
-          && String.sub s (String.length s - 10) 10 = "Trace.emit")
+          let suffix sfx =
+            let n = String.length sfx in
+            String.length s >= n
+            && String.sub s (String.length s - n) n = sfx
+          in
+          suffix "Trace.emit" || suffix "Trace.emit_deferred")
   | _ -> false
 
 let mentions_tracing (e : Parsetree.expression) =

@@ -3,6 +3,16 @@ module Mailbox = Simul.Mailbox
 
 type filter = src:int -> dst:int -> delay:float -> float list
 
+(* One scheduled drain event per (dst, deliver-at) burst: copies scheduled
+   back-to-back for the same destination and instant append to the batch's
+   pending list instead of each carrying their own heap event and closure. *)
+type 'm batch = {
+  b_at : float;
+  b_dst : int;
+  mutable b_seq : int;  (* sim sequence number of the batch's drain event *)
+  mutable b_rev : 'm list;  (* pending copies, newest first *)
+}
+
 type 'm t = {
   simulation : Sim.t;
   inboxes : 'm Mailbox.t array;
@@ -13,20 +23,24 @@ type 'm t = {
   mutable filter : filter option;
   mutable delivery_key : ('m -> (int * int) option) option;
   delivered_seen : (int * int * int, unit) Hashtbl.t;
-      (** (key-src, key-seq, dst) triples already counted in [delivered] *)
+      (** (key-src, key-seq, dst) triples already counted in [delivered];
+          pruned by {!forget_delivered} as the reliable channel's ack floor
+          advances, so the table tracks the in-flight window, not the run *)
+  mutable last_batch : 'm batch option;
   mutable sent : int;
   mutable remote_sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable extra_copies : int;
+  mutable coalesced : int;
 }
 
 let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
-    () =
+    ?(inbox_capacity = 16) () =
   if size <= 0 then invalid_arg "Network.create: size must be positive";
   {
     simulation;
-    inboxes = Array.init size (fun _ -> Mailbox.create ());
+    inboxes = Array.init size (fun _ -> Mailbox.create ~capacity:inbox_capacity ());
     n = size;
     latency;
     link_latency;
@@ -34,11 +48,13 @@ let create simulation ~size ~latency ?(link_latency = fun ~src:_ ~dst:_ -> None)
     filter = None;
     delivery_key = None;
     delivered_seen = Hashtbl.create 256;
+    last_batch = None;
     sent = 0;
     remote_sent = 0;
     delivered = 0;
     dropped = 0;
     extra_copies = 0;
+    coalesced = 0;
   }
 
 let size t = t.n
@@ -50,26 +66,58 @@ let check_node t n ctx =
   if n < 0 || n >= t.n then
     invalid_arg (Printf.sprintf "Network.%s: node %d out of range" ctx n)
 
-(* One closure per delivered copy — the event itself. [delivered] is bumped
-   when the copy actually lands in the destination mailbox, so messages
-   still in flight when a run ends are never reported as delivered.
-   Messages carrying a delivery key are counted once per (key, dst): a
-   retransmission landing after the original — routine under group-addressed
-   sends, where a crashed replica's mirrors retransmit until it restarts —
-   is the same logical delivery, not a second one. *)
+(* [delivered] is bumped when the copy actually lands in the destination
+   mailbox, so messages still in flight when a run ends are never reported
+   as delivered. Messages carrying a delivery key are counted once per
+   (key, dst): a retransmission landing after the original — routine under
+   group-addressed sends, where a crashed replica's mirrors retransmit until
+   it restarts — is the same logical delivery, not a second one. *)
+let deliver t ~dst msg =
+  (match t.delivery_key with
+  | Some keyer -> (
+      match keyer msg with
+      | Some (ks, kq) ->
+          if not (Hashtbl.mem t.delivered_seen (ks, kq, dst)) then begin
+            Hashtbl.replace t.delivered_seen (ks, kq, dst) ();
+            t.delivered <- t.delivered + 1
+          end
+      | None -> t.delivered <- t.delivered + 1)
+  | None -> t.delivered <- t.delivered + 1);
+  Mailbox.send t.inboxes.(dst) msg
+
+let drain t b =
+  let msgs = List.rev b.b_rev in
+  b.b_rev <- [];
+  (* A drain of [k] copies is [k] logical delivery events; report the
+     [k - 1] that no longer carry their own heap event so event totals are
+     identical with and without coalescing. *)
+  (match msgs with
+  | [] | [ _ ] -> ()
+  | _ :: rest -> Sim.tally_coalesced t.simulation ~extra:(List.length rest));
+  List.iter (fun m -> deliver t ~dst:b.b_dst m) msgs
+
+(* Coalescing is sound only while the batch's drain event is still the
+   newest scheduled event ([Sim.last_seq] unchanged): appending then
+   behaves exactly like scheduling a fresh event immediately after it —
+   same instant, adjacent sequence numbers, nothing scheduled in between —
+   so the global event order (and hence every golden schedule) is
+   byte-identical to the one-event-per-copy scheme. As soon as any other
+   event is scheduled, the batch is sealed and the next copy opens a new
+   one. *)
 let schedule_delivery t ~dst ~delay msg =
-  Sim.schedule t.simulation ~delay (fun () ->
-      (match t.delivery_key with
-      | Some keyer -> (
-          match keyer msg with
-          | Some (ks, kq) ->
-              if not (Hashtbl.mem t.delivered_seen (ks, kq, dst)) then begin
-                Hashtbl.replace t.delivered_seen (ks, kq, dst) ();
-                t.delivered <- t.delivered + 1
-              end
-          | None -> t.delivered <- t.delivered + 1)
-      | None -> t.delivered <- t.delivered + 1);
-      Mailbox.send t.inboxes.(dst) msg)
+  let sim = t.simulation in
+  match t.last_batch with
+  | Some b
+    when b.b_dst = dst
+         && b.b_at = Sim.now sim +. delay
+         && Sim.last_seq sim = b.b_seq ->
+      b.b_rev <- msg :: b.b_rev;
+      t.coalesced <- t.coalesced + 1
+  | _ ->
+      let b = { b_at = Sim.now sim +. delay; b_dst = dst; b_seq = 0; b_rev = [ msg ] } in
+      Sim.schedule sim ~delay (fun () -> drain t b);
+      b.b_seq <- Sim.last_seq sim;
+      t.last_batch <- Some b
 
 let send t ~src ~dst msg =
   check_node t src "send";
@@ -106,11 +154,16 @@ let recv t ~node =
   check_node t node "recv";
   Mailbox.recv t.simulation t.inboxes.(node)
 
+let forget_delivered t ~src ~seq ~dst =
+  Hashtbl.remove t.delivered_seen (src, seq, dst)
+
+let delivered_seen_size t = Hashtbl.length t.delivered_seen
 let messages_sent t = t.sent
 let remote_messages_sent t = t.remote_sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
 let extra_copies t = t.extra_copies
+let coalesced_deliveries t = t.coalesced
 
 let link_counts t =
   (* Dense iteration is already in (src, dst) lexicographic order. *)

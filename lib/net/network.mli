@@ -4,7 +4,16 @@
     scheduled after a sampled latency, so all inter-node communication in the
     engines is asynchronous by construction — matching the paper's model where
     "messages are sent asynchronously with respect to the execution of user
-    transactions". Node ids are dense integers [0 .. size-1]. *)
+    transactions". Node ids are dense integers [0 .. size-1].
+
+    Delivery is batched: copies scheduled back-to-back for the same
+    destination and the same delivery instant share one heap event whose
+    drain pushes them all, in order, into the inbox. Coalescing only
+    happens while the batch's drain event is still the newest scheduled
+    event, which makes it provably order-identical to scheduling one event
+    per copy — golden schedules are byte-identical either way, and
+    {!Simul.Sim.events_executed} still counts one event per delivered
+    copy. *)
 
 type 'm t
 
@@ -16,12 +25,16 @@ type 'm t
 type filter = src:int -> dst:int -> delay:float -> float list
 
 (** [create sim ~size ~latency ()] builds a network of [size] nodes.
-    [link_latency] optionally overrides the model per directed link. *)
+    [link_latency] optionally overrides the model per directed link.
+    [inbox_capacity] (default 16) pre-sizes each inbox's ring buffer —
+    pass the expected steady-state queue depth (e.g. derived from the
+    configured arrival rate) so server inboxes never pay growth copies. *)
 val create :
   Simul.Sim.t ->
   size:int ->
   latency:Latency.t ->
   ?link_latency:(src:int -> dst:int -> Latency.t option) ->
+  ?inbox_capacity:int ->
   unit ->
   'm t
 
@@ -72,6 +85,26 @@ val messages_dropped : 'm t -> int
 
 (** Extra copies beyond the first scheduled by the filter (duplications). *)
 val extra_copies : 'm t -> int
+
+(** Copies that joined an already-scheduled (dst, deliver-at) batch instead
+    of carrying their own heap event. *)
+val coalesced_deliveries : 'm t -> int
+
+(** [forget_delivered t ~src ~seq ~dst] drops the delivery-dedup record for
+    keyed message [(src, seq)] at [dst], if any. The reliable channel calls
+    this as its ack floor advances: once a stream's sequence is fully
+    acknowledged the sender stops retransmitting it, so the record's dedup
+    work is done and keeping it would grow the table for the life of the
+    run. (A straggler duplicate still in flight when its record is pruned
+    would be double-counted in {!messages_delivered} — a bounded statistics
+    skew, never protocol-visible, since receiver-side dedup lives in the
+    reliable channel's own [seen] table.) *)
+val forget_delivered : 'm t -> src:int -> seq:int -> dst:int -> unit
+
+(** Current number of (src, seq, dst) delivery-dedup records retained.
+    With ack-floor pruning this tracks the in-flight window and stays
+    bounded on long runs; exposed so benches and tests can assert it. *)
+val delivered_seen_size : 'm t -> int
 
 (** Per-link counters as [((src, dst), count)] pairs, sorted. Counts send
     attempts, before any filtering. *)

@@ -19,6 +19,11 @@ type 'm t = {
   next_seq : (int * int, int) Hashtbl.t;  (** (src, dst) -> last allocated *)
   pending : (int * int * int, 'm) Hashtbl.t;  (** (src, dst, seq) unacked *)
   seen : (int * int * int, unit) Hashtbl.t;  (** (receiver, src, seq) *)
+  ack_floor : (int * int, int) Hashtbl.t;
+      (** (src, dst) -> highest seq with every seq at or below it acked;
+          the network's delivery-dedup records are pruned up to it *)
+  acked_ahead : (int * int * int, unit) Hashtbl.t;
+      (** (src, dst, seq) acked past a gap, waiting for the floor *)
   mutable retransmissions : int;
   mutable dup_dropped : int;
   mutable acks_sent : int;
@@ -40,6 +45,8 @@ let create ?(config = default_config) net =
     next_seq = Hashtbl.create 64;
     pending = Hashtbl.create 256;
     seen = Hashtbl.create 1024;
+    ack_floor = Hashtbl.create 64;
+    acked_ahead = Hashtbl.create 64;
     retransmissions = 0;
     dup_dropped = 0;
     acks_sent = 0;
@@ -51,6 +58,29 @@ let retransmissions t = t.retransmissions
 let dup_dropped t = t.dup_dropped
 let acks_sent t = t.acks_sent
 let unacked t = Hashtbl.length t.pending
+
+let ack_floor t ~src ~dst =
+  match Hashtbl.find_opt t.ack_floor (src, dst) with Some f -> f | None -> 0
+
+(* Advance the (src, dst) ack floor through newly-contiguous acks and prune
+   the network's delivery-dedup records behind it. Acked sequences are
+   contiguous from 1 save for reordering gaps, so the floor walk touches
+   each sequence exactly once over a stream's lifetime — O(1) amortised. *)
+let advance_ack_floor t ~src ~dst ~seq =
+  let key = (src, dst) in
+  let f = match Hashtbl.find_opt t.ack_floor key with Some f -> f | None -> 0 in
+  if seq > f then
+    if seq = f + 1 then begin
+      Network.forget_delivered t.net ~src ~seq ~dst;
+      let nf = ref seq in
+      while Hashtbl.mem t.acked_ahead (src, dst, !nf + 1) do
+        incr nf;
+        Hashtbl.remove t.acked_ahead (src, dst, !nf);
+        Network.forget_delivered t.net ~src ~seq:!nf ~dst
+      done;
+      Hashtbl.replace t.ack_floor key !nf
+    end
+    else Hashtbl.replace t.acked_ahead (src, dst, seq) ()
 
 let unacked_to t ~dst =
   (* lint: hash-order-ok — a commutative integer count; the fold's result
@@ -106,4 +136,5 @@ let rec recv t ~node =
   | Ack { src = acker; seq } ->
       (* We (node) sent (node, acker, seq); it arrived. *)
       Hashtbl.remove t.pending (node, acker, seq);
+      advance_ack_floor t ~src:node ~dst:acker ~seq;
       recv t ~node

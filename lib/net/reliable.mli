@@ -77,3 +77,11 @@ val unacked : 'm t -> int
     once this drains to 0 (every retransmitted message it slept through has
     landed and been acknowledged). *)
 val unacked_to : 'm t -> dst:int -> int
+
+(** [ack_floor t ~src ~dst] is the highest sequence on the [src → dst]
+    stream with every sequence at or below it acknowledged (0 initially).
+    As the floor advances, the channel prunes the network's per-(src, seq,
+    dst) delivery-dedup records behind it ({!Network.forget_delivered}),
+    which is what keeps that table bounded by the in-flight window on long
+    retransmit-heavy runs. *)
+val ack_floor : 'm t -> src:int -> dst:int -> int

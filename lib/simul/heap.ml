@@ -8,7 +8,9 @@ type 'a t = {
 (* For a total preorder, [leq x y && not (leq y x)] is equivalent to
    [not (leq y x)] (totality gives [leq x y || leq y x]), so a single
    predicate call per comparison suffices on the sift paths. *)
-let create ~dummy ~leq = { leq; dummy; data = [||]; size = 0 }
+let create ?(capacity = 0) ~dummy ~leq () =
+  let capacity = max capacity 0 in
+  { leq; dummy; data = Array.make capacity dummy; size = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0

@@ -12,12 +12,14 @@
 
 type 'a t
 
-(** [create ~dummy ~leq] is an empty heap ordered by [leq] (a {e total}
-    preorder: [leq a b] means [a] sorts before or equal to [b]; totality —
-    [leq a b || leq b a] for all elements — is required, and is what lets
-    the heap use a single predicate call per comparison). [dummy] is an
-    inert element used to fill empty slots; it is never returned. *)
-val create : dummy:'a -> leq:('a -> 'a -> bool) -> 'a t
+(** [create ?capacity ~dummy ~leq ()] is an empty heap ordered by [leq] (a
+    {e total} preorder: [leq a b] means [a] sorts before or equal to [b];
+    totality — [leq a b || leq b a] for all elements — is required, and is
+    what lets the heap use a single predicate call per comparison). [dummy]
+    is an inert element used to fill empty slots; it is never returned.
+    [capacity] (default 0) pre-sizes the backing array so a heap whose
+    steady-state population is known up front never pays doubling copies. *)
+val create : ?capacity:int -> dummy:'a -> leq:('a -> 'a -> bool) -> unit -> 'a t
 
 (** Number of elements currently in the heap. *)
 val length : 'a t -> int

@@ -2,12 +2,16 @@
 
     Senders never block; receivers suspend while the mailbox is empty.
     Messages are delivered in send order, and blocked receivers are woken in
-    arrival order, keeping runs deterministic. *)
+    arrival order, keeping runs deterministic. Queued items are held in a
+    growable ring buffer, so a steady-state send allocates nothing beyond
+    its slot box and a pre-sized mailbox never copies its backing array. *)
 
 type 'a t
 
-(** An empty mailbox. *)
-val create : unit -> 'a t
+(** [create ?capacity ()] is an empty mailbox. [capacity] (default 16)
+    pre-sizes the ring buffer to the expected queue depth; the ring still
+    grows by doubling if exceeded. Capacity never affects delivery order. *)
+val create : ?capacity:int -> unit -> 'a t
 
 (** [send m x] enqueues [x], waking the oldest blocked receiver if any. *)
 val send : 'a t -> 'a -> unit

@@ -3,7 +3,10 @@ open Effect.Deep
 
 type proc = {
   pid : int;
-  pname : string;
+  pname : string Lazy.t;
+      (* names are diagnostic-only (stall reports, failure attribution), so
+         they are rendered lazily: spawning half a million subtransaction
+         fibers must not pay a [sprintf] each for names nobody reads *)
   daemon : bool;
   mutable blocked : bool;
   mutable finished : bool;
@@ -34,7 +37,7 @@ let leq_event a b = a.at < b.at || (a.at = b.at && a.seq <= b.seq)
    they are popped. *)
 let dummy_event = { at = neg_infinity; seq = 0; run = ignore }
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(queue_capacity = 16) () =
   {
     clock = 0.;
     seq = 0;
@@ -42,7 +45,7 @@ let create ?(seed = 42) () =
     executed = 0;
     current = None;
     failure = None;
-    queue = Heap.create ~dummy:dummy_event ~leq:leq_event;
+    queue = Heap.create ~capacity:queue_capacity ~dummy:dummy_event ~leq:leq_event ();
     procs = Hashtbl.create 64;
     random = Random.State.make [| seed |];
   }
@@ -50,6 +53,8 @@ let create ?(seed = 42) () =
 let now t = t.clock
 let rng t = t.random
 let events_executed t = t.executed
+let last_seq t = t.seq
+let tally_coalesced t ~extra = t.executed <- t.executed + extra
 
 let push t ~at run =
   t.seq <- t.seq + 1;
@@ -77,11 +82,20 @@ let start_process t proc body =
   let fiber () =
     match_with body ()
       {
-        retc = (fun () -> proc.finished <- true);
+        (* Finished processes are dropped from [t.procs] immediately: the
+           table only exists to report still-blocked processes at stall
+           time, and keeping every completed fiber's record alive would
+           grow the table (and its proc records) for the life of the run. *)
+        retc =
+          (fun () ->
+            proc.finished <- true;
+            Hashtbl.remove t.procs proc.pid);
         exnc =
           (fun exn ->
             proc.finished <- true;
-            if t.failure = None then t.failure <- Some (proc.pname, exn));
+            Hashtbl.remove t.procs proc.pid;
+            if t.failure = None then
+              t.failure <- Some (Lazy.force proc.pname, exn));
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
@@ -94,7 +108,7 @@ let start_process t proc body =
                       if !fired then
                         invalid_arg
                           (Printf.sprintf "Sim: waker for process %S invoked twice"
-                             proc.pname);
+                             (Lazy.force proc.pname));
                       fired := true;
                       push t ~at:t.clock (fun () ->
                           proc.blocked <- false;
@@ -112,11 +126,14 @@ let start_process t proc body =
   fiber ();
   t.current <- saved
 
-let spawn t ?(daemon = false) ?name body =
+let spawn t ?(daemon = false) ?name ?namef body =
   t.next_pid <- t.next_pid + 1;
   let pid = t.next_pid in
   let pname =
-    match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid
+    match (name, namef) with
+    | Some n, _ -> Lazy.from_val n
+    | None, Some f -> Lazy.from_fun f
+    | None, None -> lazy (Printf.sprintf "proc-%d" pid)
   in
   let proc = { pid; pname; daemon; blocked = false; finished = false } in
   Hashtbl.replace t.procs pid proc;
@@ -125,7 +142,8 @@ let spawn t ?(daemon = false) ?name body =
 let stalled_names t =
   Hashtbl.fold
     (fun _ p acc ->
-      if p.blocked && (not p.finished) && not p.daemon then p.pname :: acc
+      if p.blocked && (not p.finished) && not p.daemon then
+        Lazy.force p.pname :: acc
       else acc)
     t.procs []
   |> List.sort String.compare

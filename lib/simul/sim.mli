@@ -24,9 +24,13 @@ exception Process_failure of string * exn
 (** Raised by {!run} when a process terminated with an uncaught exception:
     carries the process name and the original exception. *)
 
-(** [create ?seed ()] is a fresh simulation whose RNG is seeded with [seed]
-    (default 42). *)
-val create : ?seed:int -> unit -> t
+(** [create ?seed ?queue_capacity ()] is a fresh simulation whose RNG is
+    seeded with [seed] (default 42). [queue_capacity] pre-sizes the event
+    heap's backing array (default 16, grown by doubling): pass the expected
+    steady-state number of in-flight events — e.g. derived from the
+    configured arrival rate — to avoid growth copies during a run.
+    Capacity never affects scheduling order. *)
+val create : ?seed:int -> ?queue_capacity:int -> unit -> t
 
 (** Current virtual time, in seconds. *)
 val now : t -> float
@@ -34,13 +38,33 @@ val now : t -> float
 (** The simulation's deterministic random state. *)
 val rng : t -> Random.State.t
 
-(** Number of events executed so far. *)
+(** Number of simulated events executed so far. Counts heap pops plus any
+    deliveries reported via {!tally_coalesced}, so a batched drain of [k]
+    same-instant messages counts as [k] events — identical to scheduling
+    them individually. *)
 val events_executed : t -> int
 
-(** [spawn t ?daemon ?name body] creates a process running [body]. Daemon
-    processes (e.g. server loops) may remain blocked forever without the run
-    being reported as {!Stalled}. Default [daemon] is [false]. *)
-val spawn : t -> ?daemon:bool -> ?name:string -> (unit -> unit) -> unit
+(** Sequence number of the most recently scheduled event. Two equal-time
+    events execute in sequence order; a scheduler that wants to coalesce
+    work into an already-scheduled event may do so soundly only while that
+    event is still the newest one (its sequence equals [last_seq]) — see
+    [Network.schedule_delivery]. *)
+val last_seq : t -> int
+
+(** [tally_coalesced t ~extra] adds [extra] to {!events_executed}: a batch
+    event that performs [k] logical deliveries reports [k - 1] here so
+    event counts stay comparable (and golden event totals stay identical)
+    whether or not batching kicked in. *)
+val tally_coalesced : t -> extra:int -> unit
+
+(** [spawn t ?daemon ?name ?namef body] creates a process running [body].
+    Daemon processes (e.g. server loops) may remain blocked forever without
+    the run being reported as {!Stalled}. Default [daemon] is [false].
+    [namef] is a lazy alternative to [name] for hot spawn paths: it is only
+    rendered if the name is actually reported (stall, failure, waker
+    misuse); [name] wins when both are given. *)
+val spawn :
+  t -> ?daemon:bool -> ?name:string -> ?namef:(unit -> string) -> (unit -> unit) -> unit
 
 (** [schedule t ?delay f] enqueues plain callback [f] to run at
     [now t +. delay] (default delay 0). The callback must not suspend. *)

@@ -28,6 +28,15 @@ let generator p =
   if p.nodes <= 0 then invalid_arg "Synthetic: nodes must be > 0";
   if p.fanout <= 0 then invalid_arg "Synthetic: fanout must be > 0";
   let popularity = Zipf.create ~n:p.keys_per_node ~s:p.zipf_s in
+  (* The key space is finite and fixed, so render every key string once up
+     front: [make] runs per generated transaction on the bench hot path,
+     and a sprintf per op there is pure allocation churn. Same strings,
+     same RNG draws — schedules are unchanged. *)
+  let key_table =
+    Array.init p.keys_per_node (fun slot ->
+        Array.init p.nodes (fun node -> key ~slot ~node))
+  in
+  let key ~slot ~node = key_table.(slot).(node) in
   {
     Generator.gen_name = "synthetic";
     arrival_rate = p.arrival_rate;

@@ -1,0 +1,264 @@
+(* Equivalence harness for the windowed flat counter tables.
+
+   [Threev.Counters] replaced a Hashtbl-of-rows representation with a dense
+   sliding window of [Counters.window] slots plus a spill table for
+   out-of-window versions. The two representations must be observationally
+   identical under every interleaving of increments, reads, snapshots and
+   GC — including increments landing below an advanced GC floor (a late
+   completion resurrecting a collected version) and far above the window
+   (a version opened before the floor caught up), and floors that adopt
+   spill rows back into the window. [Ref_counters] below reimplements the
+   old boxed representation as the oracle; qcheck drives both through
+   random op sequences and compares every observable after each step.
+
+   [Threev.Vwindow] (windowed int-per-version tallies, same windowing
+   discipline) gets the same treatment against a plain Hashtbl oracle. *)
+
+module Counters = Threev.Counters
+module Vwindow = Threev.Vwindow
+
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------ reference oracle *)
+
+module Ref_counters = struct
+  type row = { req : int array; comp : int array }
+  type t = { nodes : int; tbl : (int, row) Hashtbl.t }
+
+  let create ~nodes = { nodes; tbl = Hashtbl.create 8 }
+
+  let row t v =
+    match Hashtbl.find_opt t.tbl v with
+    | Some r -> r
+    | None ->
+        let r = { req = Array.make t.nodes 0; comp = Array.make t.nodes 0 } in
+        Hashtbl.replace t.tbl v r;
+        r
+
+  let ensure_version t v = ignore (row t v)
+
+  let incr_r t ~version ~dst =
+    let r = row t version in
+    r.req.(dst) <- r.req.(dst) + 1
+
+  let incr_c t ~version ~src =
+    let r = row t version in
+    r.comp.(src) <- r.comp.(src) + 1
+
+  let r t ~version ~dst =
+    match Hashtbl.find_opt t.tbl version with
+    | None -> 0
+    | Some row -> row.req.(dst)
+
+  let c t ~version ~src =
+    match Hashtbl.find_opt t.tbl version with
+    | None -> 0
+    | Some row -> row.comp.(src)
+
+  let snapshot_r t ~version =
+    match Hashtbl.find_opt t.tbl version with
+    | None -> Array.make t.nodes 0
+    | Some row -> Array.copy row.req
+
+  let snapshot_c t ~version =
+    match Hashtbl.find_opt t.tbl version with
+    | None -> Array.make t.nodes 0
+    | Some row -> Array.copy row.comp
+
+  let versions t =
+    Hashtbl.fold (fun v _ acc -> v :: acc) t.tbl [] |> List.sort Int.compare
+
+  let gc_below t v =
+    let dead =
+      Hashtbl.fold (fun w _ acc -> if w < v then w :: acc else acc) t.tbl []
+    in
+    List.iter (Hashtbl.remove t.tbl) dead
+end
+
+(* -------------------------------------------------- op sequences *)
+
+type op =
+  | Incr_r of int * int  (* version, dst *)
+  | Incr_c of int * int  (* version, src *)
+  | Ensure of int
+  | Gc of int
+
+let op_to_string = function
+  | Incr_r (v, d) -> Printf.sprintf "Incr_r(%d,%d)" v d
+  | Incr_c (v, s) -> Printf.sprintf "Incr_c(%d,%d)" v s
+  | Ensure v -> Printf.sprintf "Ensure(%d)" v
+  | Gc v -> Printf.sprintf "Gc(%d)" v
+
+(* Versions range over several windows' worth of values, so a run visits
+   in-window fast paths, above-window spills, below-floor resurrections
+   (an [Incr_*] at a version an earlier [Gc] collected), and GC-edge
+   adoption of spill rows. *)
+let max_version = 6 * Counters.window
+
+let op_gen nodes =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map2 (fun v d -> Incr_r (v, d)) (int_bound max_version)
+            (int_bound (nodes - 1)) );
+        ( 5,
+          map2 (fun v s -> Incr_c (v, s)) (int_bound max_version)
+            (int_bound (nodes - 1)) );
+        (1, map (fun v -> Ensure v) (int_bound max_version));
+        (2, map (fun v -> Gc v) (int_bound max_version));
+      ])
+
+let ops_arbitrary nodes =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_to_string ops))
+    QCheck.Gen.(list_size (int_range 0 200) (op_gen nodes))
+
+let apply_real cnt = function
+  | Incr_r (version, dst) -> Counters.incr_r cnt ~version ~dst
+  | Incr_c (version, src) -> Counters.incr_c cnt ~version ~src
+  | Ensure version -> Counters.ensure_version cnt version
+  | Gc version -> Counters.gc_below cnt version
+
+let apply_ref oracle = function
+  | Incr_r (version, dst) -> Ref_counters.incr_r oracle ~version ~dst
+  | Incr_c (version, src) -> Ref_counters.incr_c oracle ~version ~src
+  | Ensure version -> Ref_counters.ensure_version oracle version
+  | Gc version -> Ref_counters.gc_below oracle version
+
+(* Every observable the engine uses, compared over the full probe space.
+   Snapshots are compared by content — the shared-zero-row optimisation
+   must be invisible. [fold_versions] is probed with min/max, the
+   commutative folds the engine runs on the poll path. *)
+let observably_equal nodes cnt oracle =
+  let ok = ref true in
+  for v = 0 to max_version do
+    for node = 0 to nodes - 1 do
+      if Counters.r cnt ~version:v ~dst:node <> Ref_counters.r oracle ~version:v ~dst:node
+      then ok := false;
+      if Counters.c cnt ~version:v ~src:node <> Ref_counters.c oracle ~version:v ~src:node
+      then ok := false
+    done;
+    if Counters.snapshot_r cnt ~version:v <> Ref_counters.snapshot_r oracle ~version:v
+    then ok := false;
+    if Counters.snapshot_c cnt ~version:v <> Ref_counters.snapshot_c oracle ~version:v
+    then ok := false
+  done;
+  (* [versions] must agree exactly (sorted ascending on both sides)... *)
+  if Counters.versions cnt <> Ref_counters.versions oracle then ok := false;
+  (* ...and so must commutative folds over the version set. *)
+  (match Ref_counters.versions oracle with
+  | [] -> ()
+  | first :: _ as vs ->
+      let last = List.nth vs (List.length vs - 1) in
+      if Counters.fold_versions cnt (fun v acc -> min v acc) max_int <> first
+      then ok := false;
+      if Counters.fold_versions cnt (fun v acc -> max v acc) min_int <> last
+      then ok := false);
+  !ok
+
+let equivalence_property nodes =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "windowed counters == boxed oracle (%d nodes)" nodes)
+    ~count:300 (ops_arbitrary nodes)
+    (fun ops ->
+      let cnt = Counters.create ~nodes in
+      let oracle = Ref_counters.create ~nodes in
+      List.for_all
+        (fun op ->
+          apply_real cnt op;
+          apply_ref oracle op;
+          observably_equal nodes cnt oracle)
+        ops)
+
+(* A directed GC-edge walk qcheck tends to under-sample: monotone floors
+   sweeping across a long version run, with spills written ahead of the
+   window and resurrected behind it at every step. *)
+let gc_edge_walk () =
+  let nodes = 3 in
+  let cnt = Counters.create ~nodes in
+  let oracle = Ref_counters.create ~nodes in
+  let both op =
+    apply_real cnt op;
+    apply_ref oracle op
+  in
+  for v = 0 to 40 do
+    both (Incr_r (v, v mod nodes));
+    both (Incr_c (v + Counters.window, (v + 1) mod nodes));
+    (* fill far ahead of the window *)
+    both (Incr_r (v + (3 * Counters.window), v mod nodes));
+    both (Gc v);
+    (* resurrect behind the floor *)
+    if v > 2 then both (Incr_c (v - 2, v mod nodes));
+    Alcotest.(check bool)
+      (Printf.sprintf "equal after step %d" v)
+      true
+      (observably_equal nodes cnt oracle)
+  done
+
+(* The shared zero row must read as all-zero and fresh snapshots must not
+   alias live counter state. *)
+let snapshot_isolation () =
+  let cnt = Counters.create ~nodes:4 in
+  let z = Counters.snapshot_r cnt ~version:9 in
+  checki "zero row" 0 (Array.fold_left ( + ) 0 z);
+  Counters.incr_r cnt ~version:2 ~dst:1;
+  let s = Counters.snapshot_r cnt ~version:2 in
+  Counters.incr_r cnt ~version:2 ~dst:1;
+  checki "snapshot is a copy" 1 s.(1);
+  checki "live row moved on" 2 (Counters.r cnt ~version:2 ~dst:1)
+
+(* ------------------------------------------------------- vwindow *)
+
+let vwindow_equivalence =
+  QCheck.Test.make ~name:"vwindow == hashtbl oracle" ~count:300
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat "; "
+           (List.map
+              (fun (k, v) ->
+                if k = 0 then Printf.sprintf "Add(%d)" v
+                else Printf.sprintf "Gc(%d)" v)
+              ops))
+       QCheck.Gen.(
+         list_size (int_range 0 150)
+           (pair (int_bound 4) (int_bound (6 * Vwindow.window)))))
+    (fun ops ->
+      let w = Vwindow.create () in
+      let oracle = Hashtbl.create 8 in
+      let max_v = 6 * Vwindow.window in
+      List.for_all
+        (fun (kind, v) ->
+          if kind = 0 then begin
+            Vwindow.add w v 1;
+            Hashtbl.replace oracle v
+              ((match Hashtbl.find_opt oracle v with Some n -> n | None -> 0)
+              + 1)
+          end
+          else begin
+            Vwindow.gc_below w v;
+            Hashtbl.iter
+              (fun k _ -> if k < v then Hashtbl.remove oracle k)
+              (Hashtbl.copy oracle)
+          end;
+          let ok = ref true in
+          for probe = 0 to max_v do
+            let expect =
+              match Hashtbl.find_opt oracle probe with Some n -> n | None -> 0
+            in
+            if Vwindow.get w probe <> expect then ok := false
+          done;
+          !ok)
+        ops)
+
+let () =
+  Alcotest.run "counters-equiv"
+    [
+      ( "counters",
+        Alcotest.test_case "gc edge walk" `Quick gc_edge_walk
+        :: Alcotest.test_case "snapshot isolation" `Quick snapshot_isolation
+        :: List.map QCheck_alcotest.to_alcotest
+             [ equivalence_property 2; equivalence_property 5 ] );
+      ("vwindow", List.map QCheck_alcotest.to_alcotest [ vwindow_equivalence ]);
+    ]

@@ -120,6 +120,135 @@ let delivered_counts_at_delivery () =
   ignore (Sim.run sim ());
   checki "delivered on arrival" 1 (Network.messages_delivered net)
 
+(* Same-tick deliveries to one destination coalesce into a single drain
+   event, but the observable schedule must be untouched: per-link FIFO
+   order, per-copy event accounting (the drain tallies one executed event
+   per coalesced copy), and delivery times all match the one-closure-per-
+   copy behaviour this replaced. *)
+let batching_preserves_fifo () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~size:3 ~latency:(Latency.Constant 0.1) () in
+  let log = ref [] in
+  for node = 1 to 2 do
+    Sim.spawn sim ~daemon:true (fun () ->
+        let rec loop () =
+          (* Bind before consing: [!log] must be read after the recv
+             suspension, or a resumed fiber writes back a stale snapshot. *)
+          let m = Network.recv net ~node in
+          log := (node, m) :: !log;
+          loop ()
+        in
+        loop ())
+  done;
+  (* Five same-tick sends to node 1 interleaved with one to node 2: the
+     run to node 1 before the dst switch coalesces; the switch starts a
+     fresh batch. *)
+  for i = 1 to 3 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Network.send net ~src:0 ~dst:2 99;
+  for i = 4 to 5 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  ignore (Sim.run sim ());
+  let to1 = List.rev_map snd (List.filter (fun (n, _) -> n = 1) !log) in
+  Alcotest.(check (list int)) "fifo to node 1" [ 1; 2; 3; 4; 5 ] to1;
+  checki "node 2 got its copy" 1
+    (List.length (List.filter (fun (n, _) -> n = 2) !log));
+  checkb "some deliveries coalesced" true (Network.coalesced_deliveries net > 0);
+  (* Event accounting is per-copy, exactly as if nothing had coalesced. *)
+  let sim2 = Sim.create () in
+  let net2 = Network.create sim2 ~size:3 ~latency:(Latency.Constant 0.1) () in
+  for node = 1 to 2 do
+    Sim.spawn sim2 ~daemon:true (fun () ->
+        let rec loop () =
+          ignore (Network.recv net2 ~node);
+          loop ()
+        in
+        loop ())
+  done;
+  (* Same traffic, but forced un-coalesced: a yield between sends moves
+     each send to its own event, so every delivery schedules alone. *)
+  Sim.spawn sim2 (fun () ->
+      for i = 1 to 3 do
+        Network.send net2 ~src:0 ~dst:1 i;
+        Sim.yield sim2
+      done;
+      Network.send net2 ~src:0 ~dst:2 99;
+      Sim.yield sim2;
+      for i = 4 to 5 do
+        Network.send net2 ~src:0 ~dst:1 i;
+        Sim.yield sim2
+      done);
+  ignore (Sim.run sim2 ());
+  checki "no coalescing without same-tick sends" 0
+    (Network.coalesced_deliveries net2)
+
+module Reliable = Netsim.Reliable
+
+(* Regression: the delivered_seen dedup table used to keep one record per
+   distinct delivered (src, seq, dst) forever — unbounded growth on any
+   long-lived reliable channel. Ack-floor pruning must hold it at the
+   in-flight window across a long, retransmit-heavy run, without breaking
+   dedup (no duplicate deliveries surface) or reliability (every payload
+   arrives). *)
+let delivered_seen_stays_bounded () =
+  let sim = Sim.create ~seed:5 () in
+  let net = Network.create sim ~size:2 ~latency:(Latency.Constant 0.001) () in
+  let rng = Random.State.make [| 99 |] in
+  (* Drop 20% of copies: every loss forces a retransmission, and acks are
+     packets too, so ack loss exercises the out-of-order ack path. *)
+  Network.set_filter net (fun ~src:_ ~dst:_ ~delay ->
+      if Random.State.float rng 1. < 0.2 then [] else [ delay ]);
+  let ch =
+    Reliable.create
+      ~config:
+        {
+          Reliable.default_config with
+          Reliable.acks = true;
+          retransmit = true;
+          timeout = 0.01;
+        }
+      net
+  in
+  let n = 2000 in
+  let got = ref [] in
+  let peak_seen = ref 0 in
+  Sim.spawn sim ~daemon:true (fun () ->
+      let rec loop () =
+        let m = Reliable.recv ch ~node:1 in
+        got := m :: !got;
+        if Network.delivered_seen_size net > !peak_seen then
+          peak_seen := Network.delivered_seen_size net;
+        loop ()
+      in
+      loop ());
+  (* The sender must drain its own endpoint: acks are packets, and only
+     [Reliable.recv] consumes them and disarms retransmit timers. *)
+  Sim.spawn sim ~daemon:true (fun () ->
+      ignore (Reliable.recv ch ~node:0 : int));
+  Sim.spawn sim (fun () ->
+      for i = 1 to n do
+        Reliable.send ch ~src:0 ~dst:1 i;
+        Sim.sleep sim 0.002
+      done);
+  ignore (Sim.run sim ());
+  checkb "retransmit-heavy" true (Reliable.retransmissions ch > 50);
+  (* Reliability and dedup both intact: each payload exactly once. *)
+  Alcotest.(check (list int))
+    "every payload exactly once"
+    (List.init n (fun i -> i + 1))
+    (List.sort Int.compare !got);
+  (* The ack floor marched with the traffic... *)
+  checkb "ack floor advanced" true (Reliable.ack_floor ch ~src:0 ~dst:1 > n - 50);
+  (* ...so the dedup table tracked the in-flight window, not the run.
+     Lost acks stall the floor for a backoff-extended round trip, so the
+     in-flight window peaks in the low hundreds here; without pruning the
+     table ends the run holding all [n] records and never shrinks. *)
+  checkb "seen table bounded at peak" true (!peak_seen < n / 4);
+  checkb "seen table near-empty at quiescence" true
+    (Network.delivered_seen_size net < 50)
+
 let zero_size_rejected () =
   let sim = Sim.create () in
   Alcotest.check_raises "size 0"
@@ -191,6 +320,10 @@ let () =
           Alcotest.test_case "link latency override" `Quick
             link_latency_override;
           Alcotest.test_case "message accounting" `Quick message_accounting;
+          Alcotest.test_case "batching preserves fifo" `Quick
+            batching_preserves_fifo;
+          Alcotest.test_case "delivered_seen stays bounded" `Quick
+            delivered_seen_stays_bounded;
           Alcotest.test_case "delivered counts at delivery" `Quick
             delivered_counts_at_delivery;
           Alcotest.test_case "out of range" `Quick out_of_range_nodes;

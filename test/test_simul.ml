@@ -13,7 +13,7 @@ let checki = Alcotest.(check int)
 (* ------------------------------------------------------------- heap *)
 
 let heap_basic () =
-  let h = Heap.create ~dummy:0 ~leq:( <= ) in
+  let h = Heap.create ~dummy:0 ~leq:( <= ) () in
   checkb "empty" true (Heap.is_empty h);
   List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
   checki "length" 6 (Heap.length h);
@@ -23,12 +23,12 @@ let heap_basic () =
   checki "new min" 0 (Heap.pop_min h)
 
 let heap_empty_pop () =
-  let h = Heap.create ~dummy:0 ~leq:( <= ) in
+  let h = Heap.create ~dummy:0 ~leq:( <= ) () in
   Alcotest.check_raises "pop empty" Not_found (fun () ->
       ignore (Heap.pop_min h))
 
 let heap_peek_clear () =
-  let h = Heap.create ~dummy:0 ~leq:( <= ) in
+  let h = Heap.create ~dummy:0 ~leq:( <= ) () in
   checkb "peek empty" true (Heap.peek_min h = None);
   Heap.add h 7;
   checkb "peek" true (Heap.peek_min h = Some 7);
@@ -41,7 +41,7 @@ let heap_peek_clear () =
    life of the heap. *)
 let heap_no_pin_after_pop () =
   let dummy = ref (-1) in
-  let h = Heap.create ~dummy ~leq:(fun a b -> !a <= !b) in
+  let h = Heap.create ~dummy ~leq:(fun a b -> !a <= !b) () in
   let weak = Weak.create 3 in
   for i = 0 to 2 do
     let boxed = ref i in
@@ -60,7 +60,7 @@ let heap_no_pin_after_pop () =
 
 let heap_clear_releases () =
   let dummy = ref (-1) in
-  let h = Heap.create ~dummy ~leq:(fun a b -> !a <= !b) in
+  let h = Heap.create ~dummy ~leq:(fun a b -> !a <= !b) () in
   let weak = Weak.create 1 in
   let boxed = ref 42 in
   Weak.set weak 0 (Some boxed);
@@ -73,7 +73,7 @@ let heap_sort_property =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Heap.create ~dummy:0 ~leq:( <= ) in
+      let h = Heap.create ~dummy:0 ~leq:( <= ) () in
       List.iter (Heap.add h) xs;
       let rec drain acc =
         if Heap.is_empty h then List.rev acc else drain (Heap.pop_min h :: acc)
@@ -92,7 +92,7 @@ let heap_model_property =
       let leq (at1, seq1) (at2, seq2) =
         at1 < at2 || (at1 = at2 && seq1 <= seq2)
       in
-      let h = Heap.create ~dummy:(0, 0) ~leq in
+      let h = Heap.create ~dummy:(0, 0) ~leq () in
       let events = List.mapi (fun seq at -> (at, seq)) times in
       List.iter (Heap.add h) events;
       let rec drain acc =
