@@ -229,15 +229,23 @@ let find_cycle g nodes =
 
 (* ----------------------------------------------------------- certify *)
 
-let certify history =
+let certify ?shard_of_node history =
   let g =
     { adj = Hashtbl.create 256; edge_tbl = Hashtbl.create 1024;
       rf = 0; anti = 0; ww = 0 }
   in
+  (* A writer's shard (sharded histories only): update trees are confined
+     to one shard, so the root node determines it. Version numbers are
+     per-shard frontiers — comparable only within a shard. *)
+  let writer_shard (spec : Spec.t) =
+    match shard_of_node with
+    | None -> 0
+    | Some f -> f spec.Spec.root.Spec.node
+  in
   (* Effect-ful writers: id -> (version, write kinds). *)
   let writer_info = Hashtbl.create 256 in
-  (* key -> (writer id, version, overwrote) list *)
-  let writers_of_key : (string, (int * int * bool) list) Hashtbl.t =
+  (* key -> (writer id, version, writer shard, overwrote) list *)
+  let writers_of_key : (string, (int * int * int * bool) list) Hashtbl.t =
     Hashtbl.create 256
   in
   List.iter
@@ -253,20 +261,24 @@ let certify history =
               | None -> []
             in
             Hashtbl.replace writers_of_key key
-              ((spec.Spec.id, res.Result.version, ow) :: cur))
+              ((spec.Spec.id, res.Result.version, writer_shard spec, ow) :: cur))
           kinds
       end)
     history;
-  (* Version-order edges: conflicting writer pairs at different versions,
-     lower version first. Commuting pairs are unordered. *)
+  (* Version-order edges: conflicting writer pairs at different versions
+     of the same shard's frontier, lower version first. Commuting pairs
+     are unordered, and cross-shard pairs are never ordered by raw version
+     number (shard frontiers advance independently, so equal numbers name
+     different epochs — any real ordering between such writers surfaces
+     through reads-from/anti-dependency edges instead). *)
   Hashtbl.iter
     (fun key ws ->
       let rec pairs = function
         | [] -> ()
-        | (id1, v1, ow1) :: rest ->
+        | (id1, v1, s1, ow1) :: rest ->
             List.iter
-              (fun (id2, v2, ow2) ->
-                if v1 <> v2 && (ow1 || ow2) then begin
+              (fun (id2, v2, s2, ow2) ->
+                if s1 = s2 && v1 <> v2 && (ow1 || ow2) then begin
                   let src, dst = if v1 < v2 then (id1, id2) else (id2, id1) in
                   add_edge g ~src ~dst ~key ~kind:Version_order
                 end)
@@ -304,7 +316,7 @@ let certify history =
             (* Effect-ful writers of this key whose tag is absent from this
                observation: the read happened first. *)
             List.iter
-              (fun (w, _, _) ->
+              (fun (w, _, _, _) ->
                 if w <> rid && not (Value.Writers.mem w seen) then
                   add_edge g ~src:rid ~dst:w ~key ~kind:Anti_dependency)
               (match Hashtbl.find_opt writers_of_key key with

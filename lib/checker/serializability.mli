@@ -56,9 +56,16 @@ type report = {
           [i]'s [dst] is edge [i+1]'s [src], wrapping around *)
 }
 
-(** [certify history] builds the MVSG of a finished run and searches it
-    for a cycle. *)
-val certify : (Txn.Spec.t * Txn.Result.t) list -> report
+(** [certify ?shard_of_node history] builds the MVSG of a finished run
+    and searches it for a cycle. For sharded histories pass
+    [shard_of_node]: version-order edges are then drawn only between
+    writers of the same shard (a writer's shard is its root node's) —
+    shard frontiers advance independently, so version numbers from
+    different shards are incomparable and ordering them would fabricate
+    edges. Omitted, all writers share one frontier (the historical
+    single-coordinator reading). *)
+val certify :
+  ?shard_of_node:(int -> int) -> (Txn.Spec.t * Txn.Result.t) list -> report
 
 (** [serializable r] — no cycle. Unknown tags do not affect this; check
     [unknown_count] separately when the history is supposed to be clean. *)

@@ -26,7 +26,35 @@ let has_effect (res : Result.t) =
   | Result.Aborted "compensated" -> true
   | Result.Aborted _ -> false
 
-let check history =
+(* Per-shard fencing for sharded histories: a cross-shard read carries one
+   read version per shard (its assigned vector), so key [k] must be fenced
+   by the component of the shard {e hosting} [k] — the root's version is
+   only that one component. The hosting shard is read off the spec tree:
+   the subtransactions whose ops read [k] name the nodes involved, and
+   [shard_of_node] maps those to components. Writers of [k] all live in
+   [k]'s shard (sharded engines reject cross-shard update trees), so the
+   per-component comparison stays exact. *)
+let fence_of ~vector ~shard_of_node (spec : Spec.t) ~default key =
+  match vector spec.Spec.id with
+  | None -> default
+  | Some vec ->
+      let fence = ref (-1) in
+      let rec scan (st : Spec.subtxn) =
+        if
+          List.exists
+            (function Txn.Op.Read k -> k = key | _ -> false)
+            st.Spec.ops
+        then begin
+          let s = shard_of_node st.Spec.node in
+          if s >= 0 && s < Array.length vec && vec.(s) > !fence then
+            fence := vec.(s)
+        end;
+        List.iter scan st.Spec.children
+      in
+      scan spec.Spec.root;
+      if !fence < 0 then default else !fence
+
+let check ?(vector = fun _ -> None) ?(shard_of_node = fun _ -> 0) history =
   (* For each key: the effect-ful updates that wrote it, with their
      versions. *)
   let writers_of_key : (string, (int * int) list) Hashtbl.t =
@@ -54,7 +82,7 @@ let check history =
     (fun ((spec : Spec.t), (res : Result.t)) ->
       if spec.Spec.kind = Spec.Read_only && Result.committed res then begin
         incr reads_checked;
-        let v = res.Result.version in
+        let root_v = res.Result.version in
         (* Union observed writers per key (a key may be read at several
            subtransactions; under 3V they all resolve the same version). *)
         let observed = Hashtbl.create 8 in
@@ -75,6 +103,7 @@ let check history =
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
         |> List.iter (fun (key, seen) ->
             incr observations;
+            let v = fence_of ~vector ~shard_of_node spec ~default:root_v key in
             let writers =
               match Hashtbl.find_opt writers_of_key key with
               | Some l -> l

@@ -38,9 +38,20 @@ type report = {
   violation_count : int;
 }
 
-(** [check history] compares every committed read's observations against
-    the exact writer sets Theorem 4.1 predicts. *)
-val check : (Txn.Spec.t * Txn.Result.t) list -> report
+(** [check ?vector ?shard_of_node history] compares every committed
+    read's observations against the exact writer sets Theorem 4.1
+    predicts. For sharded histories pass [vector] (txn id → the read
+    vector assigned at submission, e.g. {!Threev.Engine.assigned_vector})
+    and [shard_of_node]: each key is then fenced by the component of the
+    shard hosting it (found via the spec tree) instead of the root's
+    version — versions from different shards are incomparable. The
+    defaults ([vector] constantly [None]) reproduce the single-frontier
+    check exactly. *)
+val check :
+  ?vector:(int -> int array option) ->
+  ?shard_of_node:(int -> int) ->
+  (Txn.Spec.t * Txn.Result.t) list ->
+  report
 
 (** True when no violation was found. *)
 val clean : report -> bool

@@ -18,6 +18,18 @@ module Counter_set = Stats.Counter_set
 
 type config = {
   nodes : int;
+  shards : int;
+      (** number of independent advancement domains [S]: nodes are
+          partitioned into [S] contiguous blocks of [nodes / S] members,
+          each with its own coordinator, write-ahead log and (vu, vr)
+          frontier, so advancement cost is O(nodes-per-shard) per shard
+          instead of O(all nodes) through one choke point. Shards are laid
+          {e over} replica groups ([nodes / S] must be a multiple of
+          [replicas]), so quorum polling stays per-shard. [1] — the
+          default — collapses to the single global coordinator and keeps
+          historical schedules byte-identical. Update transactions must
+          stay within one shard; cross-shard reads are assigned a
+          consistent per-shard read-version vector by {!Shard.Rvector} *)
   replicas : int;
       (** replication factor [k]: nodes are partitioned into groups of [k]
           consecutive replicas ({!Repl.Placement}); commuting updates are
@@ -85,6 +97,7 @@ type config = {
 let default_config ~nodes =
   {
     nodes;
+    shards = 1;
     replicas = 1;
     hb_period = 0.;
     hb_timeout = 0.1;
@@ -128,6 +141,10 @@ type msg =
       tree : Spec.subtxn;
       root : root_submit option;
       compensating : bool;
+      vector : int array option;
+          (** cross-shard read transactions only: the per-shard read
+              version vector {!Shard.Rvector} assigned at submission.
+              [None] on every other path (always [None] at [shards = 1]) *)
     }
   | Completion of {
       pending_id : int;
@@ -183,10 +200,12 @@ type pending = {
   mutable p_nodes : int list;
   mutable p_buffered : (string * Op.t) list;  (** NC write intentions, reversed *)
   p_root : root_submit option;
+  p_vector : int array option;  (** see {!msg.Subtxn.vector} *)
 }
 
 type node = {
   id : int;
+  shard : int;  (** owning shard ([id / (nodes / shards)]); 0 at [shards = 1] *)
   name : string;
   mutable vu : int;
   mutable vr : int;
@@ -218,6 +237,50 @@ type watch = {
    heartbeat side network plus the suspicion state machine fed from it. *)
 type fd_state = { hb : Heartbeat.t; det : Detector.t }
 
+(* One shard's coordinator: the complete volatile + durable advancement
+   state that used to live globally on [t]. Shard [s] owns the contiguous
+   node block [cs_lo, cs_lo + cs_n) and the network endpoint
+   [nodes + s]; at [shards = 1] there is exactly one of these and every
+   field carries its historical meaning (endpoint [nodes], all nodes). *)
+type coord = {
+  cs_shard : int;
+  cs_id : int;  (** network endpoint: [cfg.nodes + cs_shard] *)
+  cs_lo : int;  (** first member node id *)
+  cs_n : int;  (** member count ([cfg.nodes / cfg.shards]) *)
+  cs_name : string;  (** trace site: ["coord"] at [shards = 1] *)
+  cs_trigger : unit Ivar.t option Mailbox.t;
+  cs_clog : Coord_log.t;  (** durable: survives coordinator crashes *)
+  cs_live : Vwindow.t;  (** version -> requested-but-unterminated, this shard *)
+  mutable cs_epoch : int;  (** bumped on each coordinator recovery *)
+  mutable cs_crash_gen : int;
+      (** incremented by the crash hook; compared against [cs_seen_gen]
+          so the coordinator fiber notices a crash at its next check *)
+  mutable cs_seen_gen : int;
+  mutable cs_down_until : float;
+  mutable cs_watch : watch option;
+  mutable cs_vu : int;
+  mutable cs_vr : int;
+  mutable cs_poll_round : int;
+  cs_poll_bufs : (int array array * int array array) array;
+      (** two (r, c) matrix pairs, alternated by poll-round parity. The
+          quiescence loop only ever compares a round against the previous
+          one, so exactly two generations are live at once; reusing two
+          pre-allocated pairs removes the 2·m² fresh-matrix allocation per
+          poll round (megabytes of major-heap churn per round at 512+
+          nodes). Sized per shard: m = members, and a reply's nodes-wide
+          row/column is sliced to the shard's block (cross-shard counter
+          pairs are structurally zero — update trees never leave their
+          shard and read entries open self pairs on arrival). No zeroing
+          between rounds: a reply folds in by fully rewriting its R row
+          and C column, and [matrices_agree ~considered] reads only
+          rows/columns of members that replied. *)
+  mutable cs_advancements : int;
+  mutable cs_updates_since_trigger : int;
+  mutable cs_divergence_since_trigger : float;
+      (** accumulated |write delta| since the last advancement trigger
+          (drives the Divergence policy) *)
+}
+
 type t = {
   sim : Sim.t;
   cfg : config;
@@ -225,40 +288,22 @@ type t = {
   ch : msg Reliable.t;
   faults : Injector.t;
   nodes : node array;
+  per_shard : int;  (** [cfg.nodes / cfg.shards] *)
+  cs : coord array;  (** one coordinator per shard; singleton at [shards = 1] *)
+  rvec : Shard.Rvector.t option;
+      (** cross-shard read-vector service; [None] at [shards = 1] so the
+          single-coordinator configuration touches none of its code *)
+  rvec_assigned : (int, int array) Hashtbl.t;
+      (** txn id -> assigned read vector, retained for post-hoc
+          certification (the version-read checker fences each key by its
+          shard's component, not the root's). Only vectored cross-shard
+          reads enter; empty at [shards = 1]. *)
   repl : Repl.Placement.t;
       (** replica-group placement; singleton groups when [replicas = 1] *)
   recovery : Repl.Recovery.t;  (** readable-after-recovery gates *)
   fd : fd_state option;  (** heartbeat failure detector; [None] when off *)
-  coord_id : int;
-  trigger_box : unit Ivar.t option Mailbox.t;
   trace : Trace.t option;
-  live : Vwindow.t;  (** version -> requested-but-unterminated *)
   counters_live : Counter_set.t;
-  clog : Coord_log.t;  (** durable: survives coordinator crashes *)
-  mutable coord_epoch : int;  (** bumped on each coordinator recovery *)
-  mutable coord_crash_gen : int;
-      (** incremented by the crash hook; compared against [coord_seen_gen]
-          so the coordinator fiber notices a crash at its next check *)
-  mutable coord_seen_gen : int;
-  mutable coord_down_until : float;
-  mutable watch : watch option;
-  mutable coord_vu : int;
-  mutable coord_vr : int;
-  mutable poll_round : int;
-  poll_bufs : (int array array * int array array) array;
-      (** two (r, c) matrix pairs, alternated by poll-round parity. The
-          quiescence loop only ever compares a round against the previous
-          one, so exactly two generations are live at once; reusing two
-          pre-allocated pairs removes the 2·n² fresh-matrix allocation per
-          poll round (megabytes of major-heap churn per round at 512+
-          nodes). No zeroing between rounds: a reply folds in by fully
-          rewriting its R row and C column, and [matrices_agree
-          ~considered] reads only rows/columns of nodes that replied. *)
-  mutable advancements : int;
-  mutable updates_since_trigger : int;
-  mutable divergence_since_trigger : float;
-      (** accumulated |write delta| since the last advancement trigger
-          (drives the Divergence policy) *)
 }
 
 (* -------------------------------------------------------------- tracing *)
@@ -300,22 +345,42 @@ let trl t site msg =
    identical event schedules. *)
 let[@inline] tracing t = t.trace <> None
 
-let node_name t i = if i = t.cfg.nodes then "coord" else t.nodes.(i).name
+let node_name t i =
+  if i >= t.cfg.nodes then t.cs.(i - t.cfg.nodes).cs_name else t.nodes.(i).name
+
+(* The endpoint a node's protocol replies go to: its own shard's
+   coordinator. [cfg.nodes] at [shards = 1] — the historical value. *)
+let[@inline] coord_ep t node = t.cfg.nodes + node.shard
 
 (* ------------------------------------------------- oracle & counters *)
 
-let live_bump t version delta = Vwindow.add t.live version delta
-let live_subtxns t ~version = Vwindow.get t.live version
+(* Live-subtransaction tallies are per shard: each shard's version
+   timeline is independent, and quiescence only ever asks about the
+   asking shard's own versions. *)
+let live_bump t node version delta = Vwindow.add t.cs.(node.shard).cs_live version delta
+
+let live_subtxns t ~version =
+  Array.fold_left (fun acc cs -> acc + Vwindow.get cs.cs_live version) 0 t.cs
+
+(* Node counter rows are shard-local, [t.per_shard] entries wide: update
+   confinement means a node only ever opens counter pairs with members of
+   its own shard (cross-shard reads open {e self} pairs at the entry node),
+   so the peer index into a row is the peer's offset inside the shard
+   block. At [shards = 1] this is the identity and rows are nodes-wide —
+   the historical layout. Keeping rows per-shard makes every counter
+   snapshot a poll reply carries O(per) instead of O(nodes), which is
+   where a sharded advancement's machine cost would otherwise hide. *)
+let[@inline] cnt_ix t node peer = peer - (node.shard * t.per_shard)
 
 (* R(v) node->dst : incremented before a request is issued. *)
 let bump_r t node ~version ~dst =
-  Counters.incr_r node.cnt ~version ~dst;
-  live_bump t version 1
+  Counters.incr_r node.cnt ~version ~dst:(cnt_ix t node dst);
+  live_bump t node version 1
 
 (* C(v) src->node : incremented when a subtransaction terminates here. *)
 let bump_c t node ~version ~src =
-  Counters.incr_c node.cnt ~version ~src;
-  live_bump t version (-1)
+  Counters.incr_c node.cnt ~version ~src:(cnt_ix t node src);
+  live_bump t node version (-1)
 
 let cstat t name = Counter_set.incr t.counters_live name ()
 
@@ -327,11 +392,22 @@ let cstat t name = Counter_set.incr t.counters_live name ()
    i.e. O(nodes) times per advancement. *)
 let add_distinct v acc = if List.exists (fun w -> w = v) acc then acc else v :: acc
 
-let version_window t =
-  Array.fold_left
-    (fun acc node -> Counters.fold_versions node.cnt add_distinct acc)
-    [] t.nodes
-  |> List.sort Int.compare
+(* Fold [f] over the counter version sets of one shard's members —
+   or of every node when [shard] is the full range (the [shards = 1]
+   configuration and the public engine-wide probe). Each shard's version
+   timeline is independent, so the paper's ≤ 3 bound is a per-shard
+   statement; the global union is only meaningful at [shards = 1]. *)
+let window_over t ~lo ~n f init =
+  let acc = ref init in
+  for i = lo to lo + n - 1 do
+    acc := Counters.fold_versions t.nodes.(i).cnt f !acc
+  done;
+  !acc
+
+let version_window_shard t ~lo ~n =
+  window_over t ~lo ~n add_distinct [] |> List.sort Int.compare
+
+let version_window t = version_window_shard t ~lo:0 ~n:t.cfg.nodes
 
 (* Same, but only over replicas that are currently up. While a replica is
    crashed its durable counters freeze, so a quorum advancement running
@@ -339,30 +415,34 @@ let version_window t =
    dead replica's stale versions; restart adopts the group's GC floor
    ({!restart_recover}) and shrinks it back. The paper's three-version
    bound is a statement about live state. *)
-let live_version_window t =
+let live_version_window_shard t ~lo ~n =
   let now = Sim.now t.sim in
-  Array.fold_left
-    (fun acc node ->
-      (* lint: oracle-ok — a debug-check assertion about genuinely live
-         state (the paper's three-version bound), not a protocol decision:
-         ground truth is the point here. *)
-      if Injector.down t.faults ~node:node.id ~at:now then acc
-      else Counters.fold_versions node.cnt add_distinct acc)
-    [] t.nodes
-  |> List.sort Int.compare
+  let acc = ref [] in
+  for i = lo to lo + n - 1 do
+    let node = t.nodes.(i) in
+    (* lint: oracle-ok — a debug-check assertion about genuinely live
+       state (the paper's three-version bound), not a protocol decision:
+       ground truth is the point here. *)
+    if not (Injector.down t.faults ~node:node.id ~at:now) then
+      acc := Counters.fold_versions node.cnt add_distinct !acc
+  done;
+  List.sort Int.compare !acc
 
-let check_version_window t =
+let check_version_window_shard t ~shard =
   if t.cfg.debug_checks then begin
+    let lo = shard * t.per_shard and n = t.per_shard in
     let window =
-      if t.cfg.replicas > 1 then live_version_window t else version_window t
+      if t.cfg.replicas > 1 then live_version_window_shard t ~lo ~n
+      else version_window_shard t ~lo ~n
     in
     if List.length window > 3 then
       failwith
         (Printf.sprintf
-           "3V invariant violation: %d distinct versions live (%s); version \
-            numbers could not be re-used mod 3"
+           "3V invariant violation: %d distinct versions live (%s) in shard \
+            %d; version numbers could not be re-used mod 3"
            (List.length window)
-           (String.concat "," (List.map string_of_int window)))
+           (String.concat "," (List.map string_of_int window))
+           shard)
   end
 
 (* ------------------------------------------------------------ helpers *)
@@ -475,14 +555,17 @@ let op_magnitude = function
   | Op.Incr (_, d) -> Float.abs d
   | Op.Overwrite (_, a) -> Float.abs a
 
-let note_divergence t op =
+(* Divergence accumulates in the shard where the write landed: each
+   shard's coordinator advances on its own data's staleness. *)
+let note_divergence t node op =
   match t.cfg.policy with
   | Policy.Divergence threshold ->
-      t.divergence_since_trigger <-
-        t.divergence_since_trigger +. op_magnitude op;
-      if t.divergence_since_trigger >= threshold then begin
-        t.divergence_since_trigger <- 0.;
-        Mailbox.send t.trigger_box None
+      let cs = t.cs.(node.shard) in
+      cs.cs_divergence_since_trigger <-
+        cs.cs_divergence_since_trigger +. op_magnitude op;
+      if cs.cs_divergence_since_trigger >= threshold then begin
+        cs.cs_divergence_since_trigger <- 0.;
+        Mailbox.send cs.cs_trigger None
       end
   | Policy.Manual | Policy.Periodic _ | Policy.Every_n_updates _ -> ()
 
@@ -508,12 +591,13 @@ let apply_decision t node ~txn_id ~commit =
                     ignore
                       (Mvstore.write_exact node.store ~key ~version:p.p_version
                          ~init:Value.empty ~f:(Op.apply op ~txn:p.p_txn));
-                    note_divergence t op)
+                    note_divergence t node op)
                   (List.rev p.p_buffered);
               bump_c t node ~version:p.p_version ~src:p.p_source;
               if tracing t then begin
                 let cv =
-                  Counters.c node.cnt ~version:p.p_version ~src:p.p_source
+                  Counters.c node.cnt ~version:p.p_version
+                    ~src:(cnt_ix t node p.p_source)
                 in
                 trl t node.name (fun () ->
                     Printf.sprintf "nc subtx %s %s; C%d[%s->%s]=%d" p.p_label
@@ -578,10 +662,13 @@ let mirror_write t node p op =
   if repl_on t && p.p_kind = Spec.Commuting then
     List.iter
       (fun peer ->
-        Counters.incr_r node.cnt ~version:p.p_version ~dst:peer;
+        Counters.incr_r node.cnt ~version:p.p_version
+          ~dst:(cnt_ix t node peer);
         cstat t "repl.mirrors";
         if tracing t then begin
-          let rv = Counters.r node.cnt ~version:p.p_version ~dst:peer in
+          let rv =
+            Counters.r node.cnt ~version:p.p_version ~dst:(cnt_ix t node peer)
+          in
           trl t node.name (fun () ->
               Printf.sprintf "mirrors %s of tx %s to %s; R%d[%s->%s]=%d"
                 (Op.key op) p.p_label (node_name t peer) p.p_version node.name
@@ -622,7 +709,7 @@ let run_ops_commuting t node p ops =
                 ~f:(Op.apply op ~txn:p.p_txn)
           in
           if info.Mvstore.versions_updated >= 2 then cstat t "store.dual_write";
-          note_divergence t op;
+          note_divergence t node op;
           mirror_write t node p op;
           if tracing t then begin
             let versions =
@@ -668,20 +755,44 @@ let run_ops_nc t node p ops =
   !ok
 
 (* Spawn all child subtransactions of [p], bumping request counters before
-   each send (§4.1 step 5). *)
+   each send (§4.1 step 5). A vectored read child entering a {e different}
+   shard gets that shard's vector component as its version and no R bump
+   here: its parent's counter timeline is a different shard's, so the
+   entry opens a self pair on arrival instead ({!handle_subtxn}) — R = C
+   then balances entirely within the target shard's block. *)
 let spawn_children t node p (children : Spec.subtxn list) ~compensating =
   List.iter
     (fun (child : Spec.subtxn) ->
-      bump_r t node ~version:p.p_version ~dst:child.Spec.node;
-      if tracing t then begin
-        let rv =
-          Counters.r node.cnt ~version:p.p_version ~dst:child.Spec.node
-        in
+      let child_shard = child.Spec.node / t.per_shard in
+      let cross = child_shard <> node.shard in
+      let child_version =
+        match p.p_vector with
+        | Some vec when cross -> vec.(child_shard)
+        | _ -> p.p_version
+      in
+      if not cross then begin
+        bump_r t node ~version:p.p_version ~dst:child.Spec.node;
+        if tracing t then begin
+          let rv =
+            Counters.r node.cnt ~version:p.p_version
+              ~dst:(cnt_ix t node child.Spec.node)
+          in
+          trl t node.name (fun () ->
+              Printf.sprintf "subtx of %s issued to %s; R%d[%s->%s]=%d"
+                p.p_label
+                (node_name t child.Spec.node)
+                p.p_version node.name
+                (node_name t child.Spec.node)
+                rv)
+        end
+      end
+      else if tracing t then
         trl t node.name (fun () ->
-            Printf.sprintf "subtx of %s issued to %s; R%d[%s->%s]=%d" p.p_label
-              (node_name t child.Spec.node) p.p_version node.name
-              (node_name t child.Spec.node) rv)
-      end;
+            Printf.sprintf
+              "subtx of %s crosses to shard %d at %s (vector version %d)"
+              p.p_label child_shard
+              (node_name t child.Spec.node)
+              child_version);
       p.p_outstanding <- p.p_outstanding + 1;
       send t ~src:node.id ~dst:child.Spec.node
         (Subtxn
@@ -689,12 +800,13 @@ let spawn_children t node p (children : Spec.subtxn list) ~compensating =
              txn_id = p.p_txn;
              label = p.p_label;
              kind = p.p_kind;
-             version = p.p_version;
+             version = child_version;
              source = node.id;
              parent = Some (node.id, p.p_id);
              tree = child;
              root = None;
              compensating;
+             vector = p.p_vector;
            }))
     children
 
@@ -808,7 +920,8 @@ let rec maybe_finish t node p =
         | Some (parent_node, parent_pid) ->
             if tracing t then begin
               let cv =
-                Counters.c node.cnt ~version:p.p_version ~src:p.p_source
+                Counters.c node.cnt ~version:p.p_version
+                  ~src:(cnt_ix t node p.p_source)
               in
               trl t node.name (fun () ->
                   Printf.sprintf "subtx %s terminates; C%d[%s->%s]=%d"
@@ -828,7 +941,8 @@ let rec maybe_finish t node p =
             let rs = match p.p_root with Some rs -> rs | None -> assert false in
             if tracing t then begin
               let cv =
-                Counters.c node.cnt ~version:p.p_version ~src:p.p_source
+                Counters.c node.cnt ~version:p.p_version
+                  ~src:(cnt_ix t node p.p_source)
               in
               trl t node.name (fun () ->
                   Printf.sprintf "tx %s is complete; C%d[%s->%s]=%d" p.p_label
@@ -950,18 +1064,54 @@ let alloc_pending node =
   node.next_pending <- node.next_pending + 1;
   node.next_pending
 
+(* A vectored read entry lands in this shard: its assigned version must
+   still be materialized here. The read-vector service's pending tallies
+   defer retiring that version until this arrival, so a floor violation is
+   an accounting bug — fatal under debug checks. *)
+let check_entry_floor t node ~version ~label =
+  if t.cfg.debug_checks && version < Mvstore.gc_floor node.store then
+    failwith
+      (Printf.sprintf
+         "torn read vector: tx %s entry arrived at %s with version %d below \
+          the GC floor %d"
+         label node.name version
+         (Mvstore.gc_floor node.store))
+
+(* Retire the entry's pending tally at the read-vector service. *)
+let rvec_arrived t node ~version =
+  match t.rvec with
+  | Some rv -> Shard.Rvector.arrived rv ~shard:node.shard ~version
+  | None -> ()
+
 let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
-    ~root ~compensating =
+    ~root ~compensating ~vector =
   (* Steps 1-2 of §4.1: version assignment for roots; implicit advancement
      notification for higher-versioned arrivals. These counter/version
      accesses are atomic and outside local concurrency control. *)
+  let entry_source = ref source in
   let version =
     match (parent, kind) with
+    | None, Spec.Read_only when vector <> None ->
+        (* Cross-shard read root: the submission-time vector fixes this
+           shard's read version; the root is the vector's entry into its
+           own shard. *)
+        let v = match vector with Some vec -> vec.(node.shard) | None -> -1 in
+        check_entry_floor t node ~version:v ~label;
+        bump_r t node ~version:v ~dst:node.id;
+        rvec_arrived t node ~version:v;
+        if tracing t then begin
+          let rv = Counters.r node.cnt ~version:v ~dst:(cnt_ix t node node.id) in
+          trl t node.name (fun () ->
+              Printf.sprintf
+                "vectored read tx %s arrives; version %d; R%d[%s->%s]=%d"
+                label v v node.name node.name rv)
+        end;
+        v
     | None, Spec.Read_only ->
         let v = node.vr in
         bump_r t node ~version:v ~dst:node.id;
         if tracing t then begin
-          let rv = Counters.r node.cnt ~version:v ~dst:node.id in
+          let rv = Counters.r node.cnt ~version:v ~dst:(cnt_ix t node node.id) in
           trl t node.name (fun () ->
               Printf.sprintf "read tx %s arrives; version %d; R%d[%s->%s]=%d"
                 label v v node.name node.name rv)
@@ -971,12 +1121,32 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
         let v = node.vu in
         bump_r t node ~version:v ~dst:node.id;
         if tracing t then begin
-          let rv = Counters.r node.cnt ~version:v ~dst:node.id in
+          let rv = Counters.r node.cnt ~version:v ~dst:(cnt_ix t node node.id) in
           trl t node.name (fun () ->
               Printf.sprintf "update tx %s arrives; version %d; R%d[%s->%s]=%d"
                 label v v node.name node.name rv)
         end;
         v
+    | Some _, _ when vector <> None && source / t.per_shard <> node.shard ->
+        (* Cross-shard read entry: the parent bumped no R pair (its counter
+           timeline is another shard's); open a self pair here instead so
+           R = C balances within this shard's block, and retire the
+           service's pending tally now that the entry is visible to
+           quiescence polls. *)
+        check_entry_floor t node ~version ~label;
+        entry_source := node.id;
+        bump_r t node ~version ~dst:node.id;
+        rvec_arrived t node ~version;
+        if tracing t then begin
+          let rv = Counters.r node.cnt ~version ~dst:(cnt_ix t node node.id) in
+          trl t node.name (fun () ->
+              Printf.sprintf
+                "entry subtx of %s arrives from %s; version %d; \
+                 R%d[%s->%s]=%d"
+                label (node_name t source) version version node.name node.name
+                rv)
+        end;
+        version
     | Some _, _ ->
         if tracing t then
           trl t node.name (fun () ->
@@ -1028,7 +1198,7 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
       p_label = label;
       p_kind = kind;
       p_version = version;
-      p_source = source;
+      p_source = !entry_source;
       p_parent = parent;
       p_compensating = compensating;
       p_outstanding = 0;
@@ -1038,6 +1208,7 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
       p_nodes = [ node.id ];
       p_buffered = [];
       p_root = root;
+      p_vector = vector;
     }
   in
   Hashtbl.replace node.pendings p.p_id p;
@@ -1049,9 +1220,9 @@ let handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
 
 let handle_node_msg t node = function
   | Subtxn { txn_id; label; kind; version; source; parent; tree; root;
-             compensating } ->
+             compensating; vector } ->
       handle_subtxn t node ~txn_id ~label ~kind ~version ~source ~parent ~tree
-        ~root ~compensating
+        ~root ~compensating ~vector
   | Completion { pending_id; child_label; reads; vote; nodes } ->
       handle_completion t node ~pending_id ~child_label ~reads ~vote ~nodes
   | Cleanup { txn_id } -> Lockmgr.release_all node.locks ~owner:txn_id
@@ -1060,7 +1231,7 @@ let handle_node_msg t node = function
       if node.vu < vu_new then begin
         node.vu <- vu_new;
         Counters.ensure_version node.cnt vu_new;
-        check_version_window t;
+        check_version_window_shard t ~shard:node.shard;
         if tracing t then
           tr t node.name "start-advancement arrives; update version now %d"
             vu_new
@@ -1068,7 +1239,7 @@ let handle_node_msg t node = function
       else if tracing t then
         tr t node.name
           "start-advancement arrives; update version already %d" node.vu;
-      send t ~src:node.id ~dst:t.coord_id
+      send t ~src:node.id ~dst:(coord_ep t node)
         (Adv_ack { from_node = node.id; vu = vu_new })
   | Advance_read { vr_new } ->
       if node.vr < vr_new then begin
@@ -1076,10 +1247,10 @@ let handle_node_msg t node = function
         if tracing t then tr t node.name "read version advanced to %d" vr_new;
         wake_vr_waiters node
       end;
-      send t ~src:node.id ~dst:t.coord_id
+      send t ~src:node.id ~dst:(coord_ep t node)
         (Read_ack { from_node = node.id; vr = vr_new })
   | Counter_query { version; round; epoch } ->
-      send t ~src:node.id ~dst:t.coord_id
+      send t ~src:node.id ~dst:(coord_ep t node)
         (Counter_reply
            {
              from_node = node.id;
@@ -1103,7 +1274,8 @@ let handle_node_msg t node = function
         (Mvstore.write_upward node.store ~key:(Op.key op)
            ~version:(max version floor) ~init:Value.empty
            ~f:(Op.apply op ~txn:txn_id));
-      if version >= floor then Counters.incr_c node.cnt ~version ~src:source;
+      if version >= floor then
+        Counters.incr_c node.cnt ~version ~src:(cnt_ix t node source);
       cstat t "repl.mirror_applies";
       if tracing t then
         trl t node.name (fun () ->
@@ -1126,14 +1298,14 @@ let handle_node_msg t node = function
       if Mvstore.gc_floor node.store < keep then begin
         Mvstore.gc node.store ~new_read_version:keep;
         Counters.gc_below node.cnt keep;
-        check_version_window t;
+        check_version_window_shard t ~shard:node.shard;
         if tracing t then
           tr t node.name "garbage-collects below version %d" keep
       end
       else if tracing t then
         tr t node.name
           "gc notice for version %d re-delivered; already collected" keep;
-      send t ~src:node.id ~dst:t.coord_id (Gc_ack { from_node = node.id; keep })
+      send t ~src:node.id ~dst:(coord_ep t node) (Gc_ack { from_node = node.id; keep })
   | Adv_ack _ | Read_ack _ | Counter_reply _ | Gc_ack _ | Coord_wake ->
       invalid_arg "Engine: coordinator message delivered to a node"
 
@@ -1146,10 +1318,13 @@ let handle_node_msg t node = function
 let initial_vu = 1
 let initial_vr = 0
 
-let broadcast t msg =
-  Array.iter (fun node -> send t ~src:t.coord_id ~dst:node.id msg) t.nodes
+(* Broadcast to one shard's members — all nodes at [shards = 1]. *)
+let broadcast t cs msg =
+  for i = cs.cs_lo to cs.cs_lo + cs.cs_n - 1 do
+    send t ~src:cs.cs_id ~dst:i msg
+  done
 
-(* Raised inside the coordinator fiber when it observes that a crash window
+(* Raised inside a coordinator fiber when it observes that a crash window
    hit it; [coordinator_loop] catches it, replays the WAL, and re-drives
    the in-flight advancement. *)
 exception Coord_crashed
@@ -1157,27 +1332,27 @@ exception Coord_crashed
 (* Notice a pending crash: if the crash hook fired since we last looked,
    sleep out the remainder of the down window (volatile state is already
    gone; the fiber must not act while "down") and raise. *)
-let coord_check t =
-  if t.coord_crash_gen <> t.coord_seen_gen then begin
-    t.coord_seen_gen <- t.coord_crash_gen;
+let coord_check t cs =
+  if cs.cs_crash_gen <> cs.cs_seen_gen then begin
+    cs.cs_seen_gen <- cs.cs_crash_gen;
     let now = Sim.now t.sim in
-    if now < t.coord_down_until then Sim.sleep t.sim (t.coord_down_until -. now);
+    if now < cs.cs_down_until then Sim.sleep t.sim (cs.cs_down_until -. now);
     raise Coord_crashed
   end
 
-(* Receive as the coordinator, crash-aware. A message consumed by the very
-   receive that notices the crash is discarded with it — safe, because the
-   re-driven phase re-collects every reply it needs. *)
-let coord_recv t =
-  let msg = Reliable.recv t.ch ~node:t.coord_id in
-  coord_check t;
+(* Receive as a shard's coordinator, crash-aware. A message consumed by the
+   very receive that notices the crash is discarded with it — safe, because
+   the re-driven phase re-collects every reply it needs. *)
+let coord_recv t cs =
+  let msg = Reliable.recv t.ch ~node:cs.cs_id in
+  coord_check t cs;
   msg
 
 (* ---- stall watchdog ---- *)
 
-let watch_begin t ~what ~resend =
+let watch_begin t cs ~what ~resend =
   if t.cfg.phase_deadline < infinity then
-    t.watch <-
+    cs.cs_watch <-
       Some
         {
           w_what = what;
@@ -1186,21 +1361,21 @@ let watch_begin t ~what ~resend =
           w_resend = resend;
         }
 
-let watch_end t = t.watch <- None
+let watch_end cs = cs.cs_watch <- None
 
-(* Daemon (spawned only when [phase_deadline] is finite): whenever an armed
-   watch sits past its deadline, record the stall, re-broadcast the phase
-   message to the nodes still owing a reply, and double the interval with a
-   bound — self-healing for silent wedges such as a node crashed past the
-   channel's retransmission window. *)
-let watchdog_loop t () =
+(* Daemon (spawned only when [phase_deadline] is finite, one per shard):
+   whenever an armed watch sits past its deadline, record the stall,
+   re-broadcast the phase message to the nodes still owing a reply, and
+   double the interval with a bound — self-healing for silent wedges such
+   as a node crashed past the channel's retransmission window. *)
+let watchdog_loop t cs () =
   let rec loop () =
     Sim.sleep t.sim (t.cfg.phase_deadline /. 4.);
-    (match t.watch with
+    (match cs.cs_watch with
     | Some w when Sim.now t.sim >= w.w_deadline ->
         cstat t "proto.phase_stalled";
         if tracing t then
-          tr t "coord" "watchdog: %s stalled for %gs; re-broadcasting"
+          tr t cs.cs_name "watchdog: %s stalled for %gs; re-broadcasting"
             w.w_what w.w_interval;
         w.w_resend ();
         w.w_interval <- Float.min (w.w_interval *. 2.) (8. *. t.cfg.phase_deadline);
@@ -1210,19 +1385,53 @@ let watchdog_loop t () =
   in
   loop ()
 
-(* Poll participation under replication: every live node is required, plus
-   every member of a fully-dead group — quorum is lost there, and the
-   coordinator must wait for one of those replicas to restart rather than
-   excuse versions no surviving replica can vouch for. With [replicas = 1]
-   every node is required, which is exactly the historical behavior (a
-   crashed node blocks the wait until the channel's retransmissions reach
-   its restart). *)
-let poll_required t =
-  if not (repl_on t) then Array.make t.cfg.nodes true
-  else begin
+(* Poll participation under replication: every live shard member is
+   required, plus every member of a fully-dead group — quorum is lost
+   there, and the coordinator must wait for one of those replicas to
+   restart rather than excuse versions no surviving replica can vouch for.
+   Indexed by shard-relative member position ([0 .. cs_n)); groups never
+   straddle shards, so slicing the global requirement is exact. With
+   [replicas = 1] every member is required, which is exactly the
+   historical behavior (a crashed node blocks the wait until the channel's
+   retransmissions reach its restart). *)
+let poll_required t cs =
+  if not (repl_on t) then Array.make cs.cs_n true
+  else if t.cfg.shards = 1 then begin
+    (* Single-shard: the historical global computation, preserved verbatim
+       because {!node_live} reads through the failure detector, whose
+       deadline refresh is stateful — the exact probe sequence is part of
+       the replay-stable schedule. *)
     let live i = node_live t i in
     if not (Repl.Quorum.met t.repl ~live) then cstat t "repl.quorum_lost";
     Repl.Quorum.required t.repl ~live
+  end
+  else begin
+    (* Sharded: probe each member once, then derive per-group death from
+       the memo — groups are [replicas]-sized blocks fully inside the
+       shard ([create] validates divisibility). *)
+    let lv = Array.init cs.cs_n (fun i -> node_live t (cs.cs_lo + i)) in
+    let req = Array.copy lv in
+    let gsize = t.cfg.replicas in
+    let lost = ref false in
+    let g = ref 0 in
+    while !g < cs.cs_n do
+      let any = ref false in
+      for m = !g to !g + gsize - 1 do
+        if lv.(m) then any := true
+      done;
+      if not !any then begin
+        lost := true;
+        (* A fully-dead group has no live representative; the poll must
+           wait for a restart rather than excuse versions no surviving
+           replica can vouch for: every member stays required. *)
+        for m = !g to !g + gsize - 1 do
+          req.(m) <- true
+        done
+      end;
+      g := !g + gsize
+    done;
+    if !lost then cstat t "repl.quorum_lost";
+    req
   end
 
 (* Watchdog-time suspicion excusal: under replication with the failure
@@ -1236,9 +1445,9 @@ let poll_required t =
    genuinely crashed replica. Excusal is monotone within one wait. If the
    requirement drops to zero the parked wait fiber is woken with the same
    zero-payload self-send a restarting coordinator uses. *)
-let excuse_suspected t ~required ~answered ~needed =
+let excuse_suspected t cs ~required ~answered ~needed =
   if repl_on t && t.fd <> None then begin
-    let req_now = poll_required t in
+    let req_now = poll_required t cs in
     Array.iteri
       (fun i was ->
         if was && (not req_now.(i)) && not answered.(i) then begin
@@ -1247,7 +1456,7 @@ let excuse_suspected t ~required ~answered ~needed =
           cstat t "proto.suspicion_excused"
         end)
       required;
-    if !needed <= 0 then send t ~src:t.coord_id ~dst:t.coord_id Coord_wake
+    if !needed <= 0 then send t ~src:cs.cs_id ~dst:cs.cs_id Coord_wake
   end
 
 (* Await one acknowledgement from every required node. [matches] returns
@@ -1258,28 +1467,33 @@ let excuse_suspected t ~required ~answered ~needed =
    phase) is counted under [proto.stale_msgs] instead of vanishing
    silently. [resend i] re-sends the phase message to node [i] (watchdog
    path). Acks from excused (crashed) replicas are still recorded if their
-   retransmitted phase message lands mid-wait. *)
-let await_acks t ~what ~resend ~matches =
-  let n = t.cfg.nodes in
-  let required = poll_required t in
+   retransmitted phase message lands mid-wait. [acked]/[required] are
+   indexed by shard-relative member position; [matches] still returns
+   absolute node ids off the wire. *)
+let await_acks t cs ~what ~resend ~matches =
+  let n = cs.cs_n in
+  let required = poll_required t cs in
   let acked = Array.make n false in
   let needed = ref 0 in
   Array.iter (fun r -> if r then incr needed) required;
-  watch_begin t ~what ~resend:(fun () ->
-      excuse_suspected t ~required ~answered:acked ~needed;
-      Array.iteri (fun i done_ -> if not done_ then resend i) acked);
+  watch_begin t cs ~what ~resend:(fun () ->
+      excuse_suspected t cs ~required ~answered:acked ~needed;
+      Array.iteri (fun i done_ -> if not done_ then resend (cs.cs_lo + i)) acked);
   while !needed > 0 do
-    match coord_recv t with
+    match coord_recv t cs with
     | Coord_wake -> ()
     | msg -> (
         match matches msg with
-        | Some from when from >= 0 && from < n && not acked.(from) ->
-            acked.(from) <- true;
-            if required.(from) then decr needed
+        | Some from
+          when from >= cs.cs_lo
+               && from < cs.cs_lo + n
+               && not acked.(from - cs.cs_lo) ->
+            acked.(from - cs.cs_lo) <- true;
+            if required.(from - cs.cs_lo) then decr needed
         | Some _ -> cstat t "proto.dup_acks"
         | None -> cstat t "proto.stale_msgs")
   done;
-  watch_end t
+  watch_end cs
 
 (* One asynchronous poll of all R rows / C columns for [version]. Returns
    (r, c, got) with r.(p).(q) = R(version)pq, c.(p).(q) = C(version)pq and
@@ -1289,42 +1503,52 @@ let await_acks t ~what ~resend ~matches =
    once every {e required} node (see {!poll_required}) replied; a reply
    from an excused crashed replica that restarts mid-round is folded in
    anyway. *)
-let poll_counters t ~version =
-  t.poll_round <- t.poll_round + 1;
+let poll_counters t cs ~version =
+  cs.cs_poll_round <- cs.cs_poll_round + 1;
   cstat t "proto.polls";
-  let round = t.poll_round and epoch = t.coord_epoch in
+  let round = cs.cs_poll_round and epoch = cs.cs_epoch in
   let query = Counter_query { version; round; epoch } in
-  broadcast t query;
-  let n = t.cfg.nodes in
-  let required = poll_required t in
-  let r, c = t.poll_bufs.(t.poll_round land 1) in
+  broadcast t cs query;
+  let n = cs.cs_n and lo = cs.cs_lo in
+  let required = poll_required t cs in
+  let r, c = cs.cs_poll_bufs.(cs.cs_poll_round land 1) in
   let got = Array.make n false in
   let needed = ref 0 in
   Array.iter (fun req -> if req then incr needed) required;
-  watch_begin t
+  watch_begin t cs
     ~what:(Printf.sprintf "counter poll round %d (version %d)" round version)
     ~resend:(fun () ->
-      excuse_suspected t ~required ~answered:got ~needed;
+      excuse_suspected t cs ~required ~answered:got ~needed;
       Array.iteri
-        (fun i done_ -> if not done_ then send t ~src:t.coord_id ~dst:i query)
+        (fun i done_ ->
+          if not done_ then send t ~src:cs.cs_id ~dst:(lo + i) query)
         got);
   while !needed > 0 do
-    match coord_recv t with
+    match coord_recv t cs with
     | Counter_reply { from_node; version = v; round = rd; epoch = ep; r_row; c_col }
-      when v = version && rd = round && ep = epoch && from_node >= 0
-           && from_node < n ->
-        if got.(from_node) then cstat t "proto.dup_acks"
+      when v = version && rd = round && ep = epoch && from_node >= lo
+           && from_node < lo + n ->
+        let fi = from_node - lo in
+        if got.(fi) then cstat t "proto.dup_acks"
         else begin
-          got.(from_node) <- true;
-          (* R(v)pq is stored at sender p; C(v)pq at executor q. *)
-          Array.iteri (fun q count -> r.(from_node).(q) <- count) r_row;
-          Array.iteri (fun p count -> c.(p).(from_node) <- count) c_col;
-          if required.(from_node) then decr needed
+          got.(fi) <- true;
+          (* R(v)pq is stored at sender p; C(v)pq at executor q. Rows and
+             columns are shard-local (see {!cnt_ix}): index [q] is the
+             shard member at [lo + q], and cross-shard pairs do not exist
+             (update trees never leave their shard; read entries open self
+             pairs on arrival). *)
+          for q = 0 to n - 1 do
+            r.(fi).(q) <- r_row.(q)
+          done;
+          for p = 0 to n - 1 do
+            c.(p).(fi) <- c_col.(p)
+          done;
+          if required.(fi) then decr needed
         end
     | Coord_wake -> ()
     | _ -> cstat t "proto.stale_msgs"
   done;
-  watch_end t;
+  watch_end cs;
   (r, c, got)
 
 (* Phase 2 / phase 4 core: poll until two consecutive polls are identical
@@ -1339,9 +1563,20 @@ let poll_counters t ~version =
    read miss a writer that later completes. The live-subtransaction oracle
    detects exactly that case and defers the advancement until the replica
    restarts and drains them. *)
-let await_quiescence t ~version =
+let await_quiescence t cs ?(vr_pending = false) ~version () =
+  (* Cross-shard read entries assigned [version] by the read-vector
+     service but not yet arrived here have opened no counter pair, so
+     R = C cannot see them; consult the service and defer retirement
+     while any are in flight (phase-3 waits only — update versions are
+     never vector components). *)
+  let service_pending () =
+    match t.rvec with
+    | Some rv when vr_pending ->
+        Shard.Rvector.pending rv ~shard:cs.cs_shard ~version
+    | _ -> 0
+  in
   let rec go prev =
-    let r, c, got = poll_counters t ~version in
+    let r, c, got = poll_counters t cs ~version in
     let settled = Repl.Quorum.matrices_agree ~considered:got r c in
     let stable =
       match prev with
@@ -1352,16 +1587,15 @@ let await_quiescence t ~version =
       | None -> false
     in
     let full = Array.for_all (fun g -> g) got in
+    let quiet = settled && (stable || not t.cfg.two_wave_quiescence) in
     let defer_stranded =
-      settled
-      && (stable || not t.cfg.two_wave_quiescence)
-      && (not full)
-      && live_subtxns t ~version <> 0
+      quiet && (not full) && Vwindow.get cs.cs_live version <> 0
     in
+    let defer_service = quiet && service_pending () <> 0 in
     if defer_stranded then cstat t "repl.quorum_deferred";
-    if settled && (stable || not t.cfg.two_wave_quiescence) && not defer_stranded
-    then begin
-      let active = live_subtxns t ~version in
+    if defer_service then cstat t "shard.rvector_deferred";
+    if quiet && (not defer_stranded) && not defer_service then begin
+      let active = Vwindow.get cs.cs_live version in
       if active <> 0 then begin
         (* Full participation and still active work: the protocol is about
            to act on a false quiescence claim. With checks on this is
@@ -1378,7 +1612,7 @@ let await_quiescence t ~version =
     end
     else begin
       Sim.sleep t.sim t.cfg.poll_interval;
-      coord_check t;
+      coord_check t cs;
       go (Some (r, c, got))
     end
   in
@@ -1398,9 +1632,9 @@ let await_quiescence t ~version =
    phase-4 quiescence wait therefore resumes from [Switch_read] — nothing
    has been collected yet, so re-polling is sound — while a crash after
    the record resumes straight at the GC re-broadcast. *)
-let run_advancement t =
-  coord_check t;
-  let rc = Coord_log.recover t.clog ~init_vu:initial_vu ~init_vr:initial_vr in
+let run_advancement t cs =
+  coord_check t cs;
+  let rc = Coord_log.recover cs.cs_clog ~init_vu:initial_vu ~init_vr:initial_vr in
   let adv, start_phase, vu_old, vr_old, resuming =
     match rc.Coord_log.in_flight with
     | Some f ->
@@ -1409,98 +1643,107 @@ let run_advancement t =
           f.Coord_log.f_vu_old,
           f.Coord_log.f_vr_old,
           true )
-    | None -> (rc.Coord_log.completed + 1, 1, t.coord_vu, t.coord_vr, false)
+    | None -> (rc.Coord_log.completed + 1, 1, cs.cs_vu, cs.cs_vr, false)
   in
   let vu_new = vu_old + 1 and vr_new = vr_old + 1 in
   (* Log a phase entry — except the phase we are resuming into, whose
      record is the one we just recovered from. *)
   let enter phase =
     if not (resuming && Coord_log.phase_number phase = start_phase) then
-      Coord_log.append t.clog
+      Coord_log.append cs.cs_clog
         (Coord_log.Phase { adv; phase; vu_old; vr_old; time = Sim.now t.sim })
   in
   if tracing t then
     if resuming then
-      tr t "coord" "resuming advancement %d from phase %d (WAL)" adv
+      tr t cs.cs_name "resuming advancement %d from phase %d (WAL)" adv
         start_phase
-    else tr t "coord" "version advancement begins (vu %d -> %d)" vu_old vu_new;
+    else
+      tr t cs.cs_name "version advancement begins (vu %d -> %d)" vu_old vu_new;
   (* Phase 1: switch to the new update version. *)
   if start_phase <= 1 then begin
     enter Coord_log.Switch_update;
-    broadcast t (Start_advancement { vu_new });
-    await_acks t ~what:"phase 1 (start-advancement acks)"
+    broadcast t cs (Start_advancement { vu_new });
+    await_acks t cs ~what:"phase 1 (start-advancement acks)"
       ~resend:(fun i ->
-        send t ~src:t.coord_id ~dst:i (Start_advancement { vu_new }))
+        send t ~src:cs.cs_id ~dst:i (Start_advancement { vu_new }))
       ~matches:(function
         | Adv_ack { from_node; vu } when vu = vu_new -> Some from_node
         | _ -> None);
     if tracing t then
-      tr t "coord" "phase 1 complete: all nodes on update version %d" vu_new
+      tr t cs.cs_name "phase 1 complete: all nodes on update version %d" vu_new
   end;
   (* Phase 2: wait for version vu_old to become mutually consistent. *)
   if start_phase <= 2 then begin
     enter Coord_log.Quiesce_update;
-    await_quiescence t ~version:vu_old;
+    await_quiescence t cs ~version:vu_old ();
     if tracing t then
-      tr t "coord" "phase 2 complete: version %d consistent across nodes"
+      tr t cs.cs_name "phase 2 complete: version %d consistent across nodes"
         vu_old
   end;
   (* Phase 3: switch queries to the freshly consistent version, then wait
-     for the old read version's subtransactions to drain. *)
+     for the old read version's subtransactions to drain. The new read
+     version is published to the read-vector service the moment every
+     member acknowledged the switch — cross-shard reads assigned from
+     here on see this shard at [vr_new] — and the [vr_old] quiescence
+     wait additionally defers while the service still has assigned-but-
+     unarrived entries against [vr_old]. *)
   if start_phase <= 3 then begin
     enter Coord_log.Switch_read;
-    broadcast t (Advance_read { vr_new });
-    await_acks t ~what:"phase 3 (advance-read acks)"
-      ~resend:(fun i -> send t ~src:t.coord_id ~dst:i (Advance_read { vr_new }))
+    broadcast t cs (Advance_read { vr_new });
+    await_acks t cs ~what:"phase 3 (advance-read acks)"
+      ~resend:(fun i -> send t ~src:cs.cs_id ~dst:i (Advance_read { vr_new }))
       ~matches:(function
         | Read_ack { from_node; vr } when vr = vr_new -> Some from_node
         | _ -> None);
     if tracing t then
-      tr t "coord" "phase 3 complete: read version is %d" vr_new;
-    await_quiescence t ~version:vr_old
+      tr t cs.cs_name "phase 3 complete: read version is %d" vr_new;
+    (match t.rvec with
+    | Some rv -> Shard.Rvector.publish rv ~shard:cs.cs_shard ~vr:vr_new
+    | None -> ());
+    await_quiescence t cs ~vr_pending:true ~version:vr_old ()
   end;
   (* Phase 4: old readers have drained; garbage-collect. The advancement
      instance only finishes once every node acknowledged collecting: letting
      the next advancement overlap an in-flight GC notice would transiently
      yield a fourth version, breaking the paper's ≤3 bound (§4.4, 2a). *)
   enter Coord_log.Retire_read;
-  (* Advance the live-tally window with the engine-wide GC floor. Quiescence
+  (* Advance the live-tally window with the shard's GC floor. Quiescence
      on [vr_old] means tallies below [vr_new] are back to zero (a crashed
      replica's excused subtransactions can leave a stale nonzero tally, but
-     [live_subtxns] is only ever consulted for the advancement's current
+     the tally is only ever consulted for the advancement's current
      versions, never below the floor). *)
-  Vwindow.gc_below t.live vr_new;
-  broadcast t (Do_gc { keep = vr_new });
+  Vwindow.gc_below cs.cs_live vr_new;
+  broadcast t cs (Do_gc { keep = vr_new });
   if t.cfg.await_gc_acks then
-    await_acks t ~what:"phase 4 (gc acks)"
-      ~resend:(fun i -> send t ~src:t.coord_id ~dst:i (Do_gc { keep = vr_new }))
+    await_acks t cs ~what:"phase 4 (gc acks)"
+      ~resend:(fun i -> send t ~src:cs.cs_id ~dst:i (Do_gc { keep = vr_new }))
       ~matches:(function
         | Gc_ack { from_node; keep } when keep = vr_new -> Some from_node
         | _ -> None);
   if tracing t then
-    tr t "coord" "phase 4 complete: version %d garbage-collected" vr_old;
-  Coord_log.append t.clog (Coord_log.Committed { adv; time = Sim.now t.sim });
-  t.coord_vu <- vu_new;
-  t.coord_vr <- vr_new;
-  t.advancements <- t.advancements + 1
+    tr t cs.cs_name "phase 4 complete: version %d garbage-collected" vr_old;
+  Coord_log.append cs.cs_clog (Coord_log.Committed { adv; time = Sim.now t.sim });
+  cs.cs_vu <- vu_new;
+  cs.cs_vr <- vr_new;
+  cs.cs_advancements <- cs.cs_advancements + 1
 
 (* Coordinator restart: replay the WAL into fresh volatile state. The epoch
    bump namespaces the reset poll-round counter on the wire, so pre-crash
    counter replies can never satisfy a post-restart poll. *)
-let coord_recover t =
-  let rc = Coord_log.recover t.clog ~init_vu:initial_vu ~init_vr:initial_vr in
-  t.coord_epoch <- rc.Coord_log.next_epoch;
-  Coord_log.append t.clog
-    (Coord_log.Started { epoch = t.coord_epoch; time = Sim.now t.sim });
-  t.poll_round <- 0;
-  t.watch <- None;
-  t.coord_vu <- rc.Coord_log.vu;
-  t.coord_vr <- rc.Coord_log.vr;
-  t.advancements <- rc.Coord_log.completed;
+let coord_recover t cs =
+  let rc = Coord_log.recover cs.cs_clog ~init_vu:initial_vu ~init_vr:initial_vr in
+  cs.cs_epoch <- rc.Coord_log.next_epoch;
+  Coord_log.append cs.cs_clog
+    (Coord_log.Started { epoch = cs.cs_epoch; time = Sim.now t.sim });
+  cs.cs_poll_round <- 0;
+  cs.cs_watch <- None;
+  cs.cs_vu <- rc.Coord_log.vu;
+  cs.cs_vr <- rc.Coord_log.vr;
+  cs.cs_advancements <- rc.Coord_log.completed;
   cstat t "proto.coord_recoveries";
   if tracing t then
-    tr t "coord" "recovers from WAL: epoch %d, %d advancements committed%s"
-      t.coord_epoch rc.Coord_log.completed
+    tr t cs.cs_name "recovers from WAL: epoch %d, %d advancements committed%s"
+      cs.cs_epoch rc.Coord_log.completed
       (match rc.Coord_log.in_flight with
       | Some f ->
           Printf.sprintf ", advancement %d in flight (phase %d)"
@@ -1508,29 +1751,29 @@ let coord_recover t =
             (Coord_log.phase_number f.Coord_log.f_phase)
       | None -> "")
 
-let coordinator_loop t () =
+let coordinator_loop t cs () =
   (* Run one advancement to completion, recovering from any number of
      crashes along the way: each recovery replays the WAL and re-enters
      [run_advancement], which resumes at the last logged phase. *)
   let rec drive () =
-    try run_advancement t
+    try run_advancement t cs
     with Coord_crashed ->
-      coord_recover t;
+      coord_recover t cs;
       drive ()
   in
   let rec loop () =
-    let reply = Mailbox.recv t.sim t.trigger_box in
+    let reply = Mailbox.recv t.sim cs.cs_trigger in
     (* A crash that hit while idle is noticed here. The trigger that woke
        us is client intent, not volatile coordinator state — it survives
        the restart and is served below. *)
-    (try coord_check t with Coord_crashed -> coord_recover t);
+    (try coord_check t cs with Coord_crashed -> coord_recover t cs);
     (* Coalesce triggers that queued up while a previous advancement ran: a
        single advancement satisfies all of them (an advancement beginning
        after a trigger arrived publishes data at least as fresh as the
        trigger demanded). *)
     let replies = ref [ reply ] in
     let rec drain () =
-      match Mailbox.try_recv t.trigger_box with
+      match Mailbox.try_recv cs.cs_trigger with
       | Some r ->
           replies := r :: !replies;
           drain ()
@@ -1606,26 +1849,44 @@ let restart_recover t node =
 
 let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
   if cfg.nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
-  if cfg.replicas < 1 || cfg.replicas > cfg.nodes then
+  if cfg.replicas < 1 then
+    invalid_arg "Engine.create: replicas must be at least 1";
+  if cfg.replicas > cfg.nodes then
     invalid_arg "Engine.create: replicas must be in 1..nodes";
+  if cfg.shards < 1 then invalid_arg "Engine.create: shards must be at least 1";
+  if cfg.shards > cfg.nodes then
+    invalid_arg "Engine.create: shards must not exceed nodes";
+  if cfg.nodes mod cfg.shards <> 0 then
+    invalid_arg
+      "Engine.create: shards must divide nodes evenly (contiguous equal \
+       shard blocks)";
+  if cfg.nodes / cfg.shards mod cfg.replicas <> 0 then
+    invalid_arg
+      "Engine.create: nodes-per-shard must be a multiple of replicas (a \
+       replica group must not straddle a shard boundary)";
   if cfg.replicas > 1 && cfg.nc_mode then
     invalid_arg
       "Engine.create: replication requires nc_mode off (non-commuting \
        overwrites are primary-pinned, so a failed-over read could miss them)";
+  if cfg.shards > 1 && cfg.nc_mode then
+    invalid_arg
+      "Engine.create: sharding requires nc_mode off (2PC admission waits \
+       on a single global frontier)";
   if cfg.hb_period < 0. then
     invalid_arg "Engine.create: hb_period must be non-negative";
-  if cfg.hb_period > 0. && cfg.hb_timeout <= cfg.hb_period then
+  if cfg.hb_timeout <= cfg.hb_period then
     invalid_arg "Engine.create: hb_timeout must exceed hb_period";
   if cfg.phase_deadline <= 0. then
     invalid_arg "Engine.create: phase_deadline must be positive";
+  let per_shard = cfg.nodes / cfg.shards in
   let inbox_capacity = max cfg.expected_inbox_depth 1 in
   let net =
     match link_latency with
     | None ->
-        Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency
+        Network.create sim ~size:(cfg.nodes + cfg.shards) ~latency:cfg.latency
           ~inbox_capacity ()
     | Some f ->
-        Network.create sim ~size:(cfg.nodes + 1) ~latency:cfg.latency
+        Network.create sim ~size:(cfg.nodes + cfg.shards) ~latency:cfg.latency
           ~link_latency:f ~inbox_capacity ()
   in
   let ch =
@@ -1682,10 +1943,11 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
         {
           id = i;
           name = name_of i;
+          shard = i / per_shard;
           vu = 1;
           vr = 0;
           store = Mvstore.create ();
-          cnt = Counters.create ~nodes:cfg.nodes;
+          cnt = Counters.create ~nodes:per_shard;
           locks = Lockmgr.create sim ~deadlock_timeout:cfg.deadlock_timeout ();
           local_cc = Semaphore.create 1;
           pendings = Hashtbl.create 64;
@@ -1696,8 +1958,38 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
         })
   in
   Array.iter (fun node -> Counters.ensure_version node.cnt initial_vu) nodes;
-  let clog = Coord_log.create () in
-  Coord_log.append clog (Coord_log.Started { epoch = 0; time = Sim.now sim });
+  let cs =
+    Array.init cfg.shards (fun s ->
+        let clog = Coord_log.create () in
+        Coord_log.append clog
+          (Coord_log.Started { epoch = 0; time = Sim.now sim });
+        {
+          cs_shard = s;
+          cs_id = cfg.nodes + s;
+          cs_lo = s * per_shard;
+          cs_n = per_shard;
+          cs_name =
+            (if cfg.shards = 1 then "coord" else Printf.sprintf "coord%d" s);
+          cs_trigger = Mailbox.create ();
+          cs_clog = clog;
+          cs_live = Vwindow.create ();
+          cs_epoch = 0;
+          cs_crash_gen = 0;
+          cs_seen_gen = 0;
+          cs_down_until = 0.;
+          cs_watch = None;
+          cs_vu = initial_vu;
+          cs_vr = initial_vr;
+          cs_poll_round = 0;
+          cs_poll_bufs =
+            Array.init 2 (fun _ ->
+                ( Array.make_matrix per_shard per_shard 0,
+                  Array.make_matrix per_shard per_shard 0 ));
+          cs_advancements = 0;
+          cs_updates_since_trigger = 0;
+          cs_divergence_since_trigger = 0.;
+        })
+  in
   let t =
     {
       sim;
@@ -1706,30 +1998,18 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
       ch;
       faults;
       nodes;
+      per_shard;
+      cs;
+      rvec =
+        (if cfg.shards > 1 then
+           Some (Shard.Rvector.create ~shards:cfg.shards ~init_vr:initial_vr)
+         else None);
+      rvec_assigned = Hashtbl.create 64;
       repl = Repl.Placement.create ~nodes:cfg.nodes ~replicas:cfg.replicas;
       recovery = Repl.Recovery.create ();
       fd;
-      coord_id = cfg.nodes;
-      trigger_box = Mailbox.create ();
       trace;
-      live = Vwindow.create ();
       counters_live = Counter_set.create ();
-      clog;
-      coord_epoch = 0;
-      coord_crash_gen = 0;
-      coord_seen_gen = 0;
-      coord_down_until = 0.;
-      watch = None;
-      coord_vu = initial_vu;
-      coord_vr = initial_vr;
-      poll_round = 0;
-      poll_bufs =
-        Array.init 2 (fun _ ->
-            ( Array.make_matrix cfg.nodes cfg.nodes 0,
-              Array.make_matrix cfg.nodes cfg.nodes 0 ));
-      advancements = 0;
-      updates_since_trigger = 0;
-      divergence_since_trigger = 0.;
     }
   in
   (* The injector owns fault timing; the engine supplies the node-level
@@ -1754,17 +2034,21 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
      the armed watch is cleared so no stale re-broadcast fires during the
      outage); the restart hook wakes a fiber parked in [recv] with a
      zero-payload self-send — the window is [at, restart), so a send at
-     exactly [restart] passes the filter. *)
-  Injector.set_coord faults ~id:t.coord_id
+     exactly [restart] passes the filter. The injector addresses one
+     coordinator endpoint; plan-level coordinator crashes hit shard 0's
+     (the "coordinator of one shard" failure-matrix row — the other
+     shards keep advancing through the outage). *)
+  let c0 = t.cs.(0) in
+  Injector.set_coord faults ~id:c0.cs_id
     ~crash:(fun ~until_ ->
-      t.coord_crash_gen <- t.coord_crash_gen + 1;
-      t.coord_down_until <- Float.max t.coord_down_until until_;
-      t.watch <- None;
+      c0.cs_crash_gen <- c0.cs_crash_gen + 1;
+      c0.cs_down_until <- Float.max c0.cs_down_until until_;
+      c0.cs_watch <- None;
       if tracing t then
-        tr t "coord" "crashes (fault injection; volatile phase state lost)")
+        tr t c0.cs_name "crashes (fault injection; volatile phase state lost)")
     ~restart:(fun () ->
-      if tracing t then tr t "coord" "restarts; write-ahead log intact";
-      send t ~src:t.coord_id ~dst:t.coord_id Coord_wake)
+      if tracing t then tr t c0.cs_name "restarts; write-ahead log intact";
+      send t ~src:c0.cs_id ~dst:c0.cs_id Coord_wake)
     ();
   (* Node server loops. *)
   Array.iter
@@ -1813,20 +2097,38 @@ let create sim (cfg : config) ?trace ?node_names ?link_latency ?faults () =
             loop ()
           in
           loop ()));
-  (* Coordinator. *)
-  Sim.spawn sim ~daemon:true ~name:"coordinator" (coordinator_loop t);
-  (* Stall watchdog — only spawned when a finite deadline is configured, so
+  (* Coordinators — one fiber per shard. At [shards = 1] the fiber name is
+     the historical "coordinator" so the spawn schedule (and hence every
+     golden digest) is byte-identical to the single-coordinator engine. *)
+  Array.iter
+    (fun cs ->
+      let name =
+        if cfg.shards = 1 then "coordinator"
+        else Printf.sprintf "coordinator%d" cs.cs_shard
+      in
+      Sim.spawn sim ~daemon:true ~name (coordinator_loop t cs))
+    t.cs;
+  (* Stall watchdogs — only spawned when a finite deadline is configured, so
      the default configuration's event schedule is untouched. *)
   if cfg.phase_deadline < infinity then
-    Sim.spawn sim ~daemon:true ~name:"coord-watchdog" (watchdog_loop t);
-  (* Advancement policy driver. *)
+    Array.iter
+      (fun cs ->
+        let name =
+          if cfg.shards = 1 then "coord-watchdog"
+          else Printf.sprintf "coord-watchdog%d" cs.cs_shard
+        in
+        Sim.spawn sim ~daemon:true ~name (watchdog_loop t cs))
+      t.cs;
+  (* Advancement policy driver: one daemon triggers every shard in shard
+     order, keeping cross-shard advancement cadence aligned rather than
+     staggered by S independent clocks. *)
   (match cfg.policy with
   | Policy.Manual | Policy.Every_n_updates _ | Policy.Divergence _ -> ()
   | Policy.Periodic d ->
       Sim.spawn sim ~daemon:true ~name:"policy-periodic" (fun () ->
           let rec loop () =
             Sim.sleep sim d;
-            Mailbox.send t.trigger_box None;
+            Array.iter (fun cs -> Mailbox.send cs.cs_trigger None) t.cs;
             loop ()
           in
           loop ()));
@@ -1846,8 +2148,59 @@ let submit t (spec : Spec.t) =
     (Spec.nodes spec);
   (* Replica routing happens once, at submission: the whole tree is pinned
      to the serving replicas chosen now, so compensation (which inverts
-     [rs_spec]) undoes work exactly where it ran. *)
+     [rs_spec]) undoes work exactly where it ran. Routing never crosses a
+     shard boundary (groups do not straddle shards), so the shard checks
+     below are valid on the routed tree. *)
   let spec = route_spec t spec in
+  (* Shard admission. Update trees must stay within one shard: each shard
+     advances its own version frontier, so an update stamped with shard A's
+     vu has no meaning in shard B's counter matrices. Cross-shard reads are
+     the supported (and interesting) case — they get a consistent vector of
+     per-shard read versions assigned atomically here. *)
+  let vector =
+    match t.rvec with
+    | None -> None
+    | Some rv ->
+        let shard_of n = n / t.per_shard in
+        let span =
+          List.fold_left
+            (fun acc n ->
+              if List.mem (shard_of n) acc then acc else shard_of n :: acc)
+            []
+            (Spec.nodes spec)
+        in
+        if List.length span <= 1 then None
+        else begin
+          (match spec.Spec.kind with
+          | Spec.Read_only -> ()
+          | Spec.Commuting | Spec.Non_commuting ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.submit: update %s spans %d shards (updates must \
+                    stay within one shard; only read-only transactions may \
+                    cross shards)"
+                   spec.Spec.label (List.length span)));
+          (* One pending entry per shard entry point: the root, plus every
+             child spawned across a shard boundary. Each opens a counter
+             pair only on arrival; [Rvector] defers retiring the assigned
+             versions until all have landed. *)
+          let entries = Array.make t.cfg.shards 0 in
+          let rec count parent_shard (st : Spec.subtxn) =
+            let s = shard_of st.Spec.node in
+            if s <> parent_shard then entries.(s) <- entries.(s) + 1;
+            List.iter (count s) st.Spec.children
+          in
+          entries.(shard_of spec.Spec.root.Spec.node) <-
+            entries.(shard_of spec.Spec.root.Spec.node) + 1;
+          List.iter
+            (count (shard_of spec.Spec.root.Spec.node))
+            spec.Spec.root.Spec.children;
+          cstat t "shard.vectored_reads";
+          let vec = Shard.Rvector.assign rv ~entries in
+          Hashtbl.replace t.rvec_assigned spec.Spec.id vec;
+          Some vec
+        end
+  in
   let result = Ivar.create () in
   let now = Sim.now t.sim in
   let rs =
@@ -1877,14 +2230,17 @@ let submit t (spec : Spec.t) =
          tree = spec.Spec.root;
          root = Some rs;
          compensating = false;
+         vector;
        });
-  (* Count-based advancement policy. *)
+  (* Count-based advancement policy: updates are single-shard, so the
+     count accrues to (and triggers) the root's shard coordinator. *)
   (match (t.cfg.policy, spec.Spec.kind) with
   | Policy.Every_n_updates n, (Spec.Commuting | Spec.Non_commuting) ->
-      t.updates_since_trigger <- t.updates_since_trigger + 1;
-      if t.updates_since_trigger >= n then begin
-        t.updates_since_trigger <- 0;
-        Mailbox.send t.trigger_box None
+      let cs = t.cs.(root_node / t.per_shard) in
+      cs.cs_updates_since_trigger <- cs.cs_updates_since_trigger + 1;
+      if cs.cs_updates_since_trigger >= n then begin
+        cs.cs_updates_since_trigger <- 0;
+        Mailbox.send cs.cs_trigger None
       end
   | _ -> ());
   result
@@ -1902,7 +2258,9 @@ let stats t =
   Counter_set.incr out "net.messages" ~by:(Network.messages_sent t.net) ();
   Counter_set.incr out "net.remote_messages"
     ~by:(Network.remote_messages_sent t.net) ();
-  Counter_set.incr out "advancements" ~by:t.advancements ();
+  Counter_set.incr out "advancements"
+    ~by:(Array.fold_left (fun acc cs -> acc + cs.cs_advancements) 0 t.cs)
+    ();
   (* Channel-hardening and fault-injection accounting; all zero in a
      fault-free run with the channel off. *)
   Counter_set.incr out "net.retransmissions" ~by:(Reliable.retransmissions t.ch) ();
@@ -1936,7 +2294,23 @@ let packed t =
 
 let advance t =
   let ivar = Ivar.create () in
-  Mailbox.send t.trigger_box (Some ivar);
+  if t.cfg.shards = 1 then Mailbox.send t.cs.(0).cs_trigger (Some ivar)
+  else begin
+    (* Trigger every shard and fill the caller's ivar once all have
+       completed a round; per-shard ivars are joined by a collector
+       fiber so the caller still gets one completion signal. *)
+    let parts =
+      Array.map
+        (fun cs ->
+          let part = Ivar.create () in
+          Mailbox.send cs.cs_trigger (Some part);
+          part)
+        t.cs
+    in
+    Sim.spawn t.sim ~name:"advance-join" (fun () ->
+        Array.iter (fun part -> Ivar.read t.sim part) parts;
+        Ivar.fill ivar ())
+  end;
   ivar
 
 let check_node t i ctx =
@@ -1970,7 +2344,21 @@ let inject_crash t ~node ~at ~restart =
 let inject_coord_crash t ~at ~restart =
   Injector.coord_crash t.faults ~at ~restart
 
-let coord_log t = t.clog
+let coord_log t = t.cs.(0).cs_clog
+
+let shard_count t = t.cfg.shards
+
+let shard_of_node t ~node =
+  check_node t node "shard_of_node";
+  node / t.per_shard
+
+let read_vector t =
+  match t.rvec with
+  | Some rv -> Shard.Rvector.vector rv
+  | None -> [| t.cs.(0).cs_vr |]
+
+let assigned_vector t ~txn =
+  Option.map Array.copy (Hashtbl.find_opt t.rvec_assigned txn)
 
 let injector t = t.faults
 
@@ -1988,7 +2376,8 @@ let node_suspected t ~node =
   | Some fd -> Detector.suspected fd.det ~node ~now:(Sim.now t.sim)
   | None -> false
 
-let advancements_completed t = t.advancements
+let advancements_completed t =
+  Array.fold_left (fun acc cs -> acc + cs.cs_advancements) 0 t.cs
 let messages_sent t = Network.messages_sent t.net
 let remote_messages_sent t = Network.remote_messages_sent t.net
 let delivered_seen_size t = Network.delivered_seen_size t.net

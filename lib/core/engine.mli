@@ -54,6 +54,21 @@
 
 type config = {
   nodes : int;  (** number of database nodes (≥ 1) *)
+  shards : int;
+      (** number of keyspace shards [S] (1 ≤ S ≤ nodes, [S] dividing
+          [nodes] evenly, and [nodes / S] a multiple of [replicas] so a
+          replica group never straddles a shard). Nodes are partitioned
+          into [S] contiguous blocks, each governed by {e its own}
+          coordinator endpoint with a private write-ahead log, (vu, vr)
+          frontier, counter-poll state and watchdog — so version
+          advancement, the protocol's only global synchronization point,
+          becomes [S] independent per-shard rounds over [nodes / S]
+          members each. Update transactions must stay within one shard
+          ({!submit} rejects cross-shard update trees); read-only
+          transactions may span shards and are assigned a consistent
+          {e read vector} of per-shard read versions at submission (see
+          {!read_vector}). The default [1] reproduces the historical
+          single-coordinator engine byte-for-byte. *)
   replicas : int;
       (** replication factor [k] (1 ≤ k ≤ nodes): nodes are partitioned
           into groups of [k] consecutive replicas ({!Repl.Placement});
@@ -224,8 +239,34 @@ val inject_crash : t -> node:int -> at:float -> restart:float -> unit
 val inject_coord_crash : t -> at:float -> restart:float -> unit
 
 (** The coordinator's write-ahead log, for inspection by tests and
-    experiments (e.g. to read phase-boundary times of a reference run). *)
+    experiments (e.g. to read phase-boundary times of a reference run).
+    With [shards > 1] this is {e shard 0's} log — the injectable
+    coordinator ({!inject_coord_crash} targets shard 0, the
+    "coordinator-of-one-shard" failure case). *)
 val coord_log : t -> Coord_log.t
+
+(** Configured shard count [S]. *)
+val shard_count : t -> int
+
+(** [shard_of_node t ~node] is the shard owning [node] (nodes are split
+    into [S] contiguous equal blocks). *)
+val shard_of_node : t -> node:int -> int
+
+(** Snapshot of the published per-shard read-version vector — component
+    [s] is the newest read version shard [s]'s coordinator has made
+    assignable to cross-shard reads (published at phase-3 completion,
+    i.e. after every shard member acknowledged the switch). Singleton
+    [[| vr |]] at [shards = 1]. Components are monotone and snapshots
+    atomic, so any two vectors ever assigned are componentwise
+    comparable — the no-torn-read-vector guarantee. *)
+val read_vector : t -> int array
+
+(** [assigned_vector t ~txn] is the read vector assigned to transaction
+    [txn] at submission, if it was a cross-shard read ([None] for
+    single-shard transactions and always at [shards = 1]). Retained for
+    post-hoc certification: checkers fence each key by its shard's
+    component rather than the root's version. *)
+val assigned_vector : t -> txn:int -> int array option
 
 (** The engine's fault injector (the one passed to {!create}, or the
     internal empty-plan injector), for accounting and ad-hoc fault

@@ -6,13 +6,22 @@ module Policy = Threev.Policy
 module Mvstore = Store.Mvstore
 module Srz = Checker.Serializability
 
-type engine_kind = E3v | E3v_nc | E3v_repl | E3v_fd | E2pc | E_nocoord | E_manual
+type engine_kind =
+  | E3v
+  | E3v_nc
+  | E3v_repl
+  | E3v_fd
+  | E3v_shard
+  | E2pc
+  | E_nocoord
+  | E_manual
 
 let engine_label = function
   | E3v -> "3v"
   | E3v_nc -> "3v-nc"
   | E3v_repl -> "3v-repl"
   | E3v_fd -> "3v-fd"
+  | E3v_shard -> "3v-shard"
   | E2pc -> "2pc"
   | E_nocoord -> "nocoord"
   | E_manual -> "manual"
@@ -61,6 +70,7 @@ type case = {
   workload : workload_kind;
   nodes : int;
   replicas : int;
+  shards : int;
   seed : int;
   fault_seed : int;
   rate : float;
@@ -125,6 +135,28 @@ let gen_repl_atoms rng ~nodes ~duration =
     [ Loss (round3 (0.02 +. Random.State.float rng 0.04)); crash ]
   else [ crash ]
 
+(* Fault atoms for a sharded case: always a replica crash (each shard's
+   block is replicated, so any node is fair game), optionally compounded
+   with uniform loss or a coordinator crash — which the injector routes to
+   shard 0's coordinator, the failure-matrix "coordinator of one shard
+   down, the other shards keep advancing" row. *)
+let gen_shard_atoms rng ~nodes ~duration =
+  let horizon = duration +. 1.0 in
+  let time () = round3 (0.05 +. Random.State.float rng (horizon -. 0.05)) in
+  let at = time () in
+  let crash =
+    Crash
+      ( Random.State.int rng nodes,
+        at,
+        round3 (at +. 0.1 +. Random.State.float rng 0.15) )
+  in
+  match Random.State.int rng 3 with
+  | 0 -> [ crash ]
+  | 1 -> [ Loss (round3 (0.02 +. Random.State.float rng 0.04)); crash ]
+  | _ ->
+      let a = time () in
+      [ crash; Coord_crash (a, round3 (a +. 0.1 +. Random.State.float rng 0.2)) ]
+
 (* Fault atoms for a failure-detector case: always a heartbeat-loss storm
    on some node (the false-suspicion provocation — protocol traffic
    untouched, only the detector's evidence cut), optionally compounded
@@ -152,22 +184,28 @@ let gen_fd_atoms rng ~nodes ~duration =
 let case_of_index ~fuzz_seed ~quick index =
   let rng = Random.State.make [| fuzz_seed; index; 0xf0022 |] in
   let engine =
-    match index mod 7 with
+    match index mod 8 with
     | 0 -> E3v
     | 1 -> E3v_nc
     | 2 -> E2pc
     | 3 -> E_nocoord
     | 4 -> E_manual
     | 5 -> E3v_repl
-    | _ -> E3v_fd
+    | 6 -> E3v_fd
+    | _ -> E3v_shard
   in
-  (* Replicated cases run two groups of three; k <= nodes must hold. *)
+  (* Replicated cases run two groups of three; sharded cases four shard
+     blocks of two (one replica pair each); k <= nodes must hold. *)
   let nodes =
     match engine with
     | E3v_repl | E3v_fd -> 6
+    | E3v_shard -> 8
     | _ -> 3 + Random.State.int rng 2
   in
-  let replicas = match engine with E3v_repl | E3v_fd -> 3 | _ -> 1 in
+  let replicas =
+    match engine with E3v_repl | E3v_fd -> 3 | E3v_shard -> 2 | _ -> 1
+  in
+  let shards = match engine with E3v_shard -> 4 | _ -> 1 in
   let seed = 1 + Random.State.int rng 9999 in
   let fault_seed = 1 + Random.State.int rng 9999 in
   let duration = if quick then 0.15 else 0.4 in
@@ -186,6 +224,14 @@ let case_of_index ~fuzz_seed ~quick index =
           pick rng [ 200.; 300.; 400. ],
           pick rng [ 0.2; 0.25; 0.3 ],
           0. )
+    | E3v_shard ->
+        (* Only the synthetic generator is shard-aware (updates confined
+           to one shard block, reads free to span); the higher read ratio
+           keeps cross-shard vectored reads frequent. *)
+        ( W_synthetic,
+          pick rng [ 200.; 300.; 400. ],
+          pick rng [ 0.3; 0.35; 0.4 ],
+          0. )
     | E_nocoord ->
         (* The F1 front-end shape: reliably produces partial reads. *)
         (W_hospital, 400., 0.3, 0.)
@@ -200,6 +246,7 @@ let case_of_index ~fuzz_seed ~quick index =
         else gen_atoms rng ~nodes ~duration
     | E3v_repl -> gen_repl_atoms rng ~nodes ~duration
     | E3v_fd -> gen_fd_atoms rng ~nodes ~duration
+    | E3v_shard -> gen_shard_atoms rng ~nodes ~duration
     | E3v_nc ->
         if Random.State.bool rng then
           [ Loss (round3 (0.02 +. Random.State.float rng 0.04)) ]
@@ -207,13 +254,13 @@ let case_of_index ~fuzz_seed ~quick index =
     | _ -> []
   in
   {
-    index; engine; workload; nodes; replicas; seed; fault_seed; rate;
+    index; engine; workload; nodes; replicas; shards; seed; fault_seed; rate;
     read_ratio; nc_ratio; duration; atoms;
   }
 
 (* --------------------------------------------------------- execution *)
 
-let plan_of_atoms ~fault_seed ~nodes atoms =
+let plan_of_atoms ~fault_seed ~nodes ~shards atoms =
   if atoms = [] then None
   else
     let drop = List.find_map (function Loss p -> Some p | _ -> None) atoms in
@@ -228,10 +275,10 @@ let plan_of_atoms ~fault_seed ~nodes atoms =
             | Partition (src, dst, from_, until_) ->
                 [ Fault.Plan.partition ~src ~dst ~from_ ~until_ ]
             | Partition_set (set, from_, until_, oneway) ->
-                (* The engine's endpoint space is the data nodes plus the
-                   coordinator at id [nodes]. *)
-                Fault.Plan.partition_set ~universe:(nodes + 1) ~set ~oneway
-                  ~from_ ~until_ ()
+                (* The engine's endpoint space is the data nodes plus one
+                   coordinator per shard at ids [nodes..nodes+S-1]. *)
+                Fault.Plan.partition_set ~universe:(nodes + shards) ~set
+                  ~oneway ~from_ ~until_ ()
             | Hb_loss (src, from_, until_, prob) ->
                 Fault.Plan.heartbeat_loss ~src ~prob ~from_ ~until_ ()
             | _ -> [])
@@ -286,6 +333,7 @@ let gen_of case =
         {
           (Workload.Synthetic.default ~nodes) with
           Workload.Synthetic.arrival_rate = case.rate;
+          shards = case.shards;
           read_ratio = case.read_ratio;
           nc_ratio = case.nc_ratio;
         }
@@ -319,14 +367,17 @@ type case_report = {
 }
 
 let strict = function
-  | E3v | E3v_nc | E3v_repl | E3v_fd | E2pc -> true
+  | E3v | E3v_nc | E3v_repl | E3v_fd | E3v_shard | E2pc -> true
   | E_nocoord | E_manual -> false
 
 (* Drive [case] with fault atoms [atoms] (usually [case.atoms]; subsets
    during shrinking) and run every applicable checker. *)
 let execute case atoms =
   let sim = Sim.create ~seed:case.seed () in
-  let plan = plan_of_atoms ~fault_seed:case.fault_seed ~nodes:case.nodes atoms in
+  let plan =
+    plan_of_atoms ~fault_seed:case.fault_seed ~nodes:case.nodes
+      ~shards:case.shards atoms
+  in
   let faults = Option.map (Fault.Injector.create sim) plan in
   let gen = gen_of case in
   let setup =
@@ -337,9 +388,9 @@ let execute case atoms =
       settle = 5.0;
     }
   in
-  let outcome, lookup =
+  let outcome, lookup, vector =
     match case.engine with
-    | E3v | E3v_nc | E3v_repl | E3v_fd ->
+    | E3v | E3v_nc | E3v_repl | E3v_fd | E3v_shard ->
         let fd = case.engine = E3v_fd in
         let cfg =
           {
@@ -351,6 +402,7 @@ let execute case atoms =
             reliable_channel = plan <> None || fd;
             retransmit_timeout = 0.02;
             replicas = case.replicas;
+            shards = case.shards;
             hb_period = (if fd then fd_hb_period else 0.);
             hb_timeout = (if fd then fd_hb_timeout else 0.1);
             phase_deadline = (if fd then fd_phase_deadline else infinity);
@@ -375,7 +427,12 @@ let execute case atoms =
           in
           scan (case.nodes - 1)
         in
-        (outcome, Some lookup)
+        let vector =
+          if case.shards > 1 then
+            Some (fun txn -> Engine.assigned_vector engine ~txn)
+          else None
+        in
+        (outcome, Some lookup, vector)
     | E2pc ->
         let cfg =
           {
@@ -386,7 +443,9 @@ let execute case atoms =
           }
         in
         let engine = Baselines.Global_2pc.create ?faults sim cfg in
-        (Runner.drive sim (Baselines.Global_2pc.packed engine) gen setup, None)
+        ( Runner.drive sim (Baselines.Global_2pc.packed engine) gen setup,
+          None,
+          None )
     | E_nocoord ->
         let cfg =
           {
@@ -396,7 +455,9 @@ let execute case atoms =
           }
         in
         let engine = Baselines.No_coord.create sim cfg in
-        (Runner.drive sim (Baselines.No_coord.packed engine) gen setup, None)
+        ( Runner.drive sim (Baselines.No_coord.packed engine) gen setup,
+          None,
+          None )
     | E_manual ->
         let cfg =
           {
@@ -409,10 +470,18 @@ let execute case atoms =
         in
         let engine = Baselines.Manual_versioning.create sim cfg in
         ( Runner.drive sim (Baselines.Manual_versioning.packed engine) gen setup,
+          None,
           None )
   in
   let history = outcome.Runner.history in
-  let srz = Srz.certify history in
+  (* Per-shard version numbers are incomparable across shards: the
+     certifiers only order same-shard versions, and exact-version reads
+     are fenced per key by the assigned read vector. *)
+  let shard_of_node =
+    if case.shards > 1 then Some (fun n -> n / (case.nodes / case.shards))
+    else None
+  in
+  let srz = Srz.certify ?shard_of_node history in
   let atomr = Checker.Atomicity.check history in
   let checks =
     [
@@ -428,8 +497,8 @@ let execute case atoms =
       };
     ]
     @ (match case.engine with
-      | E3v | E3v_nc | E3v_repl | E3v_fd ->
-          let vr = Checker.Version_reads.check history in
+      | E3v | E3v_nc | E3v_repl | E3v_fd | E3v_shard ->
+          let vr = Checker.Version_reads.check ?vector ?shard_of_node history in
           [
             {
               check_name = "version-reads";
@@ -492,7 +561,7 @@ let fuzz_reproducer ~fuzz_seed ~quick case =
 let run_reproducer case atoms =
   let engine_flag =
     match case.engine with
-    | E3v | E3v_nc | E3v_repl | E3v_fd -> "3v"
+    | E3v | E3v_nc | E3v_repl | E3v_fd | E3v_shard -> "3v"
     | E2pc -> "2pc"
     | E_nocoord -> "nocoord"
     | E_manual -> "manual"
@@ -510,6 +579,8 @@ let run_reproducer case atoms =
      ]
     @ (if case.replicas > 1 then
          [ Printf.sprintf "--replicas %d" case.replicas ]
+       else [])
+    @ (if case.shards > 1 then [ Printf.sprintf "--shards %d" case.shards ]
        else [])
     @ (if case.nc_ratio > 0. then
          [ Printf.sprintf "--nc-ratio %g" case.nc_ratio ]

@@ -5,8 +5,9 @@
     reads, commuting-sum replay, staleness) on each outcome, and classifies:
 
     - {e strict} engines (3V, NC3V, replicated 3V, replicated 3V with the
-      heartbeat failure detector, global-2PC) must certify clean on every
-      applicable checker — any violation is a [failure];
+      heartbeat failure detector, sharded 3V with per-shard coordinators,
+      global-2PC) must certify clean on every applicable checker — any
+      violation is a [failure];
     - {e expected-anomaly} baselines (no-coordination, manual versioning)
       may be flagged; the cycle witness is recorded, demonstrating that the
       certifier has teeth on histories known to be broken.
@@ -19,7 +20,15 @@
     removal keeps the case failing) and renders a standalone
     [threev_sim run ...] command line for the shrunk plan. *)
 
-type engine_kind = E3v | E3v_nc | E3v_repl | E3v_fd | E2pc | E_nocoord | E_manual
+type engine_kind =
+  | E3v
+  | E3v_nc
+  | E3v_repl
+  | E3v_fd
+  | E3v_shard
+  | E2pc
+  | E_nocoord
+  | E_manual
 
 (** Short engine label for reports and reproducer command lines
     (e.g. "3v", "2pc"). *)
@@ -54,6 +63,10 @@ type case = {
       (** replication factor; [> 1] only for [E3v_repl] cases (always at
           least one data-node crash atom) and [E3v_fd] cases (heartbeat
           failure detector on, always at least one heartbeat-loss atom) *)
+  shards : int;
+      (** shard count; [> 1] only for [E3v_shard] cases (four replicated
+          shard blocks, per-shard coordinators, synthetic shard-confined
+          workload, always at least one replica-crash atom) *)
   seed : int;  (** simulation + workload RNG seed *)
   fault_seed : int;
   rate : float;
@@ -64,7 +77,7 @@ type case = {
 }
 
 (** Pure derivation: same [(fuzz_seed, index, quick)] → same case. Engines
-    rotate with [index mod 7] so every 7 consecutive indices cover the full
+    rotate with [index mod 8] so every 8 consecutive indices cover the full
     matrix. *)
 val case_of_index : fuzz_seed:int -> quick:bool -> int -> case
 

@@ -86,7 +86,7 @@ let r6_in_scope file =
   let pfx p =
     String.length file >= String.length p && String.sub file 0 (String.length p) = p
   in
-  pfx "lib/core/" || pfx "lib/repl/"
+  pfx "lib/core/" || pfx "lib/repl/" || pfx "lib/shard/"
 
 let r6_check ctx lid loc =
   match List.rev (Longident.flatten lid) with
@@ -207,7 +207,7 @@ let r4_in_scope file =
   let pfx p =
     String.length file >= String.length p && String.sub file 0 (String.length p) = p
   in
-  pfx "lib/core/" || pfx "lib/net/" || pfx "lib/repl/"
+  pfx "lib/core/" || pfx "lib/net/" || pfx "lib/repl/" || pfx "lib/shard/"
 
 let r4_is_emit (fn : Parsetree.expression) =
   match fn.Parsetree.pexp_desc with

@@ -1,0 +1,47 @@
+type t = { nodes : int; shards : int; per : int }
+
+let create ~nodes ~shards =
+  if nodes <= 0 then invalid_arg "Shard.Map.create: nodes must be positive";
+  if shards < 1 then invalid_arg "Shard.Map.create: shards must be >= 1";
+  if shards > nodes then
+    invalid_arg "Shard.Map.create: shards must not exceed nodes";
+  if nodes mod shards <> 0 then
+    invalid_arg "Shard.Map.create: shards must divide nodes evenly";
+  { nodes; shards; per = nodes / shards }
+
+let nodes t = t.nodes
+let shards t = t.shards
+let nodes_per_shard t = t.per
+let of_node t i =
+  if i < 0 || i >= t.nodes then
+    invalid_arg (Printf.sprintf "Shard.Map.of_node: node %d out of range" i);
+  i / t.per
+
+let members t s =
+  if s < 0 || s >= t.shards then
+    invalid_arg (Printf.sprintf "Shard.Map.members: shard %d out of range" s);
+  List.init t.per (fun i -> (s * t.per) + i)
+
+let first_node t s =
+  if s < 0 || s >= t.shards then
+    invalid_arg (Printf.sprintf "Shard.Map.first_node: shard %d out of range" s);
+  s * t.per
+
+(* FNV-1a over the key bytes, masked to 30 bits so the result is identical
+   on 32- and 64-bit builds — the same digest {!Repl.Placement} uses for
+   key homing, so a key's shard and its home group live in the same
+   arithmetic family and remain stable across runs and processes. *)
+let key_hash key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h
+
+let node_of_key t key = key_hash key mod t.nodes
+
+(* Derived from the key's node, not [hash mod shards] directly, so a key's
+   shard is always the shard of the node it homes to. *)
+let of_key t key = node_of_key t key / t.per

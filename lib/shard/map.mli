@@ -1,0 +1,49 @@
+(** Deterministic key / node → shard assignment.
+
+    Nodes are partitioned into [shards] contiguous blocks of
+    [nodes / shards] members each, aligned so a {!Repl.Placement} replica
+    group never straddles a shard boundary (the engine validates
+    divisibility at creation). Keys map to shards through the same FNV-1a
+    digest {!Repl.Placement} uses for key homing, so the assignment is a
+    pure function of the key bytes — identical across runs, processes and
+    word sizes. *)
+
+type t
+
+(** [create ~nodes ~shards] builds the map.
+    @raise Invalid_argument if [nodes <= 0], [shards < 1],
+    [shards > nodes], or [shards] does not divide [nodes] evenly. *)
+val create : nodes:int -> shards:int -> t
+
+(** Total node count. *)
+val nodes : t -> int
+
+(** Shard count [S]. *)
+val shards : t -> int
+
+(** Nodes per shard ([nodes / shards]). *)
+val nodes_per_shard : t -> int
+
+(** [of_node t i] is the shard owning node [i] ([i / nodes_per_shard]).
+    @raise Invalid_argument if [i] is out of range. *)
+val of_node : t -> int -> int
+
+(** Member node ids of shard [s], ascending.
+    @raise Invalid_argument if [s] is out of range. *)
+val members : t -> int -> int list
+
+(** Lowest node id of shard [s].
+    @raise Invalid_argument if [s] is out of range. *)
+val first_node : t -> int -> int
+
+(** 30-bit FNV-1a digest of the key bytes (word-size independent). *)
+val key_hash : string -> int
+
+(** [of_key t key] is the shard the key hashes to — deterministic and,
+    for FNV-distributed keys, balanced to within sampling noise. *)
+val of_key : t -> string -> int
+
+(** [node_of_key t key] is the node the key hashes to (for workload
+    generators that want shard-respecting placement without inverting
+    the node-qualified key naming scheme). *)
+val node_of_key : t -> string -> int

@@ -1,0 +1,82 @@
+(* Published vector + per-(shard, version) pending tallies. [published]
+   only ever grows per component ([publish] takes a max), and [assign]
+   copies it atomically — the simulation is cooperatively scheduled and
+   nothing here yields — so any two assigned vectors are componentwise
+   comparable. That total order is what kills cross-shard read-read MVSG
+   cycles: a cycle would need two transactions each reading "newer" than
+   the other in different shards, i.e. incomparable vectors.
+
+   [pending] counts read entries assigned a version that have not yet
+   arrived at their target shard and opened a counter pair there. Until
+   arrival the entry is invisible to the shard's R/C quiescence poll, so
+   the shard coordinator consults {!pending} and defers retiring the old
+   read version while any assignment against it is still in flight —
+   closing the assignment→arrival window the GC race would otherwise
+   slip through. *)
+
+type t = {
+  shards : int;
+  published : int array;
+  pending : (int, int) Hashtbl.t array;  (* per shard: version -> count *)
+  mutable assigned : int;  (* vectors handed out (accounting) *)
+}
+
+let create ~shards ~init_vr =
+  if shards < 1 then invalid_arg "Shard.Rvector.create: shards must be >= 1";
+  {
+    shards;
+    published = Array.make shards init_vr;
+    pending = Array.init shards (fun _ -> Hashtbl.create 8);
+    assigned = 0;
+  }
+
+let shards t = t.shards
+
+let check_shard t s ctx =
+  if s < 0 || s >= t.shards then
+    invalid_arg (Printf.sprintf "Shard.Rvector.%s: shard %d out of range" ctx s)
+
+let publish t ~shard ~vr =
+  check_shard t shard "publish";
+  if vr > t.published.(shard) then t.published.(shard) <- vr
+
+let vector t = Array.copy t.published
+
+let pending t ~shard ~version =
+  check_shard t shard "pending";
+  match Hashtbl.find_opt t.pending.(shard) version with
+  | Some n -> n
+  | None -> 0
+
+let assign t ~entries =
+  if Array.length entries <> t.shards then
+    invalid_arg "Shard.Rvector.assign: entries length must equal shards";
+  let vec = Array.copy t.published in
+  Array.iteri
+    (fun s count ->
+      if count < 0 then invalid_arg "Shard.Rvector.assign: negative entry count";
+      if count > 0 then begin
+        let tbl = t.pending.(s) in
+        let cur =
+          match Hashtbl.find_opt tbl vec.(s) with Some n -> n | None -> 0
+        in
+        Hashtbl.replace tbl vec.(s) (cur + count)
+      end)
+    entries;
+  t.assigned <- t.assigned + 1;
+  vec
+
+let arrived t ~shard ~version =
+  check_shard t shard "arrived";
+  let tbl = t.pending.(shard) in
+  match Hashtbl.find_opt tbl version with
+  | Some n when n > 1 -> Hashtbl.replace tbl version (n - 1)
+  | Some _ -> Hashtbl.remove tbl version
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Shard.Rvector.arrived: no pending assignment for shard %d \
+            version %d"
+           shard version)
+
+let assigned t = t.assigned

@@ -7,6 +7,12 @@
 
 type params = {
   nodes : int;
+  shards : int;
+      (** when > 1, update fan-out is confined to one uniformly-drawn
+          shard (contiguous block of [nodes / shards] nodes, matching the
+          engine's shard map) while reads fan out across all nodes — the
+          shape a sharded engine admits. Must divide [nodes]. The default
+          1 keeps the legacy unrestricted draw sequence exactly. *)
   keys_per_node : int;
   fanout : int;  (** nodes touched per transaction *)
   read_ratio : float;

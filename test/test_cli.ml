@@ -1,0 +1,140 @@
+(* Regression tests for the fault-spec flag grammars in bin/cli_specs —
+   the parsers shared between the cmdliner converters and the argv
+   pre-scan that turns a malformed spec into a one-line usage message
+   and exit 2. One accept + one reject case per flag, plus the pre-scan
+   itself (both --flag V and --flag=V forms). *)
+
+module C = Cli_specs
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let is_ok = function Ok _ -> true | Error _ -> false
+
+let expect_usage what usage = function
+  | Ok _ -> Alcotest.failf "%s: malformed spec accepted" what
+  | Error msg ->
+      checkb
+        (Printf.sprintf "%s error embeds usage" what)
+        true
+        (String.length msg >= String.length usage
+        &&
+        let rec find i =
+          i + String.length usage <= String.length msg
+          && (String.sub msg i (String.length usage) = usage || find (i + 1))
+        in
+        find 0)
+
+(* ------------------------------------------------------ partition *)
+
+let partition_grammar () =
+  (match C.parse_partition "0:1:0.2:0.5" with
+  | Ok (C.P_link (0, 1, 0.2, 0.5)) -> ()
+  | _ -> Alcotest.fail "legacy link form");
+  (match C.parse_partition "0,1,2@0.1:0.4" with
+  | Ok (C.P_set ([ 0; 1; 2 ], 0.1, 0.4, false)) -> ()
+  | _ -> Alcotest.fail "set form");
+  (match C.parse_partition "3@0.1:0.4:oneway" with
+  | Ok (C.P_set ([ 3 ], 0.1, 0.4, true)) -> ()
+  | _ -> Alcotest.fail "oneway form");
+  expect_usage "partition" C.partition_usage (C.parse_partition "bad@x");
+  expect_usage "partition" C.partition_usage (C.parse_partition "1:2:3");
+  expect_usage "partition" C.partition_usage
+    (C.parse_partition "0@0.1:0.4:sideways")
+
+(* ---------------------------------------------------------- crash *)
+
+let crash_grammar () =
+  (match C.parse_crash "2@0.25:0.7" with
+  | Ok (2, 0.25, 0.7) -> ()
+  | _ -> Alcotest.fail "crash form");
+  expect_usage "crash" C.crash_usage (C.parse_crash "oops");
+  expect_usage "crash" C.crash_usage (C.parse_crash "2@0.25")
+
+let coord_crash_grammar () =
+  (match C.parse_coord_crash "0.3:0.8" with
+  | Ok (0.3, 0.8) -> ()
+  | _ -> Alcotest.fail "coord-crash form");
+  expect_usage "coord-crash" C.coord_crash_usage (C.parse_coord_crash "nah");
+  expect_usage "coord-crash" C.coord_crash_usage (C.parse_coord_crash "0.3")
+
+let data_crash_grammar () =
+  (match C.parse_data_crash "1@0.25:0.7" with
+  | Ok (1, 0.25, 0.7) -> ()
+  | _ -> Alcotest.fail "data-crash form");
+  expect_usage "data-crash" C.data_crash_usage (C.parse_data_crash "bogus");
+  expect_usage "data-crash" C.data_crash_usage (C.parse_data_crash "1@0.25")
+
+let hb_loss_grammar () =
+  (match C.parse_hb_loss "3@0.1:0.6" with
+  | Ok (3, 0.1, 0.6, 1.) -> ()
+  | _ -> Alcotest.fail "hb-loss default prob");
+  (match C.parse_hb_loss "3@0.1:0.6:0.5" with
+  | Ok (3, 0.1, 0.6, 0.5) -> ()
+  | _ -> Alcotest.fail "hb-loss explicit prob");
+  expect_usage "hb-loss" C.hb_loss_usage (C.parse_hb_loss "nope");
+  expect_usage "hb-loss" C.hb_loss_usage (C.parse_hb_loss "3@0.1")
+
+(* ------------------------------------------------------- prescan *)
+
+let prevalidate_catches_first () =
+  let argv =
+    [| "threev_sim"; "run"; "--crash"; "2@0.25:0.7"; "--partition"; "bad@x" |]
+  in
+  (match C.prevalidate argv with
+  | Some msg -> expect_usage "prescan" C.partition_usage (Error msg)
+  | None -> Alcotest.fail "malformed --partition not caught");
+  match C.prevalidate [| "threev_sim"; "run"; "--hb-loss=zap" |] with
+  | Some msg -> expect_usage "prescan=" C.hb_loss_usage (Error msg)
+  | None -> Alcotest.fail "malformed --hb-loss=V not caught"
+
+let prevalidate_clean () =
+  checkb "all well-formed" true
+    (C.prevalidate
+       [|
+         "threev_sim";
+         "run";
+         "--crash";
+         "2@0.25:0.7";
+         "--partition=0,1@0.1:0.4:oneway";
+         "--data-crash";
+         "1@0.3:0.9";
+         "--coord-crash";
+         "0.3:0.8";
+         "--hb-loss";
+         "3@0.1:0.6:0.5";
+       |]
+    = None);
+  (* Unknown flags and non-spec values are cmdliner's business. *)
+  checkb "unrelated argv ignored" true
+    (C.prevalidate [| "threev_sim"; "run"; "--nodes"; "bananas" |] = None)
+
+let error_is_one_line () =
+  match C.parse_data_crash "bogus" with
+  | Ok _ -> Alcotest.fail "accepted"
+  | Error msg ->
+      checkb "single line" false (String.contains msg '\n');
+      checks "exact message"
+        "bad data-crash spec \"bogus\"; usage: --data-crash GROUP@TIME:RESTART"
+        msg
+
+let () =
+  ignore is_ok;
+  Alcotest.run "cli_specs"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "partition" `Quick partition_grammar;
+          Alcotest.test_case "crash" `Quick crash_grammar;
+          Alcotest.test_case "coord-crash" `Quick coord_crash_grammar;
+          Alcotest.test_case "data-crash" `Quick data_crash_grammar;
+          Alcotest.test_case "hb-loss" `Quick hb_loss_grammar;
+        ] );
+      ( "prescan",
+        [
+          Alcotest.test_case "catches malformed" `Quick
+            prevalidate_catches_first;
+          Alcotest.test_case "clean argv passes" `Quick prevalidate_clean;
+          Alcotest.test_case "one-line message" `Quick error_is_one_line;
+        ] );
+    ]

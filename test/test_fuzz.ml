@@ -34,14 +34,14 @@ let engines_rotate () =
   let kinds =
     List.map
       (fun i -> (Fuzz.case_of_index ~fuzz_seed:1 ~quick:true i).Fuzz.engine)
-      [ 0; 1; 2; 3; 4; 5; 6 ]
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
   in
-  checkb "indices 0-6 cover the engine matrix" true
+  checkb "indices 0-7 cover the engine matrix" true
     (List.sort_uniq compare kinds
     = List.sort_uniq compare
         [
-          Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E3v_repl; Fuzz.E3v_fd; Fuzz.E2pc;
-          Fuzz.E_nocoord; Fuzz.E_manual;
+          Fuzz.E3v; Fuzz.E3v_nc; Fuzz.E3v_repl; Fuzz.E3v_fd; Fuzz.E3v_shard;
+          Fuzz.E2pc; Fuzz.E_nocoord; Fuzz.E_manual;
         ]);
   (* Replicated cases always carry at least one data-node crash. *)
   let repl_case = Fuzz.case_of_index ~fuzz_seed:1 ~quick:true 5 in
@@ -57,7 +57,16 @@ let engines_rotate () =
   checkb "fd case storms heartbeats" true
     (List.exists
        (function Fuzz.Hb_loss _ -> true | _ -> false)
-       fd_case.Fuzz.atoms)
+       fd_case.Fuzz.atoms);
+  (* Sharded cases always crash a replica inside some shard block. *)
+  let shard_case = Fuzz.case_of_index ~fuzz_seed:1 ~quick:true 7 in
+  checkb "shard case is 3v-shard" true (shard_case.Fuzz.engine = Fuzz.E3v_shard);
+  checkb "shard case is S=4 k=2" true
+    (shard_case.Fuzz.shards = 4 && shard_case.Fuzz.replicas = 2);
+  checkb "shard case crashes a replica" true
+    (List.exists
+       (function Fuzz.Crash _ -> true | _ -> false)
+       shard_case.Fuzz.atoms)
 
 let verdict_tag = function
   | Fuzz.Clean -> "clean"
@@ -87,7 +96,9 @@ let sweep_deterministic () =
 
 let strict engine =
   match engine with
-  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E3v_repl | Fuzz.E3v_fd | Fuzz.E2pc -> true
+  | Fuzz.E3v | Fuzz.E3v_nc | Fuzz.E3v_repl | Fuzz.E3v_fd | Fuzz.E3v_shard
+  | Fuzz.E2pc ->
+      true
   | Fuzz.E_nocoord | Fuzz.E_manual -> false
 
 let small_sweep_strict_clean () =
@@ -217,7 +228,7 @@ let () =
         [
           Alcotest.test_case "case_of_index replays" `Quick
             case_of_index_deterministic;
-          Alcotest.test_case "engines rotate over 7 indices" `Quick
+          Alcotest.test_case "engines rotate over 8 indices" `Quick
             engines_rotate;
           Alcotest.test_case "sweep replays" `Quick sweep_deterministic;
         ] );
