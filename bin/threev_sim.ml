@@ -670,21 +670,23 @@ let fuzz_cmd =
 
 let lint_cmd =
   let doc =
-    "Run the determinism & protocol-hygiene static analyzer (rules R1-R6) \
-     over lib/, bin/ and bench/. Exits non-zero on any non-waived finding; \
-     the same gate runs as lint-smoke inside `dune runtest`."
+    "Run the protocol-conformance & determinism static analyzer (rules \
+     R1-R10) over lib/, bin/ and bench/. Exits non-zero on any non-waived \
+     finding — or, with --baseline, on any finding not already in the \
+     baseline report (the ratchet); the same gate runs inside `dune \
+     runtest`."
   in
   let json_flag =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Emit the machine-readable lint/v1 report.")
+      & info [ "json" ] ~doc:"Emit the machine-readable lint/v2 report.")
   in
   let rule_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "rule" ] ~docv:"ID"
-          ~doc:"Restrict the report to one rule id (R1..R6).")
+          ~doc:"Restrict the report to one rule id (R1..R10).")
   in
   let root_arg =
     Arg.(
@@ -692,22 +694,111 @@ let lint_cmd =
       & info [ "root" ] ~docv:"DIR"
           ~doc:"Repository root to scan (default: the current directory).")
   in
-  let run json rule root =
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Ratchet mode: fail only on findings absent from this committed \
+             lint report (matched per occurrence on file/rule/message, so \
+             pure line drift never fires). Old findings still print.")
+  in
+  let stale_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-stale" ] ~docv:"FILE"
+          ~doc:
+            "Fail when this committed report differs structurally from a \
+             fresh run — the drift check that keeps the baseline honest.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let read_report path =
+    if not (Sys.file_exists path) then
+      Error (Printf.sprintf "%s: no such file" path)
+    else
+      try Ok (Lint.Report.of_json (read_file path)) with
+      | Lint.Report.Parse_error msg ->
+          Error (Printf.sprintf "%s: not a lint report (%s)" path msg)
+      | Sys_error msg -> Error msg
+  in
+  let run json rule root baseline stale =
     match rule with
     | Some r when not (List.mem_assoc r Lint.Rules.all) ->
         `Error
           ( false,
             Printf.sprintf "unknown rule %S (expected one of %s)" r
               (String.concat ", " (List.map fst Lint.Rules.all)) )
-    | _ ->
+    | _ -> (
         let report = Lint.Driver.run ?rule ~root () in
         if json then print_endline (Lint.Report.to_json report)
         else Format.printf "%a" Lint.Report.render_human report;
-        if Lint.Report.total report = 0 then `Ok ()
-        else `Error (false, "lint findings")
+        let stale_error =
+          match stale with
+          | None -> None
+          | Some path -> (
+              match read_report path with
+              | Error e -> Some e
+              | Ok committed ->
+                  (* Structural comparison of the parsed documents: the
+                     committed report must match a fresh full run (the
+                     staleness leg ignores any --rule restriction). *)
+                  let fresh =
+                    if rule = None then report else Lint.Driver.run ~root ()
+                  in
+                  if
+                    Lint.Report.json_of_string (Lint.Report.to_json fresh)
+                    = Lint.Report.json_of_string (Lint.Report.to_json committed)
+                  then None
+                  else
+                    Some
+                      (Printf.sprintf
+                         "%s is stale: it no longer matches a fresh run; \
+                          refresh it with `threev_sim lint --json > %s`"
+                         path path))
+        in
+        match stale_error with
+        | Some e -> `Error (false, e)
+        | None -> (
+            match baseline with
+            | None ->
+                if Lint.Report.total report = 0 then `Ok ()
+                else `Error (false, "lint findings")
+            | Some path -> (
+                match read_report path with
+                | Error e -> `Error (false, e)
+                | Ok base -> (
+                    match
+                      Lint.Report.diff
+                        ~baseline:base.Lint.Report.findings
+                        report.Lint.Report.findings
+                    with
+                    | [] -> `Ok ()
+                    | fresh ->
+                        if not json then begin
+                          Format.printf
+                            "lint: %d new finding%s not in baseline %s:@."
+                            (List.length fresh)
+                            (if List.length fresh = 1 then "" else "s")
+                            path;
+                          List.iter
+                            (fun f ->
+                              Format.printf "  %a@." Lint.Report.pp_finding f)
+                            fresh
+                        end;
+                        `Error (false, "new lint findings")))))
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(ret (const run $ json_flag $ rule_arg $ root_arg))
+    Term.(
+      ret (const run $ json_flag $ rule_arg $ root_arg $ baseline_arg
+           $ stale_arg))
 
 let () =
   let doc =

@@ -1546,6 +1546,12 @@ let poll_counters t cs ~version =
           if required.(fi) then decr needed
         end
     | Coord_wake -> ()
+    (* lint: flow-ok — deliberately non-total: the coordinator inbox also
+       carries acks of superseded phases and replies to stale poll rounds,
+       and this arm is the designed sink that counts them under
+       [proto.stale_msgs] instead of dropping them silently. Node-bound
+       messages can never arrive here (the mailbox is the coordinator's
+       own endpoint). *)
     | _ -> cstat t "proto.stale_msgs"
   done;
   watch_end cs;

@@ -98,6 +98,10 @@ let contains_substring s sub =
   let n = String.length s and m = String.length sub in
   if m = 0 then true
   else begin
+    (* lint: unsafe-ok — bounds proven: [scan] only calls [matches_at i 0]
+       under [i + m <= n], and [matches_at] reads [s.(i + j)] with [j < m]
+       and [sub.(j)] with [j < m]; a checked access here would bounds-test
+       every byte of every retained trace line on [find]. *)
     let rec matches_at i j =
       j = m || (String.unsafe_get s (i + j) = String.unsafe_get sub j
                 && matches_at i (j + 1))

@@ -4,9 +4,12 @@ type t = {
   allows : allow list;
   deny_types : string list;
   engines : string list;
+  protocols : (string * string) list;
+  phase_msgs : string list;
 }
 
-let empty = { allows = []; deny_types = []; engines = [] }
+let empty =
+  { allows = []; deny_types = []; engines = []; protocols = []; phase_msgs = [] }
 
 (* ----------------------------------------------------------- globs *)
 
@@ -41,7 +44,9 @@ let glob_match pattern path = segs_match (split_path pattern) (split_path path)
 
      allow <rule-id> <path-glob> [free-text note]
      deny-type <Module.type>
-     engine <path/to/engine.mli>                                       *)
+     engine <path/to/engine.mli>
+     protocol <path/to/impl.ml> <typename>
+     phase-msg <Constructor>                                           *)
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -69,6 +74,10 @@ let parse content =
           }
       | [ "deny-type"; ty ] -> { acc with deny_types = acc.deny_types @ [ ty ] }
       | [ "engine"; path ] -> { acc with engines = acc.engines @ [ path ] }
+      | [ "protocol"; path; ty ] ->
+          { acc with protocols = acc.protocols @ [ (path, ty) ] }
+      | [ "phase-msg"; ctor ] ->
+          { acc with phase_msgs = acc.phase_msgs @ [ ctor ] }
       | tok :: _ ->
           invalid_arg (Printf.sprintf "lint.config: unknown directive %S" tok))
     empty lines

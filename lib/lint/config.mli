@@ -1,13 +1,18 @@
 (** The versioned lint configuration ([lint.config] at the repo root).
 
-    Line-oriented, ['#'] comments. Three directives:
+    Line-oriented, ['#'] comments. Five directives:
 
     - [allow <rule-id> <path-glob> [note]] — suppress a rule for matching
       files (e.g. wall-clock reads in the bench driver);
     - [deny-type <Module.type>] — a type whose values must not meet the
       polymorphic [compare]/[=] (rule R3);
     - [engine <path.mli>] — an interface that must [include Engine_intf.S]
-      (rule R5). *)
+      (rule R5);
+    - [protocol <path.ml> <typename>] — a variant type whose constructors
+      are protocol messages: the message-flow pass (rule R7) checks every
+      sent constructor has a handler branch;
+    - [phase-msg <Constructor>] — a protocol constructor whose send must be
+      dominated by a [Coord_log.append] (rule R8). *)
 
 type allow = { a_rule : string; a_glob : string; a_note : string }
 
@@ -15,6 +20,9 @@ type t = {
   allows : allow list;
   deny_types : string list;
   engines : string list;
+  protocols : (string * string) list;
+      (** [(file, typename)] pairs naming protocol-message types *)
+  phase_msgs : string list;  (** constructors under R8 log-before-send *)
 }
 
 (** No allows, no deny-types, no engines. *)

@@ -15,55 +15,154 @@ let waiver_tags =
     ("trace-ok", "R4");
     ("doc-ok", "R5");
     ("oracle-ok", "R6");
+    ("flow-ok", "R7");
+    ("order-ok", "R8");
+    ("guard-ok", "R9");
+    ("unsafe-ok", "R10");
   ]
 
-(* A waiver is an inline comment of the form "lint: <tag> reason...". It
-   suppresses findings of the tagged rule from its own line through two
-   lines past the comment's closing delimiter, so it can sit at the end of
-   the offending line, just above a multi-line expression, or carry a
-   multi-line justification. *)
+(* Byte offsets at which each line starts; [line_of] is then a binary
+   search instead of the per-marker O(n) rescan the first version did. *)
+let line_starts source =
+  let starts = ref [ 0 ] in
+  String.iteri
+    (fun i c -> if c = '\n' then starts := (i + 1) :: !starts)
+    source;
+  Array.of_list (List.rev !starts)
+
+let line_of starts pos =
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= pos then lo := mid else hi := mid - 1
+  done;
+  !lo + 1
+
+(* A waiver is a comment of the form [(* lint: <tag> reason... *)]. It
+   suppresses findings of the tagged rule from the marker's line through
+   two lines past the comment's closing delimiter, so it can sit at the
+   end of the offending line, just above a multi-line expression, or carry
+   a multi-line justification.
+
+   The scan is a small lexer, not a substring search: markers are only
+   recognized inside comments, so ["lint: trace-ok"] inside a string
+   literal (e.g. a test fixture or a help text) arms nothing. It tracks
+   nested [(* *)] comments, double-quoted strings with escapes (both in
+   code and inside comments, where OCaml's lexer also skips them),
+   [{id|...|id}] quoted strings, and enough of char-literal syntax to keep
+   ['"'] from desynchronizing the string tracking. *)
 let waivers source =
-  let out = ref [] in
   let len = String.length source in
-  let marker = "lint:" in
-  let line_of pos =
-    let n = ref 1 in
-    for i = 0 to pos - 1 do
-      if source.[i] = '\n' then incr n
+  let starts = line_starts source in
+  let out = ref [] in
+  (* Markers seen inside the currently open outermost comment. *)
+  let pending = ref [] in
+  let tag_at after =
+    let rest = String.trim (String.sub source after (min 80 (len - after))) in
+    match String.index_opt rest ' ' with
+    | Some j -> String.sub rest 0 j
+    | None -> (
+        match String.index_opt rest '*' with
+        | Some j -> String.trim (String.sub rest 0 j)
+        | None -> rest)
+  in
+  let flush_pending close =
+    List.iter
+      (fun at ->
+        match List.assoc_opt (tag_at (at + 5)) waiver_tags with
+        | Some rule -> out := (rule, line_of starts at, line_of starts close + 2) :: !out
+        | None -> ())
+      !pending;
+    pending := []
+  in
+  (* Skip a double-quoted string starting at [i] (at the opening quote);
+     returns the offset just past the closing quote. *)
+  let skip_string i =
+    let j = ref (i + 1) in
+    let fin = ref false in
+    while (not !fin) && !j < len do
+      (match source.[!j] with
+      | '\\' -> incr j
+      | '"' -> fin := true
+      | _ -> ());
+      incr j
     done;
-    !n
+    !j
   in
-  let rec find_sub sub from =
-    if from + String.length sub > len then None
-    else if String.sub source from (String.length sub) = sub then Some from
-    else find_sub sub (from + 1)
+  (* Skip a quoted-string literal [{id|...|id}] if one starts at [i];
+     returns [None] when [i] is a plain brace. *)
+  let skip_quoted i =
+    let j = ref (i + 1) in
+    while
+      !j < len
+      && (match source.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < len && source.[!j] = '|' then begin
+      let id = String.sub source (i + 1) (!j - i - 1) in
+      let closing = "|" ^ id ^ "}" in
+      let clen = String.length closing in
+      let k = ref (!j + 1) in
+      let fin = ref None in
+      while !fin = None && !k + clen <= len do
+        if String.sub source !k clen = closing then fin := Some (!k + clen)
+        else incr k
+      done;
+      match !fin with Some e -> Some e | None -> Some len
+    end
+    else None
   in
-  let rec go from =
-    match find_sub marker from with
-    | None -> ()
-    | Some at ->
-        let after = at + String.length marker in
-        let rest =
-          String.trim (String.sub source after (min 80 (len - after)))
-        in
-        let tag =
-          match String.index_opt rest ' ' with
-          | Some j -> String.sub rest 0 j
-          | None -> (
-              match String.index_opt rest '*' with
-              | Some j -> String.trim (String.sub rest 0 j)
-              | None -> rest)
-        in
-        (match List.assoc_opt tag waiver_tags with
-        | Some rule ->
-            let close =
-              match find_sub "*)" after with Some c -> c | None -> len - 1
-            in
-            out := (rule, line_of at, line_of close + 2) :: !out
-        | None -> ());
-        go after
-  in
-  go 0;
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < len do
+    let c = source.[!i] in
+    if !depth > 0 then begin
+      (* Inside a comment: watch for nesting, closing, strings, markers. *)
+      if c = '(' && !i + 1 < len && source.[!i + 1] = '*' then begin
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < len && source.[!i + 1] = ')' then begin
+        decr depth;
+        if !depth = 0 then flush_pending !i;
+        i := !i + 2
+      end
+      else if c = '"' then i := skip_string !i
+      else if
+        c = 'l'
+        && !i + 5 <= len
+        && String.sub source !i 5 = "lint:"
+      then begin
+        pending := !i :: !pending;
+        i := !i + 5
+      end
+      else incr i
+    end
+    else if c = '(' && !i + 1 < len && source.[!i + 1] = '*' then begin
+      depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then i := skip_string !i
+    else if c = '{' then
+      match skip_quoted !i with Some e -> i := e | None -> incr i
+    else if c = '\'' then begin
+      (* ['x'], ['\n'], ['\123'] are char literals; anything else (a type
+         variable, a prime in an identifier) is just an apostrophe. *)
+      if !i + 1 < len && source.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < len && source.[!j] <> '\'' && !j - !i < 6 do
+          incr j
+        done;
+        i := if !j < len && source.[!j] = '\'' then !j + 1 else !i + 1
+      end
+      else if !i + 2 < len && source.[!i + 2] = '\'' then i := !i + 3
+      else incr i
+    end
+    else incr i
+  done;
+  (* An unterminated comment still waives through end-of-file. *)
+  if !pending <> [] then flush_pending (len - 1);
   !out
 
 let waived_by ws (f : Report.finding) =
@@ -74,34 +173,93 @@ let waived_by ws (f : Report.finding) =
 
 (* --------------------------------------------------------------- parsing *)
 
-let with_parse ~filename source k =
+(* One file, parsed once: the per-file rules and the cross-file flowgraph
+   pass share the tree. *)
+type parsed = {
+  p_file : string;
+  p_source : string;
+  p_impl : Parsetree.structure option;
+  p_intf : Parsetree.signature option;
+  p_syntax : Report.finding option;
+}
+
+let parse_one ~filename source =
   let lexbuf = Lexing.from_string source in
   Location.init lexbuf filename;
-  try k lexbuf
-  with exn ->
+  let fail exn =
     let msg =
       match exn with
       | Syntaxerr.Error _ -> "syntax error"
       | exn -> Printexc.to_string exn
     in
-    [ { Report.file = filename; line = 1; col = 0; rule = "syntax"; msg } ]
-
-(* One file's worth of linting: raw findings, then waiver and allowlist
-   suppression. Returns (kept, waived, allowlisted). *)
-let lint_source ?(config = Config.empty) ~filename source =
-  let ctx = Rules.make_ctx ~config ~file:filename () in
-  let raw =
-    if Filename.check_suffix filename ".mli" then
-      with_parse ~filename source (fun lexbuf ->
-          Rules.check_interface ctx (Parse.interface lexbuf);
-          ctx.Rules.findings)
-    else
-      with_parse ~filename source (fun lexbuf ->
-          Rules.check_structure ctx (Parse.implementation lexbuf);
-          ctx.Rules.findings)
+    {
+      p_file = filename;
+      p_source = source;
+      p_impl = None;
+      p_intf = None;
+      p_syntax =
+        Some { Report.file = filename; line = 1; col = 0; rule = "syntax"; msg };
+    }
   in
-  let ws = waivers source in
-  let waived, rest = List.partition (waived_by ws) raw in
+  if Filename.check_suffix filename ".mli" then
+    try
+      {
+        p_file = filename;
+        p_source = source;
+        p_impl = None;
+        p_intf = Some (Parse.interface lexbuf);
+        p_syntax = None;
+      }
+    with exn -> fail exn
+  else
+    try
+      {
+        p_file = filename;
+        p_source = source;
+        p_impl = Some (Parse.implementation lexbuf);
+        p_intf = None;
+        p_syntax = None;
+      }
+    with exn -> fail exn
+
+(* ---------------------------------------------------------- the pipeline *)
+
+(* Lint a set of already-read files as one run: per-file rules, then the
+   cross-file flowgraph join, then per-file waiver and allowlist
+   suppression (a cross-file finding is waivable in the file it is
+   attributed to). Returns (kept, waived, allowlisted). *)
+let lint_files ~config sources =
+  let parsed = List.map (fun (f, s) -> parse_one ~filename:f s) sources in
+  let per_file p =
+    match p.p_syntax with
+    | Some f -> [ f ]
+    | None ->
+        let ctx = Rules.make_ctx ~config ~file:p.p_file () in
+        (match p.p_impl with
+        | Some str -> Rules.check_structure ctx str
+        | None -> ());
+        (match p.p_intf with
+        | Some sg -> Rules.check_interface ctx sg
+        | None -> ());
+        ctx.Rules.findings
+  in
+  let rule_findings = List.concat_map per_file parsed in
+  let facts =
+    List.filter_map
+      (fun p -> Option.map (Flowgraph.extract ~file:p.p_file) p.p_impl)
+      parsed
+  in
+  let flow_findings = Flowgraph.check ~config facts in
+  let wtbl = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace wtbl p.p_file (waivers p.p_source)) parsed;
+  let is_waived (f : Report.finding) =
+    match Hashtbl.find_opt wtbl f.Report.file with
+    | Some ws -> waived_by ws f
+    | None -> false
+  in
+  let waived, rest =
+    List.partition is_waived (rule_findings @ flow_findings)
+  in
   let allowlisted, kept =
     List.partition
       (fun (f : Report.finding) ->
@@ -110,9 +268,17 @@ let lint_source ?(config = Config.empty) ~filename source =
   in
   (kept, List.length waived, List.length allowlisted)
 
+let lint_source ?(config = Config.empty) ~filename source =
+  lint_files ~config [ (filename, source) ]
+
 let lint_string ?config ~filename source =
   let kept, _, _ = lint_source ?config ~filename source in
   List.sort Report.compare_finding kept
+
+let run_sources ?(config = Config.empty) sources =
+  let kept, waived, allowlisted = lint_files ~config sources in
+  Report.make ~findings:kept ~files_scanned:(List.length sources) ~waived
+    ~allowlisted
 
 (* ------------------------------------------------------------- tree walk *)
 
@@ -153,18 +319,31 @@ let run ?(config_path = "lint.config") ?rule ~root () =
        else config_path)
   in
   let files = walk root in
-  let findings = ref [] in
-  let waived = ref 0 in
-  let allowlisted = ref 0 in
+  (* The runtest gate scans dune's copy of the tree, where executables
+     grow an auto-generated empty [.mli]; skip those so a sandboxed run
+     sees the same file set as a checkout run (the staleness leg compares
+     the two). *)
+  let dune_stub = "(* Auto-generated by Dune *)" in
+  let sources =
+    List.filter_map
+      (fun f ->
+        let s = read_file (Filename.concat root f) in
+        if
+          String.length s >= String.length dune_stub
+          && String.sub s 0 (String.length dune_stub) = dune_stub
+        then None
+        else Some (f, s))
+      files
+  in
+  let files = List.map fst sources in
+  let kept, waived, allowlisted = lint_files ~config sources in
+  let findings = ref kept in
+  let waived = ref waived in
+  let allowlisted = ref allowlisted in
+  (* R5: every lib/** implementation needs a sibling interface. *)
   let file_set = List.sort_uniq String.compare files in
   List.iter
     (fun file ->
-      let source = read_file (Filename.concat root file) in
-      let kept, w, a = lint_source ~config ~filename:file source in
-      findings := kept @ !findings;
-      waived := !waived + w;
-      allowlisted := !allowlisted + a;
-      (* R5: every lib/** implementation needs a sibling interface. *)
       if is_lib_ml file && not (List.mem (file ^ "i") file_set) then begin
         let f = Rules.missing_mli ~file in
         if Config.allowed config ~rule:"R5" ~file then incr allowlisted

@@ -1,12 +1,16 @@
-(** Walks the source tree, parses every [.ml]/[.mli] with compiler-libs,
-    runs the {!Rules} catalog, and applies inline waivers plus the
-    [lint.config] allowlist.
+(** Walks the source tree, parses every [.ml]/[.mli] with compiler-libs
+    (once per file — the per-file rules and the cross-file {!Flowgraph}
+    pass share the tree), runs the {!Rules} catalog, and applies inline
+    waivers plus the [lint.config] allowlist.
 
     Waiver syntax: an inline comment [(* lint: <tag> reason... *)] with
     [<tag>] one of [nondet-ok] (R1), [hash-order-ok] (R2), [compare-ok]
-    (R3), [trace-ok] (R4), [doc-ok] (R5). A waiver suppresses findings of
-    its rule from its own line through two lines past the comment's closing
-    delimiter. *)
+    (R3), [trace-ok] (R4), [doc-ok] (R5), [oracle-ok] (R6), [flow-ok]
+    (R7), [order-ok] (R8), [guard-ok] (R9), [unsafe-ok] (R10). A waiver
+    suppresses findings of its rule from its own line through two lines
+    past the comment's closing delimiter. Markers are recognized only
+    inside comments — a ["lint:"] occurring in a string literal arms
+    nothing. *)
 
 (** [(tag, rule-id)] for every recognized waiver tag. *)
 val waiver_tags : (string * string) list
@@ -18,7 +22,8 @@ val source_dirs : string list
 (** [lint_source ~config ~filename source] lints one file's content
     ([filename] decides implementation vs interface and path-scoped rules)
     and returns [(kept_findings, waived, allowlisted)]. Unparseable input
-    yields a single [syntax] finding. *)
+    yields a single [syntax] finding. The flowgraph pass sees only this
+    one file. *)
 val lint_source :
   ?config:Config.t ->
   filename:string ->
@@ -29,6 +34,11 @@ val lint_source :
     entry point used by the tests. *)
 val lint_string :
   ?config:Config.t -> filename:string -> string -> Report.finding list
+
+(** Lint a set of in-memory files as one run — the cross-file R7 pass
+    joins send and handler facts across all of them. No missing-[.mli]
+    check (fixture sets are not full library trees). *)
+val run_sources : ?config:Config.t -> (string * string) list -> Report.t
 
 (** Repo-relative paths of every [.ml]/[.mli] under {!source_dirs} of
     [root], sorted; [_build] and dot-directories are skipped. *)

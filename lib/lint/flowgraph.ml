@@ -1,0 +1,241 @@
+(* Cross-file message-flow pass (rule R7).
+
+   Per file, [extract] collects four kinds of facts; [check] then joins
+   them against the [protocol] declarations in lint.config:
+
+   - variant declarations (type name -> constructor names), so a protocol
+     type's constructor set comes from its defining file, not a hand-kept
+     list;
+   - sends: constructors passed to a send-like function — one whose name's
+     last segment is [send] or [broadcast] ([Network.send],
+     [Reliable.send], the engine's own [send]/[broadcast] wrappers). A
+     message built as [let m = Ctor {...} in ... send ... m] is resolved
+     through the local binding; anything more indirect (a parameter, a
+     list element) is invisible, which errs toward missing a send, never
+     toward a false finding;
+   - handled constructors: every constructor appearing in any pattern —
+     or-patterns, [when]-guarded cases and handler lambdas all count;
+   - dispatch sites: a [match]/[function] whose cases name two or more
+     constructors and end in a catch-all ([_] or a variable). One
+     constructor plus a catch-all is the idiomatic single-message filter
+     ([function Adv_ack ... -> Some ... | _ -> None]) and is not a
+     dispatch.
+
+   R7 then has two legs: a protocol constructor that is sent somewhere but
+   matched by no pattern anywhere in the scanned set (attributed to the
+   send site), and a dispatch site in [lib/core]/[lib/repl] whose
+   catch-all swallows two or more protocol constructors (attributed to the
+   catch-all case, so an inline waiver sits next to the [_]). *)
+
+type dispatch = {
+  d_loc : Location.t;  (** the catch-all case's pattern *)
+  d_ctors : string list;  (** distinct constructor heads, sorted *)
+}
+
+type facts = {
+  ff_file : string;
+  ff_types : (string * string list) list;
+  ff_sends : (string * Location.t) list;
+  ff_handled : string list;
+  ff_dispatches : dispatch list;
+}
+
+let last_segment lid =
+  match List.rev (Longident.flatten lid) with [] -> "" | s :: _ -> s
+
+let is_send_like (fn : Parsetree.expression) =
+  match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match last_segment txt with "send" | "broadcast" -> true | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------- extract *)
+
+let constructor_head (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_construct ({ txt; _ }, _) -> Some (last_segment txt)
+  | _ -> None
+
+(* The distinct constructor heads a case list matches at the top level
+   (descending through or-patterns and alias patterns only), plus the
+   catch-all case's pattern location if one exists. *)
+let case_heads (cases : Parsetree.case list) =
+  let ctors = ref [] in
+  let catch_all = ref None in
+  let rec pat (p : Parsetree.pattern) =
+    match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_or (a, b) ->
+        pat a;
+        pat b
+    | Parsetree.Ppat_alias (p', _) -> pat p'
+    | Parsetree.Ppat_construct ({ txt; _ }, _) ->
+        let c = last_segment txt in
+        if not (List.mem c !ctors) then ctors := c :: !ctors
+    | Parsetree.Ppat_any | Parsetree.Ppat_var _ ->
+        if !catch_all = None then catch_all := Some p.Parsetree.ppat_loc
+    | _ -> ()
+  in
+  List.iter (fun (c : Parsetree.case) -> pat c.Parsetree.pc_lhs) cases;
+  (List.sort String.compare !ctors, !catch_all)
+
+let extract ~file (str : Parsetree.structure) =
+  let types = ref [] in
+  let sends = ref [] in
+  let handled = ref [] in
+  let dispatches = ref [] in
+  (* let-bound message values: [let m = Ctor {...}] anywhere in the file
+     maps [m] to [Ctor] for send-argument resolution. *)
+  let bound = ref [] in
+  let note_handled c = if not (List.mem c !handled) then handled := c :: !handled in
+  let note_cases cases =
+    match case_heads cases with
+    | ctors, Some loc when List.length ctors >= 2 ->
+        dispatches := { d_loc = loc; d_ctors = ctors } :: !dispatches
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.Parsetree.ptype_kind with
+          | Parsetree.Ptype_variant ctors ->
+              types :=
+                ( td.Parsetree.ptype_name.Location.txt,
+                  List.map
+                    (fun (c : Parsetree.constructor_declaration) ->
+                      c.Parsetree.pcd_name.Location.txt)
+                    ctors )
+                :: !types
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self td);
+      value_binding =
+        (fun self vb ->
+          (match
+             (vb.Parsetree.pvb_pat.Parsetree.ppat_desc,
+              vb.Parsetree.pvb_expr.Parsetree.pexp_desc)
+           with
+          | ( Parsetree.Ppat_var { txt = v; _ },
+              Parsetree.Pexp_construct ({ txt; _ }, _) ) ->
+              bound := (v, last_segment txt) :: !bound
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+      pat =
+        (fun self p ->
+          (match constructor_head p with
+          | Some c -> note_handled c
+          | None -> ());
+          Ast_iterator.default_iterator.pat self p);
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply (fn, args) when is_send_like fn ->
+              List.iter
+                (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+                  match arg.Parsetree.pexp_desc with
+                  | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+                      sends :=
+                        (last_segment txt, arg.Parsetree.pexp_loc) :: !sends
+                  | Parsetree.Pexp_ident { txt = Longident.Lident v; loc } -> (
+                      match List.assoc_opt v !bound with
+                      | Some c -> sends := (c, loc) :: !sends
+                      | None -> ())
+                  | _ -> ())
+                args
+          | Parsetree.Pexp_match (_, cases) -> note_cases cases
+          | Parsetree.Pexp_function cases -> note_cases cases
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str;
+  {
+    ff_file = file;
+    ff_types = !types;
+    ff_sends = List.rev !sends;
+    ff_handled = !handled;
+    ff_dispatches = List.rev !dispatches;
+  }
+
+(* --------------------------------------------------------------- check *)
+
+let finding ~file (loc : Location.t) msg =
+  let p = loc.Location.loc_start in
+  {
+    Report.file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule = "R7";
+    msg;
+  }
+
+let dispatch_in_scope file =
+  let pfx p =
+    String.length file >= String.length p
+    && String.sub file 0 (String.length p) = p
+  in
+  pfx "lib/core/" || pfx "lib/repl/"
+
+let check ~(config : Config.t) (facts : facts list) =
+  (* One constructor set per [protocol <file> <type>] declaration, read
+     from the named type's declaration in the named file. *)
+  let protocol_sets =
+    List.filter_map
+      (fun (pfile, ptype) ->
+        match List.find_opt (fun f -> f.ff_file = pfile) facts with
+        | Some f -> (
+            match List.assoc_opt ptype f.ff_types with
+            | Some cs -> Some (ptype, cs)
+            | None -> None)
+        | None -> None)
+      config.Config.protocols
+  in
+  let is_protocol c =
+    List.exists (fun (_, cs) -> List.mem c cs) protocol_sets
+  in
+  let handled_anywhere c =
+    List.exists (fun f -> List.mem c f.ff_handled) facts
+  in
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      (* Leg 1: sent protocol constructors with no handler branch. *)
+      List.iter
+        (fun (c, loc) ->
+          if is_protocol c && not (handled_anywhere c) then
+            out :=
+              finding ~file:f.ff_file loc
+                (Printf.sprintf
+                   "protocol message %s is sent but matched by no handler \
+                    branch in the scanned tree"
+                   c)
+              :: !out)
+        f.ff_sends;
+      (* Leg 2: a dispatch catch-all swallowing protocol messages. A site
+         fires against a protocol type when it names at least two of its
+         constructors explicitly (so it really is a dispatch over that
+         type) while the catch-all still covers others of the same type
+         (so messages can be eaten silently). *)
+      if dispatch_in_scope f.ff_file then
+        List.iter
+          (fun d ->
+            List.iter
+              (fun (ptype, ctors) ->
+                let matched = List.filter (fun c -> List.mem c ctors) d.d_ctors in
+                let swallowed =
+                  List.filter (fun c -> not (List.mem c d.d_ctors)) ctors
+                in
+                if List.length matched >= 2 && swallowed <> [] then
+                  out :=
+                    finding ~file:f.ff_file d.d_loc
+                      (Printf.sprintf
+                         "catch-all case in a dispatch over %s messages \
+                          swallows %s silently; enumerate the constructors \
+                          or waive with (* lint: flow-ok *)"
+                         ptype
+                         (String.concat ", " swallowed))
+                    :: !out)
+              protocol_sets)
+          f.ff_dispatches)
+    facts;
+  List.rev !out

@@ -1,0 +1,43 @@
+(** Cross-file message-flow pass: rule R7, handler totality.
+
+    {!extract} runs once per implementation file and collects flow facts
+    from its parsetree; {!check} joins the facts of a whole run against
+    the [protocol <file> <type>] declarations in [lint.config] and
+    reports:
+
+    - a protocol constructor passed to a send-like function ([send] /
+      [broadcast], qualified or not) but matched by no pattern anywhere in
+      the scanned set — attributed to the send site;
+    - a [match]/[function] in [lib/core]/[lib/repl] that names two or more
+      of a protocol type's constructors but ends in a catch-all ([_] or a
+      variable) while other constructors of that type exist — attributed
+      to the catch-all, so a waiver comment sits next to the [_].
+
+    Send extraction resolves one level of [let m = Ctor ... in ... send m]
+    indirection; anything more indirect is invisible, which errs toward
+    missing a send, never toward a false finding. *)
+
+(** One candidate dispatch site: a case list with a catch-all and at least
+    two distinct constructor heads. *)
+type dispatch = {
+  d_loc : Location.t;  (** the catch-all case's pattern *)
+  d_ctors : string list;  (** distinct constructor heads, sorted *)
+}
+
+(** The flow facts of one implementation file. *)
+type facts = {
+  ff_file : string;  (** repo-relative path *)
+  ff_types : (string * string list) list;
+      (** variant declarations: type name -> constructor names *)
+  ff_sends : (string * Location.t) list;
+      (** constructors passed to a send-like function *)
+  ff_handled : string list;  (** constructors matched by some pattern *)
+  ff_dispatches : dispatch list;
+}
+
+(** Collect the flow facts of one file's parsetree. *)
+val extract : file:string -> Parsetree.structure -> facts
+
+(** Join a run's facts against [config]'s protocol declarations; returns
+    R7 findings attributed to the owning files. *)
+val check : config:Config.t -> facts list -> Report.finding list

@@ -1,0 +1,275 @@
+(* Intra-procedural sequencing analysis over the parsetree.
+
+   Two queries share one walker skeleton:
+
+   - {!undominated}: "has a dominator application definitely executed
+     before this point, on every path from the binding's entry?" State is
+     a single boolean threaded forward through sequences and lets, AND-
+     joined across if/match arms. Closures are analyzed with the state at
+     their definition point: a dominator that executed before the closure
+     was built has executed before any call of it, so this is sound for
+     the resend-closure idiom (build the retransmit thunk after the WAL
+     append). Entering a closure never changes the outer state — defining
+     a function runs nothing.
+
+   - {!unguarded}: "is this point lexically inside a region controlled by
+     a guard?" — the then-branch of an [if] whose condition satisfies the
+     guard predicate, or a match case whose [when] clause does. This is
+     the R4/R9 notion of protection: the dynamic check encloses the
+     expression in the source, so the guarded code cannot run without the
+     check having just passed.
+
+   Known blind spots, by design (documented in DESIGN.md §7):
+
+   - A call to a locally [let]-bound function whose body *contains* a
+     dominator application counts as a dominator event even if the body
+     only applies it conditionally ("may" semantics). The coordinator's
+     [enter phase] helper skips its WAL append exactly when resuming into
+     the phase whose record was just recovered — the invariant holds, but
+     only a cross-call path analysis could prove it. Resolution is by
+     name, transitively (a helper calling the helper also counts).
+   - Dominators inside tuple/record/array components are not propagated
+     (evaluation order there is unspecified); a dominator must appear in
+     sequence, let, or application position to count.
+   - [while]/[for] bodies may run zero times, and a [try] body may be cut
+     anywhere, so neither establishes domination for the code after it.
+   - Both queries are per-top-level-binding: ordering across bindings
+     (e.g. module initialization effects) is out of scope. *)
+
+type finding = { loc : Location.t; what : string }
+
+let lid_str lid = String.concat "." (Longident.flatten lid)
+
+(* ------------------------------------------- local dominator functions *)
+
+(* Fixpoint over the structure: the set of simple value names bound to a
+   function whose body contains an application of the dominator (or of a
+   name already in the set). One pass collects the (name, body) pairs;
+   iteration closes the set. *)
+
+let local_fn_bindings (str : Parsetree.structure) =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match
+             (vb.Parsetree.pvb_pat.Parsetree.ppat_desc, vb.Parsetree.pvb_expr)
+           with
+          | Parsetree.Ppat_var { txt; _ }, body -> (
+              match body.Parsetree.pexp_desc with
+              | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->
+                  acc := (txt, body) :: !acc
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str;
+  !acc
+
+let contains_application ~is_dom ~dom_names (e : Parsetree.expression) =
+  let hit = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply (fn, _) -> (
+              if is_dom fn then hit := true
+              else
+                match fn.Parsetree.pexp_desc with
+                | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } ->
+                    if List.mem n dom_names then hit := true
+                | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !hit
+
+let dominator_names ~is_dom (str : Parsetree.structure) =
+  let bindings = local_fn_bindings str in
+  let rec close names =
+    let names' =
+      List.fold_left
+        (fun acc (n, body) ->
+          if List.mem n acc then acc
+          else if contains_application ~is_dom ~dom_names:acc body then
+            n :: acc
+          else acc)
+        names bindings
+    in
+    if List.length names' = List.length names then names else close names'
+  in
+  close []
+
+(* ------------------------------------------------------------ dominance *)
+
+let undominated ~dom ~target (str : Parsetree.structure) =
+  let findings = ref [] in
+  let dom_names = dominator_names ~is_dom:dom str in
+  let is_dom_fn (fn : Parsetree.expression) =
+    dom fn
+    ||
+    match fn.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } ->
+        List.mem n dom_names
+    | _ -> false
+  in
+  (* [walk s e] analyzes [e] with dominator state [s] and returns the
+     state after [e] completes normally. Recording happens at target
+     sites; the fallback analyzes children with [s] and keeps [s]. *)
+  let rec walk s (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_sequence (a, b) -> walk (walk s a) b
+    | Parsetree.Pexp_let (_, vbs, body) ->
+        let s' =
+          List.fold_left
+            (fun s vb -> walk s vb.Parsetree.pvb_expr)
+            s vbs
+        in
+        walk s' body
+    | Parsetree.Pexp_ifthenelse (cond, then_, else_) ->
+        let sc = walk s cond in
+        let st = walk sc then_ in
+        let se = match else_ with Some e -> walk sc e | None -> sc in
+        st && se
+    | Parsetree.Pexp_match (scrut, cases) ->
+        let s0 = walk s scrut in
+        List.fold_left
+          (fun acc (c : Parsetree.case) ->
+            (match c.Parsetree.pc_guard with
+            | Some g -> ignore (walk s0 g)
+            | None -> ());
+            let sc = walk s0 c.Parsetree.pc_rhs in
+            acc && sc)
+          true cases
+    | Parsetree.Pexp_try (body, handlers) ->
+        (* An exception can cut the body anywhere, so a handler starts
+           from the entry state; the try as a whole dominates only if
+           every way out does. *)
+        let sb = walk s body in
+        List.fold_left
+          (fun acc (c : Parsetree.case) ->
+            (match c.Parsetree.pc_guard with
+            | Some g -> ignore (walk s g)
+            | None -> ());
+            acc && walk s c.Parsetree.pc_rhs)
+          sb handlers
+    | Parsetree.Pexp_fun (_, default, _, body) ->
+        (* Closure: analyze with the definition-point state, report inside,
+           but defining it runs nothing. *)
+        Option.iter (fun d -> ignore (walk s d)) default;
+        ignore (walk s body);
+        s
+    | Parsetree.Pexp_function cases ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            (match c.Parsetree.pc_guard with
+            | Some g -> ignore (walk s g)
+            | None -> ());
+            ignore (walk s c.Parsetree.pc_rhs))
+          cases;
+        s
+    | Parsetree.Pexp_while (cond, body) ->
+        let sc = walk s cond in
+        ignore (walk sc body);
+        sc
+    | Parsetree.Pexp_for (_, lo, hi, _, body) ->
+        let s' = walk (walk s lo) hi in
+        ignore (walk s' body);
+        s'
+    | Parsetree.Pexp_apply (fn, args) ->
+        let s' =
+          List.fold_left (fun s (_, arg) -> walk s arg) (walk s fn) args
+        in
+        (match target e with
+        | Some what when not s' ->
+            findings := { loc = e.Parsetree.pexp_loc; what } :: !findings
+        | _ -> ());
+        if is_dom_fn fn then true else s'
+    | Parsetree.Pexp_constraint (e', _) | Parsetree.Pexp_coerce (e', _, _) ->
+        walk s e'
+    | Parsetree.Pexp_open (_, e') | Parsetree.Pexp_letexception (_, e') ->
+        walk s e'
+    | Parsetree.Pexp_letmodule (_, _, e') -> walk s e'
+    | _ ->
+        (* Generic fallback: visit immediate subexpressions with [s]; any
+           domination they establish stays local (conservative). *)
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ e' -> ignore (walk s e'));
+          }
+        in
+        Ast_iterator.default_iterator.expr it e;
+        s
+  in
+  let item (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) ->
+        List.iter (fun vb -> ignore (walk false vb.Parsetree.pvb_expr)) vbs
+    | Parsetree.Pstr_eval (e, _) -> ignore (walk false e)
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ e -> ignore (walk false e));
+          }
+        in
+        Ast_iterator.default_iterator.structure_item it si
+  in
+  List.iter item str;
+  List.rev !findings
+
+(* ------------------------------------------------------------- guarding *)
+
+let unguarded ~guard ~target (str : Parsetree.structure) =
+  let findings = ref [] in
+  (* [g] is "some enclosing guard has tested true on this lexical path".
+     Unlike domination it survives into closures unchanged: the guarded
+     region lexically contains the closure body. *)
+  let rec walk g (e : Parsetree.expression) =
+    (match target e with
+    | Some what when not g ->
+        findings := { loc = e.Parsetree.pexp_loc; what } :: !findings
+    | _ -> ());
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ifthenelse (cond, then_, else_) when guard cond ->
+        walk g cond;
+        walk true then_;
+        Option.iter (walk g) else_
+    | Parsetree.Pexp_match (scrut, cases) | Parsetree.Pexp_try (scrut, cases)
+      ->
+        walk g scrut;
+        List.iter
+          (fun (c : Parsetree.case) ->
+            match c.Parsetree.pc_guard with
+            | Some w when guard w ->
+                walk g w;
+                walk true c.Parsetree.pc_rhs
+            | other ->
+                Option.iter (walk g) other;
+                walk g c.Parsetree.pc_rhs)
+          cases
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ e' -> walk g e');
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ e -> walk false e);
+    }
+  in
+  it.structure it str;
+  List.rev !findings

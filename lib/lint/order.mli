@@ -1,0 +1,47 @@
+(** Intra-procedural sequencing/dominance analysis over the parsetree.
+
+    Two queries power the ordering rules (R4/R8/R9):
+
+    - {!undominated} — "did a {e dominator} application definitely execute
+      before this target, on every path from the enclosing top-level
+      binding's entry?" Sequences and [let]s thread the state forward;
+      [if]/[match] arms AND-join; a [try] body or loop body establishes
+      nothing for the code after it. Closures are analyzed with the state
+      at their definition point (sound: a dominator that ran before the
+      closure was built ran before any call), and a call to a locally
+      bound function whose body {e contains} a dominator application
+      counts as a dominator event ("may" semantics — see DESIGN.md §7 for
+      this and the other documented blind spots).
+
+    - {!unguarded} — "is this target lexically inside a region controlled
+      by a {e guard}?": the then-branch of an [if] whose condition
+      satisfies the predicate, or a match case whose [when] clause does.
+
+    Both queries are purely syntactic and per-top-level-binding. *)
+
+(** One unsatisfied target: where, and the description the target
+    predicate returned. *)
+type finding = { loc : Location.t; what : string }
+
+(** [Longident] rendered with ["."] separators, e.g. ["Coord_log.append"]
+    — the spelling rule predicates match against. *)
+val lid_str : Longident.t -> string
+
+(** [undominated ~dom ~target str]: every application in [str] that
+    [target] names (the predicate receives the whole [Pexp_apply]
+    expression) but that no [dom]-satisfying application (the predicate
+    receives the function position) dominates, in source order. *)
+val undominated :
+  dom:(Parsetree.expression -> bool) ->
+  target:(Parsetree.expression -> string option) ->
+  Parsetree.structure ->
+  finding list
+
+(** [unguarded ~guard ~target str]: every expression in [str] that
+    [target] names but that sits in no region controlled by a
+    [guard]-satisfying condition or [when] clause, in source order. *)
+val unguarded :
+  guard:(Parsetree.expression -> bool) ->
+  target:(Parsetree.expression -> string option) ->
+  Parsetree.structure ->
+  finding list

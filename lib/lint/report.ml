@@ -13,7 +13,10 @@ type t = {
   allowlisted : int;
 }
 
-let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "syntax" ]
+let schema_version = "lint/v2"
+
+let rule_ids =
+  [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "syntax" ]
 
 let compare_finding a b =
   let c = String.compare a.file b.file in
@@ -23,7 +26,10 @@ let compare_finding a b =
     if c <> 0 then c
     else
       let c = compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
 
 let make ~findings ~files_scanned ~waived ~allowlisted =
   { findings = List.sort compare_finding findings; files_scanned; waived;
@@ -245,7 +251,7 @@ let to_json t =
   json_to_string
     (Obj
        [
-         ("schema", String "lint/v1");
+         ("schema", String schema_version);
          ("files_scanned", Int t.files_scanned);
          ("total", Int (total t));
          ("waived", Int t.waived);
@@ -253,3 +259,75 @@ let to_json t =
          ("counts", Obj (List.map (fun (r, n) -> (r, Int n)) (counts t)));
          ("findings", List (List.map finding_obj t.findings));
        ])
+
+(* Reading a report back. Shape errors reuse [Parse_error] so callers have
+   one failure mode for "this is not a lint report". The [total]/[counts]
+   fields are derived data and are recomputed by [make], not trusted. *)
+
+let field k = function
+  | Obj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" k)))
+  | _ -> raise (Parse_error "expected an object")
+
+let as_int k = function
+  | Int i -> i
+  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected an int" k))
+
+let as_string k = function
+  | String s -> s
+  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected a string" k))
+
+let finding_of_json j =
+  {
+    file = as_string "file" (field "file" j);
+    line = as_int "line" (field "line" j);
+    col = as_int "col" (field "col" j);
+    rule = as_string "rule" (field "rule" j);
+    msg = as_string "msg" (field "msg" j);
+  }
+
+let of_json s =
+  let j = json_of_string s in
+  (match field "schema" j with
+  | String ("lint/v1" | "lint/v2") -> ()
+  | String other ->
+      raise (Parse_error (Printf.sprintf "unknown report schema %S" other))
+  | _ -> raise (Parse_error "field \"schema\": expected a string"));
+  let findings =
+    match field "findings" j with
+    | List l -> List.map finding_of_json l
+    | _ -> raise (Parse_error "field \"findings\": expected a list")
+  in
+  make ~findings
+    ~files_scanned:(as_int "files_scanned" (field "files_scanned" j))
+    ~waived:(as_int "waived" (field "waived" j))
+    ~allowlisted:(as_int "allowlisted" (field "allowlisted" j))
+
+(* ------------------------------------------------------------- baseline *)
+
+(* The ratchet: a finding is "new" when the baseline holds no unconsumed
+   finding with the same (file, rule, msg). Lines are deliberately not part
+   of the key — editing an unrelated part of a file shifts every finding
+   below the edit, and the gate must not fire on pure line drift. Matching
+   is per-occurrence (a multiset), so adding a second copy of a baselined
+   finding still counts as new. *)
+let diff ~baseline current =
+  let key (f : finding) = (f.file, f.rule, f.msg) in
+  let remaining = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let k = key f in
+      let n = match Hashtbl.find_opt remaining k with Some n -> n | None -> 0 in
+      Hashtbl.replace remaining k (n + 1))
+    baseline;
+  List.filter
+    (fun f ->
+      let k = key f in
+      match Hashtbl.find_opt remaining k with
+      | Some n when n > 0 ->
+          Hashtbl.replace remaining k (n - 1);
+          false
+      | _ -> true)
+    current

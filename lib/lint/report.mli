@@ -1,10 +1,11 @@
-(** Lint findings and the two report renderings (human and [lint/v1] JSON).
+(** Lint findings and the two report renderings (human and [lint/v2] JSON).
 
     A {!finding} is one diagnostic anchored at a source position; a {!t}
     aggregates the findings of a whole run together with the waiver and
     allowlist accounting. The JSON side ships its own minimal value type,
-    printer and parser so tests can assert the report round-trips without
-    external dependencies. *)
+    printer and parser so the report both round-trips ({!of_json}) and can
+    serve as the ratchet baseline ({!diff}) without external
+    dependencies. *)
 
 type finding = {
   file : string;  (** repo-relative path, ['/']-separated *)
@@ -15,16 +16,19 @@ type finding = {
 }
 
 type t = {
-  findings : finding list;  (** sorted by (file, line, col, rule) *)
+  findings : finding list;  (** sorted by (file, line, col, rule, msg) *)
   files_scanned : int;
   waived : int;  (** findings suppressed by an inline [(* lint: ... *)] *)
   allowlisted : int;  (** findings suppressed by a [lint.config] allow *)
 }
 
+(** The schema tag {!to_json} stamps on every report: ["lint/v2"]. *)
+val schema_version : string
+
 (** The rule ids every report carries counts for, in catalog order. *)
 val rule_ids : string list
 
-(** Total order on findings: file, then line, then column, then rule. *)
+(** Total order on findings: file, line, column, rule, then message. *)
 val compare_finding : finding -> finding -> int
 
 (** Build a report; findings are sorted into the canonical order. *)
@@ -49,8 +53,20 @@ val pp_finding : Format.formatter -> finding -> unit
 (** All findings, one per line, followed by a summary line. *)
 val render_human : Format.formatter -> t -> unit
 
-(** The [lint/v1] JSON document for [t]. *)
+(** The {!schema_version} JSON document for [t]. *)
 val to_json : t -> string
+
+(** Parse a report document back into a {!t}. Accepts the current
+    ["lint/v2"] schema and the legacy ["lint/v1"] (same field layout);
+    derived fields ([total], [counts]) are recomputed, not trusted.
+    @raise Parse_error on malformed JSON or a report of the wrong shape. *)
+val of_json : string -> t
+
+(** [diff ~baseline current] is the ratchet: the findings of [current]
+    with no unconsumed counterpart in [baseline], matching per occurrence
+    on [(file, rule, msg)]. Lines are not part of the key, so pure line
+    drift (an edit above an old finding) never makes it "new". *)
+val diff : baseline:finding list -> finding list -> finding list
 
 (** Minimal JSON values — exactly the subset the report emits. *)
 type json =

@@ -30,12 +30,20 @@ let all =
     ("R2", "Hashtbl.iter/fold without a dominating sort in the same \
             top-level binding");
     ("R3", "polymorphic compare/equality at a deny-listed type");
-    ("R4", "unguarded trace emission on a lib/core / lib/net / lib/repl \
-            path");
+    ("R4", "unguarded trace emission on a lib/core / lib/net / lib/repl / \
+            lib/shard path");
     ("R5", "missing .mli, undocumented export, or engine not implementing \
             Engine_intf");
     ("R6", "ground-truth liveness oracle (Injector.down / coord_down) \
-            consulted from a lib/core / lib/repl path");
+            consulted from a lib/core / lib/repl / lib/shard path");
+    ("R7", "handler totality: a sent protocol constructor with no handler \
+            branch, or a dispatch catch-all swallowing protocol messages");
+    ("R8", "log-before-send: a phase-message send not dominated by a \
+            Coord_log.append on every path");
+    ("R9", "guard dominance: Mvstore.gc outside a gc_floor comparison \
+            (re-delivered GC notices must stay idempotent)");
+    ("R10", "unsafe accesses (Array/String/Bytes.unsafe_*, Obj.magic) \
+             outside the allowlisted flat-counter modules");
   ]
 
 let lid_str lid = String.concat "." (Longident.flatten lid)
@@ -223,7 +231,10 @@ let r4_is_emit (fn : Parsetree.expression) =
           suffix "Trace.emit" || suffix "Trace.emit_deferred")
   | _ -> false
 
-let mentions_tracing (e : Parsetree.expression) =
+(* Does [e] mention, anywhere, an identifier whose last segment is [seg]?
+   The guard predicates for R4 ([tracing]) and R9 ([gc_floor]) — compound
+   conditions ([a && tracing t], [Mvstore.gc_floor s < keep]) count. *)
+let mentions_last seg (e : Parsetree.expression) =
   let hit = ref false in
   let it =
     {
@@ -232,10 +243,9 @@ let mentions_tracing (e : Parsetree.expression) =
         (fun self e ->
           (match e.Parsetree.pexp_desc with
           | Parsetree.Pexp_ident { txt; _ } -> (
-              match Longident.flatten txt with
-              | [] -> ()
-              | segs -> if List.nth segs (List.length segs - 1) = "tracing"
-                then hit := true)
+              match List.rev (Longident.flatten txt) with
+              | last :: _ when last = seg -> hit := true
+              | _ -> ())
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);
     }
@@ -243,46 +253,168 @@ let mentions_tracing (e : Parsetree.expression) =
   it.expr it e;
   !hit
 
+let mentions_tracing = mentions_last "tracing"
+
+(* ------------------------------------------------------------------ R10 *)
+
+(* Bounds-unchecked accesses and [Obj.magic] are a deliberate, measured
+   optimization in the flat counter matrices and nowhere else; lint.config
+   [allow R10] lines name the modules where the proofs live. *)
+let r10_banned =
+  [
+    "Array.unsafe_get"; "Array.unsafe_set"; "String.unsafe_get";
+    "String.unsafe_set"; "Bytes.unsafe_get"; "Bytes.unsafe_set"; "Obj.magic";
+  ]
+
+let r10_check ctx lid loc =
+  let s = lid_str lid in
+  if List.mem s r10_banned then
+    add ctx loc "R10"
+      (Printf.sprintf
+         "%s: bounds-unchecked access outside the allowlisted hot-path \
+          modules; use the checked accessor, allowlist the module in \
+          lint.config, or waive with (* lint: unsafe-ok *)"
+         s)
+
+(* ------------------------------------------------------------------ R8 *)
+
+(* The crash-consistency invariant PR 2's WAL re-drive depends on: a
+   coordinator phase message must not leave before the phase entry is on
+   disk, or a crash between send and append re-drives a phase the nodes
+   already saw under a different WAL state. Phase constructors come from
+   lint.config [phase-msg] lines; the dominator is any application of
+   [Coord_log.append] — including through a local helper whose body
+   contains one (see Order's documented "may" semantics). *)
+
+let lid_suffix sfx s =
+  let n = String.length sfx in
+  s = sfx
+  || String.length s > n
+     && String.sub s (String.length s - n - 1) (n + 1) = "." ^ sfx
+
+let is_send_like (fn : Parsetree.expression) =
+  match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match List.rev (Longident.flatten txt) with
+      | ("send" | "broadcast") :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let r8_target phase_msgs (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply (fn, args) when is_send_like fn ->
+      List.find_map
+        (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+          match arg.Parsetree.pexp_desc with
+          | Parsetree.Pexp_construct ({ txt; _ }, _) -> (
+              match List.rev (Longident.flatten txt) with
+              | c :: _ when List.mem c phase_msgs -> Some c
+              | _ -> None)
+          | _ -> None)
+        args
+  | _ -> None
+
+let r8_check ctx (str : Parsetree.structure) =
+  match ctx.config.Config.phase_msgs with
+  | [] -> ()
+  | phase_msgs ->
+      List.iter
+        (fun (f : Order.finding) ->
+          add ctx f.Order.loc "R8"
+            (Printf.sprintf
+               "phase message %s sent without a dominating Coord_log.append: \
+                a coordinator crash between this send and the WAL write \
+                re-drives an unlogged phase; append the phase entry first \
+                or waive with (* lint: order-ok *)"
+               f.Order.what))
+        (Order.undominated
+           ~dom:(fun fn ->
+             match fn.Parsetree.pexp_desc with
+             | Parsetree.Pexp_ident { txt; _ } ->
+                 lid_suffix "Coord_log.append" (Order.lid_str txt)
+             | _ -> false)
+           ~target:(r8_target phase_msgs)
+           str)
+
+(* ------------------------------------------------------------------ R9 *)
+
+(* GC idempotence: a re-delivered [Do_gc] notice (recovered coordinator
+   re-driving phase 4) must not re-collect; every [Mvstore.gc] call sits
+   inside a region controlled by a [gc_floor] comparison. *)
+let r9_in_scope file =
+  String.length file >= 4 && String.sub file 0 4 = "lib/"
+
+let r9_check ctx (str : Parsetree.structure) =
+  if r9_in_scope ctx.file then
+    List.iter
+      (fun (f : Order.finding) ->
+        add ctx f.Order.loc "R9" f.Order.what)
+      (Order.unguarded
+         ~guard:(mentions_last "gc_floor")
+         ~target:(fun e ->
+           match e.Parsetree.pexp_desc with
+           | Parsetree.Pexp_apply (fn, _) -> (
+               match fn.Parsetree.pexp_desc with
+               | Parsetree.Pexp_ident { txt; _ }
+                 when lid_suffix "Mvstore.gc" (Order.lid_str txt) ->
+                   Some
+                     "Mvstore.gc outside a gc_floor comparison: a \
+                      re-delivered GC notice would re-collect (phase-4 \
+                      re-drives must be idempotent); guard on the floor or \
+                      waive with (* lint: guard-ok *)"
+               | _ -> None)
+           | _ -> None)
+         str)
+
+(* ------------------------------------------------------- R4 (dominance) *)
+
+(* R4 rides the same guard-dominance engine as R9: an emission is fine
+   exactly when a [tracing]-mentioning condition (or [when] clause)
+   controls its lexical region. Reported as R4 — the rule id predates the
+   engine. *)
+let r4_check ctx (str : Parsetree.structure) =
+  if r4_in_scope ctx.file then
+    List.iter
+      (fun (f : Order.finding) ->
+        add ctx f.Order.loc "R4" f.Order.what)
+      (Order.unguarded ~guard:mentions_tracing
+         ~target:(fun e ->
+           match e.Parsetree.pexp_desc with
+           | Parsetree.Pexp_apply (fn, _) when r4_is_emit fn ->
+               Some
+                 "trace emission not guarded by [if tracing ...]: format \
+                  arguments are evaluated even in untraced runs; guard it \
+                  or waive with (* lint: trace-ok *)"
+           | _ -> None)
+         str)
+
 (* -------------------------------------------------------- entry points *)
 
-(* R1, R3 and R4 in one walk; R4 needs guard tracking, so the iterator
-   carries a mutable "under [if tracing ...]" flag with save/restore. *)
+(* R1, R3, R6 and R10 are per-expression and share one walk; R2 runs per
+   top-level item; R4, R8 and R9 are ordering properties delegated to the
+   {!Order} engine. *)
 let check_structure ctx (str : Parsetree.structure) =
-  let guarded = ref false in
   let it =
     {
       Ast_iterator.default_iterator with
       expr =
         (fun self e ->
-          match e.Parsetree.pexp_desc with
-          | Parsetree.Pexp_ifthenelse (cond, then_, else_)
-            when mentions_tracing cond ->
-              self.Ast_iterator.expr self cond;
-              let saved = !guarded in
-              guarded := true;
-              self.Ast_iterator.expr self then_;
-              guarded := saved;
-              Option.iter (self.Ast_iterator.expr self) else_
-          | _ ->
-              (match e.Parsetree.pexp_desc with
-              | Parsetree.Pexp_ident { txt; loc } ->
-                  r1_check ctx txt loc;
-                  if r6_in_scope ctx.file then r6_check ctx txt loc
-              | Parsetree.Pexp_apply (fn, args) ->
-                  r3_check ctx fn args e.Parsetree.pexp_loc;
-                  if
-                    r4_in_scope ctx.file && r4_is_emit fn && not !guarded
-                  then
-                    add ctx e.Parsetree.pexp_loc "R4"
-                      "trace emission not guarded by [if tracing ...]: \
-                       format arguments are evaluated even in untraced \
-                       runs; guard it or waive with (* lint: trace-ok *)"
-              | _ -> ());
-              Ast_iterator.default_iterator.expr self e);
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } ->
+              r1_check ctx txt loc;
+              r10_check ctx txt loc;
+              if r6_in_scope ctx.file then r6_check ctx txt loc
+          | Parsetree.Pexp_apply (fn, args) ->
+              r3_check ctx fn args e.Parsetree.pexp_loc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
     }
   in
   it.structure it str;
-  List.iter (r2_check_item ctx) str
+  List.iter (r2_check_item ctx) str;
+  r4_check ctx str;
+  r8_check ctx str;
+  r9_check ctx str
 
 (* ------------------------------------------------------------------ R5 *)
 
